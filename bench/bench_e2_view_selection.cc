@@ -1,0 +1,120 @@
+// E2 — Automated selection of views to materialize (§3.3).
+//
+// Claim quantified: "there is a need for algorithms that decide which data
+// (and over which sources) need to be materialized". We implement the
+// greedy benefit-density heuristic (after Agrawal et al.) and bound its
+// gap against the exhaustive optimum.
+//
+// Candidates are *measured*, not invented: 12 mediated views of varying
+// selectivity are defined over two simulated remote sources; each view's
+// virtual cost (simulated source latency) and storage cost (result-tree
+// nodes) come from actually executing it. Query frequencies are Zipf.
+//
+// Expected shape: workload cost falls steeply as budget grows; greedy
+// tracks optimal closely; at 100% budget both converge to materialize-all
+// (for views whose benefit is positive).
+
+#include "bench/workload.h"
+#include "core/engine.h"
+#include "materialize/view_selection.h"
+#include "materialize/view_store.h"
+#include "metadata/catalog.h"
+
+using namespace nimble;
+using bench::Fmt;
+
+int main() {
+  VirtualClock clock;
+  metadata::Catalog catalog;
+  connector::SimulationConfig config;
+  config.fixed_latency_micros = 4000;
+  config.per_row_latency_micros = 25;
+
+  std::vector<bench::RemoteRelationalSource> holders;
+  for (int s = 0; s < 2; ++s) {
+    bench::RemoteRelationalSource src = bench::MakeRemoteCustomers(
+        "src" + std::to_string(s), 3000, 40 + static_cast<uint64_t>(s), config,
+        &clock, true);
+    (void)catalog.RegisterSource(std::move(src.connector));
+    holders.push_back(std::move(src));
+  }
+
+  // 12 candidate views: per-source value bands of varying selectivity.
+  const int kViews = 12;
+  std::vector<std::string> names;
+  for (int v = 0; v < kViews; ++v) {
+    int source = v % 2;
+    int lo = (v * 83) % 1000;
+    int hi = lo + 40 + 70 * (v % 4);  // varying widths → varying sizes
+    std::string name = "band" + std::to_string(v);
+    std::string query =
+        "WHERE <customers><row><id>$i</id><name>$n</name><value>$val</value>"
+        "</row></customers> IN \"src" +
+        std::to_string(source) + ":customers\", $val >= " +
+        std::to_string(lo) + ", $val < " + std::to_string(hi) +
+        " CONSTRUCT <c id=$i><name>$n</name><value>$val</value></c>";
+    (void)catalog.DefineView(name, query);
+    names.push_back(name);
+  }
+
+  core::IntegrationEngine engine(&catalog);
+  materialize::MaterializedViewStore probe_store(&catalog, &engine, &clock);
+
+  // Measure each candidate.
+  ZipfGenerator zipf(kViews, 1.1, 99);
+  std::vector<size_t> frequency(kViews, 0);
+  for (int i = 0; i < 4000; ++i) ++frequency[zipf.Next()];
+
+  std::vector<materialize::ViewCandidate> candidates;
+  double total_storage = 0;
+  std::printf("E2: measured candidate views\n");
+  bench::PrintRow({"view", "storage", "virt_cost_ms", "freq"});
+  bench::PrintRule(4);
+  for (int v = 0; v < kViews; ++v) {
+    int64_t before = clock.NowMicros();
+    Result<core::QueryResult> r = probe_store.Query(names[v]);  // virtual
+    if (!r.ok()) {
+      std::fprintf(stderr, "probe failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    materialize::ViewCandidate c;
+    c.view_name = names[v];
+    c.virtual_cost = static_cast<double>(clock.NowMicros() - before);
+    c.materialized_cost = 0;  // local serves ship nothing
+    c.storage_cost = static_cast<double>(r->document->SubtreeSize());
+    c.query_frequency = static_cast<double>(frequency[v]);
+    total_storage += c.storage_cost;
+    bench::PrintRow({c.view_name, Fmt(c.storage_cost, 0),
+                     Fmt(c.virtual_cost / 1000, 2),
+                     Fmt(c.query_frequency, 0)});
+    candidates.push_back(c);
+  }
+
+  std::printf("\nworkload cost (ms of simulated source time) vs budget:\n");
+  bench::PrintRow({"budget%", "no_mat", "greedy", "optimal", "gap%",
+                   "greedy_views"});
+  bench::PrintRule(6);
+  double none_cost =
+      materialize::WorkloadCost(candidates,
+                                std::vector<bool>(candidates.size(), false));
+  for (int pct : {0, 10, 25, 50, 75, 100}) {
+    double budget = total_storage * pct / 100.0;
+    materialize::SelectionResult greedy =
+        materialize::SelectViewsGreedy(candidates, budget);
+    materialize::SelectionResult optimal =
+        materialize::SelectViewsOptimal(candidates, budget);
+    double gap = optimal.workload_cost > 0
+                     ? (greedy.workload_cost - optimal.workload_cost) /
+                           optimal.workload_cost
+                     : 0;
+    bench::PrintRow({std::to_string(pct), Fmt(none_cost / 1000, 1),
+                     Fmt(greedy.workload_cost / 1000, 1),
+                     Fmt(optimal.workload_cost / 1000, 1),
+                     Fmt(gap * 100, 2),
+                     std::to_string(greedy.selected.size())});
+  }
+  std::printf(
+      "\nShape check: cost collapses as the budget grows; the greedy\n"
+      "heuristic stays within a few percent of the exhaustive optimum.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// E3 — Query pushdown and source-index exploitation (§2.1, §4).
+//
+// Claim quantified: the compiler "generates SQL" for RDB fragments and
+// considers "the presence of indices on the data"; the optimizer addresses
+// "the varying query capabilities of different data sources".
+//
+// Setup: one remote relational table (50k rows) behind a simulated WAN
+// (fixed RTT + per-row shipping cost). A selection of varying selectivity
+// runs in two modes (ablation A1):
+//   PUSHDOWN — the predicate is compiled into the generated SQL; the
+//              source's own planner may use its index.
+//   SHIP-ALL — pushdown disabled; the whole table crosses the wire and the
+//              mediator filters.
+//
+// Expected shape: PUSHDOWN rows-shipped ∝ selectivity (latency likewise);
+// SHIP-ALL is flat at |R| regardless of selectivity. Inside the source,
+// the indexed run scans only matching rows.
+
+#include "bench/workload.h"
+#include "core/engine.h"
+#include "metadata/catalog.h"
+#include "relational/sql_parser.h"
+
+using namespace nimble;
+using bench::Fmt;
+using bench::FmtInt;
+
+namespace {
+
+constexpr size_t kRows = 50000;
+
+struct Sample {
+  size_t results = 0;
+  size_t rows_shipped = 0;
+  double latency_ms = 0;
+  size_t source_rows_scanned = 0;
+};
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  metadata::Catalog catalog;
+  connector::SimulationConfig config;
+  config.fixed_latency_micros = 5000;
+  config.per_row_latency_micros = 10;
+  bench::RemoteRelationalSource source = bench::MakeRemoteCustomers(
+      "crm", kRows, 17, config, &clock, /*index_value=*/true);
+  relational::Database* db = source.db.get();
+  (void)catalog.RegisterSource(std::move(source.connector));
+
+  core::IntegrationEngine engine(&catalog);
+
+  auto run = [&](double selectivity, bool pushdown) -> Sample {
+    // value < K where K = selectivity * 1000 (value uniform in [0,1000)).
+    int threshold = static_cast<int>(selectivity * 1000);
+    std::string query =
+        "WHERE <customers><row><id>$i</id><name>$n</name><value>$v</value>"
+        "</row></customers> IN \"crm:customers\", $v < " +
+        std::to_string(threshold) +
+        " CONSTRUCT <hit id=$i><name>$n</name></hit>";
+    core::EngineOptions options;
+    options.enable_pushdown = pushdown;
+    engine.set_options(options);
+
+    // Count rows scanned inside the source via its table version of
+    // stats: run the equivalent SQL directly for the scan metric.
+    Sample sample;
+    relational::SelectStmt probe;
+    probe.select_star = true;
+    probe.from.table = "customers";
+    Result<relational::SqlStatement> parsed = relational::ParseSql(
+        "SELECT id FROM customers WHERE value < " + std::to_string(threshold));
+    if (parsed.ok()) {
+      Result<relational::ResultSet> rs =
+          db->Query(std::get<relational::SelectStmt>(*parsed));
+      if (rs.ok()) sample.source_rows_scanned = rs->stats.rows_scanned;
+    }
+
+    int64_t before = clock.NowMicros();
+    Result<core::QueryResult> result = engine.ExecuteText(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    sample.results = result->report.result_count;
+    sample.rows_shipped = result->report.rows_shipped;
+    sample.latency_ms =
+        static_cast<double>(clock.NowMicros() - before) / 1000.0;
+    return sample;
+  };
+
+  std::printf("E3: selection pushdown vs ship-all (%zu-row source, "
+              "5ms RTT + 10us/row)\n\n", kRows);
+  bench::PrintRow({"selectivity", "mode", "results", "rows_shipped",
+                   "latency_ms", "src_scan"});
+  bench::PrintRule(6);
+  for (double selectivity : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    Sample pushed = run(selectivity, true);
+    Sample shipped = run(selectivity, false);
+    bench::PrintRow({Fmt(selectivity, 3), "PUSHDOWN", FmtInt(pushed.results),
+                     FmtInt(pushed.rows_shipped), Fmt(pushed.latency_ms, 1),
+                     FmtInt(pushed.source_rows_scanned)});
+    bench::PrintRow({Fmt(selectivity, 3), "SHIP-ALL", FmtInt(shipped.results),
+                     FmtInt(shipped.rows_shipped), Fmt(shipped.latency_ms, 1),
+                     FmtInt(shipped.source_rows_scanned)});
+    bench::PrintRule(6);
+  }
+
+  // Join pushdown-adjacent case: two-fragment join where one side is
+  // highly selective; the mediator joins only the survivors.
+  std::printf("\njoin with selective fragment (pushdown on/off):\n");
+  (void)db;  // second table lives in the same source database
+  (void)source.db->Execute(
+      "CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, total INT)");
+  {
+    Rng rng(5);
+    relational::Table* orders = source.db->GetTable("orders");
+    for (int i = 0; i < 20000; ++i) {
+      (void)orders->Insert({Value::Int(i),
+                            Value::Int(rng.UniformInt(0, kRows - 1)),
+                            Value::Int(rng.UniformInt(1, 500))});
+    }
+  }
+  std::string join_query =
+      "WHERE <customers><row><id>$i</id><value>$v</value></row></customers>"
+      " IN \"crm:customers\", $v < 5,"
+      " <orders><row><cust>$i</cust><total>$t</total></row></orders>"
+      " IN \"crm:orders\""
+      " CONSTRUCT <o cust=$i total=$t/>";
+  bench::PrintRow({"mode", "results", "rows_shipped", "latency_ms",
+                   "bind_joins"});
+  bench::PrintRule(5);
+  struct JoinMode {
+    const char* label;
+    bool pushdown;
+    bool bind_join;
+  };
+  for (const JoinMode& mode :
+       {JoinMode{"SHIP-ALL", false, false},
+        JoinMode{"PUSHDOWN", true, false},
+        JoinMode{"PUSH+BIND", true, true}}) {
+    core::EngineOptions options;
+    options.enable_pushdown = mode.pushdown;
+    options.enable_bind_join = mode.bind_join;
+    engine.set_options(options);
+    int64_t before = clock.NowMicros();
+    Result<core::QueryResult> result = engine.ExecuteText(join_query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    bench::PrintRow({mode.label, FmtInt(result->report.result_count),
+                     FmtInt(result->report.rows_shipped),
+                     Fmt((clock.NowMicros() - before) / 1000.0, 1),
+                     FmtInt(result->report.fragments_bind_joined)});
+  }
+  std::printf(
+      "\nShape check: PUSHDOWN ships ~selectivity x |R| rows and its source\n"
+      "scan uses the value index; SHIP-ALL is flat at |R| rows regardless;\n"
+      "PUSH+BIND also semijoin-filters the orders fragment with the\n"
+      "surviving customer ids, shipping only matching orders.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// E4 — Dynamic data cleaning: merge/purge scale + concordance reuse (§3.2).
+//
+// Claims quantified:
+//  (a) merge/purge must work "on large quantities of data" — we compare
+//      naive O(n²) pairwise matching against the Hernández/Stolfo
+//      sorted-neighbourhood method over dataset sizes and window widths,
+//      scoring precision/recall against known ground truth (20% injected
+//      duplicates with typos, name flips, dropped fields);
+//  (b) ablation A2 — "past human decisions are reapplied via a concordance
+//      database": a second run over the same data should score ~no pairs.
+//
+// Expected shape: naive comparisons grow quadratically while SN grows
+// ~linearly (n·w); SN recall approaches naive's as the window widens; the
+// warm-concordance run's matcher work drops to ~0.
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench/workload.h"
+#include "common/strings.h"
+#include "cleaning/concordance.h"
+#include "cleaning/flow.h"
+#include "cleaning/similarity.h"
+
+using namespace nimble;
+using bench::Fmt;
+using bench::FmtInt;
+using bench::FmtPct;
+
+namespace {
+
+std::shared_ptr<cleaning::RecordMatcher> MakeMatcher() {
+  std::vector<cleaning::MatchRule> rules;
+  rules.push_back({"name", cleaning::JaroWinklerSimilarity, 3.0, 0.0});
+  rules.push_back({"city",
+                   [](const std::string& a, const std::string& b) {
+                     return a == b ? 1.0 : 0.0;
+                   },
+                   1.0, 0.6});
+  rules.push_back({"value",
+                   [](const std::string& a, const std::string& b) {
+                     return a == b ? 1.0 : 0.0;
+                   },
+                   1.0, 0.6});
+  return std::make_shared<cleaning::RecordMatcher>(std::move(rules), 0.86,
+                                                   0.90);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() /
+         1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4(a): naive pairwise vs sorted-neighbourhood merge/purge\n");
+  std::printf("(20%% duplicates; name normalization applied first)\n\n");
+  bench::PrintRow({"n", "strategy", "pairs", "wall_ms", "precision",
+                   "recall"});
+  bench::PrintRule(6);
+
+  auto matcher = MakeMatcher();
+  for (size_t n : {500, 1000, 2000, 5000, 10000}) {
+    std::vector<bench::DirtyRecord> dirty =
+        bench::MakeDirtyCustomers(n, 0.2, 42);
+    // Normalize names first (flows would do this; here inline).
+    cleaning::NormalizerPipeline names = cleaning::NormalizerPipeline::ForNames();
+    std::vector<cleaning::KeyedRecord> records;
+    records.reserve(dirty.size());
+    for (const bench::DirtyRecord& dr : dirty) {
+      cleaning::KeyedRecord r = dr.record;
+      auto it = r.fields.find("name");
+      if (it != r.fields.end()) {
+        it->second = Value::String(names.Apply(it->second.ToString()));
+      }
+      records.push_back(std::move(r));
+    }
+
+    struct Config {
+      const char* label;
+      cleaning::MatchStrategy strategy;
+      size_t window;
+    };
+    std::vector<Config> configs = {
+        {"SN w=5", cleaning::MatchStrategy::kSortedNeighbourhood, 5},
+        {"SN w=10", cleaning::MatchStrategy::kSortedNeighbourhood, 10},
+        {"SN w=20", cleaning::MatchStrategy::kSortedNeighbourhood, 20},
+        {"MP-SN w=10",
+         cleaning::MatchStrategy::kMultiPassSortedNeighbourhood, 10},
+    };
+    if (n <= 2000) {
+      configs.insert(configs.begin(),
+                     {"NAIVE", cleaning::MatchStrategy::kNaivePairwise, 0});
+    }
+    auto name_key = [](const cleaning::KeyedRecord& r) {
+      auto it = r.fields.find("name");
+      return it == r.fields.end() ? std::string() : it->second.ToString();
+    };
+    // Second pass key: last whitespace token first (catches "Last, First"
+    // flips the first key sorts far away), then Soundex of the first token.
+    auto reversed_key = [](const cleaning::KeyedRecord& r) {
+      auto it = r.fields.find("name");
+      if (it == r.fields.end()) return std::string();
+      std::vector<std::string> tokens = SplitWhitespace(it->second.ToString());
+      std::reverse(tokens.begin(), tokens.end());
+      return Join(tokens, " ");
+    };
+    auto soundex_key = [](const cleaning::KeyedRecord& r) {
+      auto it = r.fields.find("name");
+      if (it == r.fields.end()) return std::string();
+      std::string code;
+      for (const std::string& t : SplitWhitespace(it->second.ToString())) {
+        code += cleaning::Soundex(t);
+      }
+      return code;
+    };
+    for (const Config& config : configs) {
+      cleaning::MergePurgeOptions options;
+      options.strategy = config.strategy;
+      if (config.window > 0) options.window = config.window;
+      options.key_extractor = name_key;
+      options.key_extractors = {name_key, reversed_key, soundex_key};
+      options.trap_exceptions = false;
+      auto start = std::chrono::steady_clock::now();
+      Result<cleaning::MergePurgeResult> result =
+          cleaning::MergePurge(records, *matcher, options);
+      double wall = MillisSince(start);
+      if (!result.ok()) {
+        std::fprintf(stderr, "merge/purge failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      bench::PairMetrics metrics = bench::ScoreClusters(dirty,
+                                                        result->clusters);
+      bench::PrintRow({FmtInt(static_cast<int64_t>(n)), config.label,
+                       FmtInt(static_cast<int64_t>(result->pairs_considered)),
+                       Fmt(wall, 1), FmtPct(metrics.precision),
+                       FmtPct(metrics.recall)});
+    }
+    bench::PrintRule(6);
+  }
+
+  std::printf("\nE4(b): concordance database reuse (ablation A2)\n\n");
+  bench::PrintRow({"run", "pairs", "scored", "conc_hits", "wall_ms"});
+  bench::PrintRule(5);
+  {
+    std::vector<bench::DirtyRecord> dirty =
+        bench::MakeDirtyCustomers(5000, 0.2, 42);
+    std::vector<cleaning::KeyedRecord> records;
+    for (const bench::DirtyRecord& dr : dirty) records.push_back(dr.record);
+    cleaning::ConcordanceDatabase concordance;
+    cleaning::MergePurgeOptions options;
+    options.strategy = cleaning::MatchStrategy::kSortedNeighbourhood;
+    options.window = 10;
+    options.concordance = &concordance;
+    options.trap_exceptions = false;
+    for (const char* run : {"cold", "warm", "warm2"}) {
+      auto start = std::chrono::steady_clock::now();
+      Result<cleaning::MergePurgeResult> result =
+          cleaning::MergePurge(records, *matcher, options);
+      double wall = MillisSince(start);
+      if (!result.ok()) return 1;
+      bench::PrintRow(
+          {run, FmtInt(static_cast<int64_t>(result->pairs_considered)),
+           FmtInt(static_cast<int64_t>(result->pairs_scored)),
+           FmtInt(static_cast<int64_t>(result->concordance_hits)),
+           Fmt(wall, 1)});
+    }
+  }
+  std::printf(
+      "\nShape check: naive pair counts grow ~n^2 vs ~n*w for SN; SN recall\n"
+      "rises with window width; warm concordance runs score ~0 pairs.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// E7 — Physical-algebra microbenchmarks and the data-model ablation (§3.1).
+//
+// Claims quantified:
+//  (a) the physical algebra handles relational-shaped data efficiently:
+//      hash join vs nested-loop crossover as cardinality grows;
+//  (b) pattern matching / navigation / construction costs over trees;
+//  (c) ablation A3: the "slightly more structured" typed data model vs
+//      modelling everything as generic text (pure-XML strawman) — typed
+//      ingestion makes joins and comparisons cheaper (no re-parsing) at a
+//      small parse-time cost.
+//
+// Uses google-benchmark; run the binary directly for full output.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/construct.h"
+#include "algebra/operators.h"
+#include "algebra/pattern_match.h"
+#include "common/rng.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+#include "xml/serializer.h"
+#include "xmlql/parser.h"
+
+namespace nimble {
+namespace {
+
+using algebra::Binding;
+using algebra::MaterializedScan;
+using algebra::Tuple;
+using algebra::TupleSchema;
+
+std::unique_ptr<MaterializedScan> MakeIntScan(const std::string& var,
+                                              const std::string& payload_var,
+                                              size_t n, uint64_t seed,
+                                              uint64_t key_range) {
+  Rng rng(seed);
+  TupleSchema schema({var, payload_var});
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple t;
+    t.emplace_back(Binding{Value::Int(
+        static_cast<int64_t>(rng.Uniform(key_range)))});
+    t.emplace_back(Binding{Value::Int(static_cast<int64_t>(i))});
+    tuples.push_back(std::move(t));
+  }
+  return std::make_unique<MaterializedScan>(std::move(schema),
+                                            std::move(tuples));
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    algebra::HashJoin join(MakeIntScan("k", "l", n, 1, n),
+                           MakeIntScan("k", "r", n, 2, n));
+    auto result = join.Drain();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 2);
+}
+BENCHMARK(BM_HashJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    // Equality expressed as a residual condition (no shared variables).
+    TupleSchema joined = TupleSchema({"a", "l"}).Merge(TupleSchema({"b", "r"}));
+    xmlql::Condition cond;
+    cond.op = xmlql::Condition::Op::kEq;
+    cond.lhs.is_variable = true;
+    cond.lhs.variable = "a";
+    cond.rhs.is_variable = true;
+    cond.rhs.variable = "b";
+    auto bc = algebra::BoundCondition::Bind(cond, joined);
+    algebra::NestedLoopJoin join(MakeIntScan("a", "l", n, 1, n),
+                                 MakeIntScan("b", "r", n, 2, n), {*bc});
+    auto result = join.Drain();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 2);
+}
+BENCHMARK(BM_NestedLoopJoin)->Arg(100)->Arg(1000);
+
+std::string MakeCatalogXml(size_t products) {
+  Rng rng(9);
+  std::string xml = "<catalog>";
+  for (size_t i = 0; i < products; ++i) {
+    xml += "<product sku=\"p" + std::to_string(i) + "\"><title>" +
+           rng.RandomWord(12) + "</title><price>" +
+           std::to_string(rng.UniformInt(1, 500)) + "." +
+           std::to_string(rng.UniformInt(0, 99)) + "</price><qty>" +
+           std::to_string(rng.UniformInt(0, 50)) + "</qty></product>";
+  }
+  return xml + "</catalog>";
+}
+
+void BM_ParseXmlTyped(benchmark::State& state) {
+  std::string xml = MakeCatalogXml(static_cast<size_t>(state.range(0)));
+  XmlParseOptions options;
+  options.infer_types = true;
+  for (auto _ : state) {
+    auto doc = ParseXml(xml, options);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseXmlTyped)->Arg(100)->Arg(1000);
+
+void BM_ParseXmlUntyped(benchmark::State& state) {
+  std::string xml = MakeCatalogXml(static_cast<size_t>(state.range(0)));
+  XmlParseOptions options;
+  options.infer_types = false;  // pure-XML strawman (ablation A3)
+  for (auto _ : state) {
+    auto doc = ParseXml(xml, options);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseXmlUntyped)->Arg(100)->Arg(1000);
+
+// Ablation A3 payoff side: numeric filtering over typed vs untyped trees.
+// Typed trees compare ints natively; untyped trees re-coerce every value.
+void FilterPrices(const NodePtr& doc, benchmark::State& state) {
+  Result<Path> path = Path::Parse("product/price");
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const Value& v : path->SelectValues(doc)) {
+      Result<double> d = v.ToDouble();
+      if (d.ok() && *d > 250.0) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_NumericFilterTyped(benchmark::State& state) {
+  auto doc = ParseXml(MakeCatalogXml(2000));
+  FilterPrices(*doc, state);
+}
+BENCHMARK(BM_NumericFilterTyped);
+
+void BM_NumericFilterUntyped(benchmark::State& state) {
+  XmlParseOptions options;
+  options.infer_types = false;
+  auto doc = ParseXml(MakeCatalogXml(2000), options);
+  FilterPrices(*doc, state);
+}
+BENCHMARK(BM_NumericFilterUntyped);
+
+void BM_PatternMatch(benchmark::State& state) {
+  auto doc = ParseXml(MakeCatalogXml(static_cast<size_t>(state.range(0))));
+  auto query = xmlql::ParseQuery(
+      "WHERE <catalog><product sku=$s><title>$t</title><price>$p</price>"
+      "</product></catalog> IN \"x:catalog\" CONSTRUCT <o>$t</o>");
+  TupleSchema schema = algebra::SchemaForPattern(query->patterns[0].root);
+  for (auto _ : state) {
+    auto tuples = algebra::MatchPattern(query->patterns[0].root, *doc, schema);
+    benchmark::DoNotOptimize(tuples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PatternMatch)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DescendantPath(benchmark::State& state) {
+  auto doc = ParseXml(MakeCatalogXml(static_cast<size_t>(state.range(0))));
+  Result<Path> path = Path::Parse("//price");
+  for (auto _ : state) {
+    auto values = path->SelectValues(*doc);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_DescendantPath)->Arg(1000)->Arg(10000);
+
+void BM_Construct(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto query = xmlql::ParseQuery(
+      "WHERE <t><r><k>$k</k><l>$l</l></r></t> IN \"x:t\" "
+      "CONSTRUCT <row id=$k><payload>$l</payload></row>");
+  for (auto _ : state) {
+    auto scan = MakeIntScan("k", "l", n, 1, n);
+    auto doc = algebra::ConstructResult(scan.get(), *query->construct);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Construct)->Arg(1000)->Arg(10000);
+
+void BM_Serialize(benchmark::State& state) {
+  auto doc = ParseXml(MakeCatalogXml(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    std::string xml = ToXml(**doc);
+    benchmark::DoNotOptimize(xml);
+  }
+}
+BENCHMARK(BM_Serialize)->Arg(1000);
+
+}  // namespace
+}  // namespace nimble
+
+BENCHMARK_MAIN();

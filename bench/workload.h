@@ -1,0 +1,220 @@
+#ifndef NIMBLE_BENCH_WORKLOAD_H_
+#define NIMBLE_BENCH_WORKLOAD_H_
+
+// Shared synthetic-workload generators and table printing for the E1–E8
+// experiment harnesses. See DESIGN.md §2 for the per-experiment index and
+// EXPERIMENTS.md for measured results. Everything here is deterministic
+// (seeded Rng) so runs are reproducible.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cleaning/record.h"
+#include "common/rng.h"
+#include "connector/relational_connector.h"
+#include "connector/simulated_source.h"
+#include "connector/xml_connector.h"
+#include "relational/database.h"
+
+namespace nimble {
+namespace bench {
+
+// ---- Table printing -----------------------------------------------------------
+
+/// Prints one aligned row of cells (column width 14).
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%14s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(size_t columns) {
+  for (size_t i = 0; i < columns; ++i) std::printf("%14s", "------------");
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+inline std::string FmtPct(double fraction, int decimals = 1) {
+  return Fmt(fraction * 100, decimals) + "%";
+}
+
+// ---- Relational workload --------------------------------------------------------
+
+/// Populates `db` with a `customers` table of `n` rows. `value` is uniform
+/// in [0, 1000) (for selectivity sweeps); `segment` is one of 10 city
+/// names. Adds an index on `value` when `index_value` is set.
+inline void FillCustomers(relational::Database* db, size_t n, uint64_t seed,
+                          bool index_value) {
+  Rng rng(seed);
+  (void)db->Execute(
+      "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, city TEXT, "
+      "value INT)");
+  static const char* kCities[] = {"seattle", "portland", "boise",
+                                  "spokane",  "tacoma",   "eugene",
+                                  "bend",     "salem",    "yakima",
+                                  "olympia"};
+  relational::Table* table = db->GetTable("customers");
+  for (size_t i = 0; i < n; ++i) {
+    relational::Row row = {
+        Value::Int(static_cast<int64_t>(i)),
+        Value::String("cust_" + rng.RandomWord(8)),
+        Value::String(kCities[rng.Uniform(10)]),
+        Value::Int(rng.UniformInt(0, 999)),
+    };
+    Status insert = table->Insert(std::move(row));
+    (void)insert;
+  }
+  if (index_value) {
+    Status idx = table->CreateIndex("idx_value", "value");
+    (void)idx;
+  }
+}
+
+/// Wraps a freshly-filled customer database in a simulated remote source
+/// named `source_name`. The Database is owned by the returned holder.
+struct RemoteRelationalSource {
+  std::unique_ptr<relational::Database> db;
+  connector::SimulatedSource* sim = nullptr;  // owned by the connector below
+  std::unique_ptr<connector::Connector> connector;
+};
+
+inline RemoteRelationalSource MakeRemoteCustomers(
+    const std::string& source_name, size_t rows, uint64_t seed,
+    connector::SimulationConfig config, Clock* clock, bool index_value) {
+  RemoteRelationalSource out;
+  out.db = std::make_unique<relational::Database>(source_name);
+  FillCustomers(out.db.get(), rows, seed, index_value);
+  auto inner = std::make_unique<connector::RelationalConnector>(source_name,
+                                                                out.db.get());
+  auto sim = std::make_unique<connector::SimulatedSource>(std::move(inner),
+                                                          config, clock);
+  out.sim = sim.get();
+  out.connector = std::move(sim);
+  return out;
+}
+
+// ---- Dirty-customer workload (E4) -------------------------------------------------
+
+/// A dirty record plus its ground-truth entity id.
+struct DirtyRecord {
+  cleaning::KeyedRecord record;
+  size_t entity;  ///< records with the same entity are true duplicates.
+};
+
+/// Generates `n` records over ~n*(1-dup_fraction) distinct entities; a
+/// dup_fraction share are *corrupted copies* of earlier records (typos,
+/// "Last, First" flips, dropped fields) — the §3.2 "data anomalies".
+inline std::vector<DirtyRecord> MakeDirtyCustomers(size_t n,
+                                                   double dup_fraction,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  static const char* kFirst[] = {"ada",  "bob",  "cleo", "dan",  "eve",
+                                 "finn", "gwen", "hugo", "iris", "jack"};
+  static const char* kLast[] = {"lovelace", "barker", "patra",  "druff",
+                                "adams",    "murphy", "nguyen", "ortiz",
+                                "petrov",   "quincy"};
+  static const char* kCity[] = {"seattle", "portland", "boise", "spokane"};
+
+  std::vector<DirtyRecord> out;
+  out.reserve(n);
+  size_t next_entity = 0;
+  auto corrupt = [&rng](std::string s) {
+    if (s.size() > 3 && rng.Bernoulli(0.7)) {
+      size_t pos = 1 + rng.Uniform(s.size() - 2);
+      if (rng.Bernoulli(0.5)) {
+        s.erase(pos, 1);  // drop a letter
+      } else {
+        std::swap(s[pos], s[pos - 1]);  // transpose
+      }
+    }
+    return s;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    bool duplicate = !out.empty() && rng.Bernoulli(dup_fraction);
+    DirtyRecord dr;
+    if (duplicate) {
+      const DirtyRecord& base = out[rng.Uniform(out.size())];
+      dr.entity = base.entity;
+      dr.record.fields = base.record.fields;
+      // Corrupt the copy.
+      std::string name = dr.record.fields["name"].ToString();
+      if (rng.Bernoulli(0.4)) {
+        // Flip to "Last, First".
+        size_t space = name.find(' ');
+        if (space != std::string::npos) {
+          name = name.substr(space + 1) + ", " + name.substr(0, space);
+        }
+      } else {
+        name = corrupt(name);
+      }
+      dr.record.fields["name"] = Value::String(name);
+      if (rng.Bernoulli(0.2)) dr.record.fields.erase("city");
+    } else {
+      dr.entity = next_entity++;
+      std::string name = std::string(kFirst[rng.Uniform(10)]) + " " +
+                         kLast[rng.Uniform(10)] + " " + rng.RandomWord(4);
+      dr.record.fields["name"] = Value::String(name);
+      dr.record.fields["city"] = Value::String(kCity[rng.Uniform(4)]);
+      dr.record.fields["value"] = Value::Int(rng.UniformInt(0, 99));
+    }
+    dr.record.id = "rec#" + std::to_string(i);
+    out.push_back(std::move(dr));
+  }
+  return out;
+}
+
+/// Pairwise precision/recall of `clusters` against the ground truth in
+/// `records`: a predicted pair is correct iff both members share an entity.
+struct PairMetrics {
+  double precision = 1.0;
+  double recall = 1.0;
+  size_t true_pairs = 0;
+  size_t predicted_pairs = 0;
+  size_t correct_pairs = 0;
+};
+
+inline PairMetrics ScoreClusters(
+    const std::vector<DirtyRecord>& records,
+    const std::vector<std::vector<size_t>>& clusters) {
+  PairMetrics m;
+  // True pairs.
+  std::map<size_t, size_t> entity_counts;
+  for (const DirtyRecord& dr : records) ++entity_counts[dr.entity];
+  for (const auto& [entity, count] : entity_counts) {
+    m.true_pairs += count * (count - 1) / 2;
+  }
+  // Predicted pairs + correctness.
+  for (const std::vector<size_t>& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        ++m.predicted_pairs;
+        if (records[cluster[i]].entity == records[cluster[j]].entity) {
+          ++m.correct_pairs;
+        }
+      }
+    }
+  }
+  m.precision = m.predicted_pairs == 0
+                    ? 1.0
+                    : static_cast<double>(m.correct_pairs) /
+                          static_cast<double>(m.predicted_pairs);
+  m.recall = m.true_pairs == 0 ? 1.0
+                               : static_cast<double>(m.correct_pairs) /
+                                     static_cast<double>(m.true_pairs);
+  return m;
+}
+
+}  // namespace bench
+}  // namespace nimble
+
+#endif  // NIMBLE_BENCH_WORKLOAD_H_

@@ -1,0 +1,76 @@
+// Quickstart: integrate a relational database and an XML feed with one
+// XML-QL query.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "connector/relational_connector.h"
+#include "connector/xml_connector.h"
+#include "core/engine.h"
+#include "xml/serializer.h"
+
+namespace {
+
+void Check(const nimble::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+template <typename T>
+void Check(const nimble::Result<T>& result) {
+  Check(result.ok() ? nimble::Status::OK() : result.status());
+}
+
+}  // namespace
+
+int main() {
+  using namespace nimble;
+
+  // 1. A relational source: the customer database.
+  relational::Database crm("crm");
+  Check(crm.Execute(
+      "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, city TEXT)"));
+  Check(crm.Execute("INSERT INTO customers VALUES "
+                    "(1, 'Ada Lovelace', 'Seattle'), "
+                    "(2, 'Bob Barker', 'Portland'), "
+                    "(3, 'Cleo Patra', 'Seattle')"));
+
+  // 2. An XML source: the order feed from a partner.
+  auto feed = std::make_unique<connector::XmlConnector>("feed");
+  Check(feed->PutDocumentText("orders",
+                              "<orders>"
+                              "<order cust=\"1\"><total>250.0</total></order>"
+                              "<order cust=\"1\"><total>80.0</total></order>"
+                              "<order cust=\"3\"><total>999.0</total></order>"
+                              "</orders>"));
+
+  // 3. Register both with the metadata server.
+  metadata::Catalog catalog;
+  Check(catalog.RegisterSource(
+      std::make_unique<connector::RelationalConnector>("crm", &crm)));
+  Check(catalog.RegisterSource(std::move(feed)));
+
+  // 4. Ask one question across both sources. The relational fragment is
+  //    compiled to SQL and pushed down; the XML fragment is pattern-matched;
+  //    the join runs in the mediator.
+  core::IntegrationEngine engine(&catalog);
+  Result<core::QueryResult> result = engine.ExecuteText(R"(
+    WHERE <customers><row><id>$id</id><name>$name</name><city>$city</city>
+          </row></customers> IN "crm:customers",
+          <orders><order cust=$id><total>$total</total></order></orders>
+          IN "feed:orders",
+          $total > 100
+    CONSTRUCT <big_order><name>$name</name><city>$city</city>
+               <total>$total</total></big_order>
+    ORDER BY $total DESC
+  )");
+  Check(result);
+
+  std::printf("== Result ==\n%s\n\n", ToPrettyXml(*result->document).c_str());
+  std::printf("== Physical plan ==\n%s\n", result->report.plan.c_str());
+  std::printf("== Report ==\n%s\n", result->report.Summary().c_str());
+  return 0;
+}

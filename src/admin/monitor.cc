@@ -1,0 +1,146 @@
+#include "admin/monitor.h"
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace admin {
+
+NodePtr SystemMonitor::StatusDocument() const {
+  NodePtr root = Node::Element("system_status");
+
+  NodePtr sources = root->AddChild(Node::Element("sources"));
+  for (const std::string& name : catalog_->SourceNames()) {
+    connector::Connector* source = catalog_->source(name);
+    NodePtr elem = sources->AddChild(Node::Element("source"));
+    elem->SetAttribute("name", Value::String(name));
+    elem->SetAttribute("online", Value::Bool(source->Ping().ok()));
+    connector::SourceCapabilities caps = source->capabilities();
+    elem->AddScalarChild("sql", Value::Bool(caps.supports_sql));
+    elem->AddScalarChild("predicates", Value::Bool(caps.supports_predicates));
+    elem->AddScalarChild(
+        "indexes", Value::Int(static_cast<int64_t>(caps.indexed_columns.size())));
+    elem->AddScalarChild("data_version",
+                         Value::Int(static_cast<int64_t>(source->DataVersion())));
+    const connector::FetchStats& stats = source->stats();
+    elem->AddScalarChild("calls", Value::Int(static_cast<int64_t>(stats.calls)));
+    elem->AddScalarChild("rows_shipped",
+                         Value::Int(static_cast<int64_t>(stats.rows_shipped)));
+    elem->AddScalarChild("latency_ms",
+                         Value::Double(stats.latency_micros / 1000.0));
+    std::vector<std::string> collections = source->Collections();
+    elem->AddScalarChild("collections",
+                         Value::String(Join(collections, ",")));
+  }
+
+  NodePtr views = root->AddChild(Node::Element("views"));
+  for (const std::string& name : catalog_->ViewNames()) {
+    const metadata::MediatedView* view = catalog_->view(name);
+    NodePtr elem = views->AddChild(Node::Element("view"));
+    elem->SetAttribute("name", Value::String(name));
+    elem->AddScalarChild("sources",
+                         Value::String(Join(view->source_dependencies, ",")));
+    if (!view->view_dependencies.empty()) {
+      elem->AddScalarChild("depends_on",
+                           Value::String(Join(view->view_dependencies, ",")));
+    }
+    if (!view->description.empty()) {
+      elem->AddScalarChild("description", Value::String(view->description));
+    }
+    if (views_ != nullptr) {
+      bool materialized = views_->IsMaterialized(name);
+      elem->AddScalarChild("materialized", Value::Bool(materialized));
+      if (materialized) {
+        elem->AddScalarChild("stale",
+                             Value::Bool(views_->IsStale(name).ValueOr(false)));
+        elem->AddScalarChild(
+            "age_ms", Value::Double(views_->AgeMicros(name).ValueOr(0) / 1000.0));
+      }
+    }
+  }
+
+  if (views_ != nullptr) {
+    NodePtr store = root->AddChild(Node::Element("view_store"));
+    store->AddScalarChild(
+        "serves", Value::Int(static_cast<int64_t>(views_->stats().serves)));
+    store->AddScalarChild(
+        "refreshes",
+        Value::Int(static_cast<int64_t>(views_->stats().refreshes)));
+    store->AddScalarChild(
+        "storage_nodes",
+        Value::Int(static_cast<int64_t>(views_->StorageCost())));
+  }
+
+  if (cache_ != nullptr) {
+    NodePtr cache = root->AddChild(Node::Element("result_cache"));
+    cache->AddScalarChild("entries",
+                          Value::Int(static_cast<int64_t>(cache_->size())));
+    cache->AddScalarChild("capacity",
+                          Value::Int(static_cast<int64_t>(cache_->capacity())));
+    cache->AddScalarChild("hit_rate",
+                          Value::Double(cache_->stats().HitRate()));
+    cache->AddScalarChild(
+        "evictions",
+        Value::Int(static_cast<int64_t>(cache_->stats().evictions)));
+  }
+
+  if (balancer_ != nullptr) {
+    NodePtr pool = root->AddChild(Node::Element("engine_pool"));
+    pool->SetAttribute("size",
+                       Value::Int(static_cast<int64_t>(balancer_->pool_size())));
+    std::vector<uint64_t> served = balancer_->QueriesPerEngine();
+    std::vector<int64_t> busy = balancer_->BusyMicrosPerEngine();
+    for (size_t i = 0; i < served.size(); ++i) {
+      NodePtr engine = pool->AddChild(Node::Element("engine"));
+      engine->SetAttribute("index", Value::Int(static_cast<int64_t>(i)));
+      engine->AddScalarChild("queries",
+                             Value::Int(static_cast<int64_t>(served[i])));
+      engine->AddScalarChild("busy_ms", Value::Double(busy[i] / 1000.0));
+    }
+  }
+  return root;
+}
+
+namespace {
+
+void RenderText(const Node& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.name());
+  for (const auto& [name, value] : node.attributes()) {
+    out->append(" " + name + "=" + value.ToString());
+  }
+  // Simple-content children render inline as key: value.
+  bool has_nested = false;
+  std::string inline_fields;
+  for (const NodePtr& child : node.children()) {
+    if (!child->is_element()) continue;
+    if (child->children().size() == 1 && child->children()[0]->is_text()) {
+      inline_fields +=
+          "  " + child->name() + ": " + child->ScalarValue().ToString();
+    } else {
+      has_nested = true;
+    }
+  }
+  out->append(inline_fields);
+  out->push_back('\n');
+  if (has_nested || !node.children().empty()) {
+    for (const NodePtr& child : node.children()) {
+      if (!child->is_element()) continue;
+      if (child->children().size() == 1 && child->children()[0]->is_text()) {
+        continue;  // already inlined
+      }
+      RenderText(*child, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string SystemMonitor::ToText() const {
+  NodePtr doc = StatusDocument();
+  std::string out;
+  RenderText(*doc, 0, &out);
+  return out;
+}
+
+}  // namespace admin
+}  // namespace nimble

@@ -1,0 +1,52 @@
+#ifndef NIMBLE_ADMIN_MONITOR_H_
+#define NIMBLE_ADMIN_MONITOR_H_
+
+#include <string>
+
+#include "frontend/load_balancer.h"
+#include "materialize/result_cache.h"
+#include "materialize/view_store.h"
+#include "metadata/catalog.h"
+
+namespace nimble {
+namespace admin {
+
+/// Management/monitoring surface (paper §4: "configuration and management
+/// tools that make it possible for administrators to set up, monitor, and
+/// understand, the system"; §2.1: "robust system management").
+///
+/// Composes the live components and renders a status document: sources
+/// (liveness, capabilities, transfer stats), mediated views and their
+/// dependencies, materializations (age/staleness), cache and engine-pool
+/// statistics. The XML form is machine-readable (it round-trips through
+/// the normal serializer); ToText() renders it for a terminal.
+class SystemMonitor {
+ public:
+  /// Only `catalog` is required; the others may be null.
+  explicit SystemMonitor(metadata::Catalog* catalog,
+                         materialize::MaterializedViewStore* views = nullptr,
+                         materialize::ResultCache* cache = nullptr,
+                         frontend::LoadBalancer* balancer = nullptr)
+      : catalog_(catalog),
+        views_(views),
+        cache_(cache),
+        balancer_(balancer) {}
+
+  /// Snapshot of the whole system as an XML document rooted at
+  /// `<system_status>`. Pings every source (cheap liveness probe).
+  NodePtr StatusDocument() const;
+
+  /// Terminal rendering of StatusDocument().
+  std::string ToText() const;
+
+ private:
+  metadata::Catalog* catalog_;
+  materialize::MaterializedViewStore* views_;
+  materialize::ResultCache* cache_;
+  frontend::LoadBalancer* balancer_;
+};
+
+}  // namespace admin
+}  // namespace nimble
+
+#endif  // NIMBLE_ADMIN_MONITOR_H_

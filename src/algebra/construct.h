@@ -1,0 +1,32 @@
+#ifndef NIMBLE_ALGEBRA_CONSTRUCT_H_
+#define NIMBLE_ALGEBRA_CONSTRUCT_H_
+
+#include <string>
+
+#include "algebra/operators.h"
+#include "algebra/tuple.h"
+#include "common/result.h"
+#include "xml/node.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace algebra {
+
+/// Instantiates a CONSTRUCT template for one binding tuple. Scalar
+/// variables become typed text; node-valued bindings are deep-cloned into
+/// place (ELEMENT_AS re-publication).
+Result<NodePtr> InstantiateTemplate(const xmlql::TemplateNode& tmpl,
+                                    const TupleSchema& schema,
+                                    const Tuple& tuple);
+
+/// Drains `plan` and instantiates the template per tuple, collecting the
+/// instances under a root element named `root_name`. This is the top of
+/// every physical plan.
+Result<NodePtr> ConstructResult(Operator* plan,
+                                const xmlql::TemplateNode& tmpl,
+                                const std::string& root_name = "results");
+
+}  // namespace algebra
+}  // namespace nimble
+
+#endif  // NIMBLE_ALGEBRA_CONSTRUCT_H_

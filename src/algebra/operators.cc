@@ -1,0 +1,455 @@
+#include "algebra/operators.h"
+
+#include <algorithm>
+#include <map>
+
+#include "relational/executor.h"  // for LikeMatch
+
+namespace nimble {
+namespace algebra {
+
+// ---- BoundCondition ---------------------------------------------------------
+
+Result<BoundCondition> BoundCondition::Bind(const xmlql::Condition& condition,
+                                            const TupleSchema& schema) {
+  BoundCondition bound;
+  bound.op = condition.op;
+  if (condition.lhs.is_variable) {
+    std::optional<size_t> slot = schema.SlotOf(condition.lhs.variable);
+    if (!slot.has_value()) {
+      return Status::InvalidArgument("unbound variable $" +
+                                     condition.lhs.variable);
+    }
+    bound.lhs_slot = static_cast<int>(*slot);
+  } else {
+    bound.lhs_literal = condition.lhs.literal;
+  }
+  if (condition.rhs.is_variable) {
+    std::optional<size_t> slot = schema.SlotOf(condition.rhs.variable);
+    if (!slot.has_value()) {
+      return Status::InvalidArgument("unbound variable $" +
+                                     condition.rhs.variable);
+    }
+    bound.rhs_slot = static_cast<int>(*slot);
+  } else {
+    bound.rhs_literal = condition.rhs.literal;
+  }
+  return bound;
+}
+
+bool BoundCondition::Evaluate(const Tuple& tuple) const {
+  Value lhs = lhs_slot >= 0 ? tuple[static_cast<size_t>(lhs_slot)].AsScalar()
+                            : lhs_literal;
+  Value rhs = rhs_slot >= 0 ? tuple[static_cast<size_t>(rhs_slot)].AsScalar()
+                            : rhs_literal;
+  if (op == xmlql::Condition::Op::kLike) {
+    return relational::LikeMatch(lhs.ToString(), rhs.ToString());
+  }
+  if (lhs.is_null() || rhs.is_null()) return false;
+  int cmp = lhs.Compare(rhs);
+  switch (op) {
+    case xmlql::Condition::Op::kEq:
+      return cmp == 0;
+    case xmlql::Condition::Op::kNe:
+      return cmp != 0;
+    case xmlql::Condition::Op::kLt:
+      return cmp < 0;
+    case xmlql::Condition::Op::kLe:
+      return cmp <= 0;
+    case xmlql::Condition::Op::kGt:
+      return cmp > 0;
+    case xmlql::Condition::Op::kGe:
+      return cmp >= 0;
+    case xmlql::Condition::Op::kLike:
+      return false;  // handled above
+  }
+  return false;
+}
+
+// ---- Operator ----------------------------------------------------------------
+
+std::string Operator::Describe(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += label();
+  out += " " + schema().ToString() + "\n";
+  for (const Operator* child : children_views_) {
+    out += child->Describe(indent + 1);
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Operator::Drain() {
+  NIMBLE_RETURN_IF_ERROR(Open());
+  std::vector<Tuple> out;
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, Next());
+    if (!tuple.has_value()) break;
+    out.push_back(std::move(*tuple));
+  }
+  Close();
+  return out;
+}
+
+// ---- MaterializedScan ---------------------------------------------------------
+
+MaterializedScan::MaterializedScan(TupleSchema schema,
+                                   std::vector<Tuple> tuples,
+                                   std::string source_label)
+    : schema_(std::move(schema)),
+      tuples_(std::move(tuples)),
+      source_label_(std::move(source_label)) {}
+
+Result<std::optional<Tuple>> MaterializedScan::Next() {
+  if (position_ >= tuples_.size()) return std::optional<Tuple>{};
+  return std::optional<Tuple>(tuples_[position_++]);
+}
+
+std::string MaterializedScan::label() const {
+  return "Scan(" + source_label_ + ", " + std::to_string(tuples_.size()) +
+         " tuples)";
+}
+
+// ---- Filter --------------------------------------------------------------------
+
+Filter::Filter(std::unique_ptr<Operator> child,
+               std::vector<BoundCondition> conds)
+    : child_(std::move(child)), conditions_(std::move(conds)) {
+  children_views_.push_back(child_.get());
+}
+
+Result<std::optional<Tuple>> Filter::Next() {
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, child_->Next());
+    if (!tuple.has_value()) return tuple;
+    bool pass = true;
+    for (const BoundCondition& cond : conditions_) {
+      if (!cond.Evaluate(*tuple)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return tuple;
+  }
+}
+
+std::string Filter::label() const {
+  return "Filter(" + std::to_string(conditions_.size()) + " conds)";
+}
+
+// ---- HashJoin -------------------------------------------------------------------
+
+HashJoin::HashJoin(std::unique_ptr<Operator> left,
+                   std::unique_ptr<Operator> right)
+    : left_(std::move(left)), right_(std::move(right)) {
+  children_views_.push_back(left_.get());
+  children_views_.push_back(right_.get());
+  schema_ = left_->schema().Merge(right_->schema());
+  for (const std::string& var : left_->schema().variables()) {
+    std::optional<size_t> right_slot = right_->schema().SlotOf(var);
+    if (right_slot.has_value()) {
+      join_variables_.push_back(var);
+      left_key_slots_.push_back(*left_->schema().SlotOf(var));
+      right_key_slots_.push_back(*right_slot);
+    }
+  }
+  for (const std::string& var : right_->schema().variables()) {
+    right_output_slots_.push_back(*schema_.SlotOf(var));
+  }
+}
+
+Status HashJoin::Open() {
+  NIMBLE_RETURN_IF_ERROR(left_->Open());
+  // Build side: drain right into hash buckets.
+  constexpr size_t kBuckets = 1024;
+  hash_buckets_.assign(kBuckets, {});
+  NIMBLE_RETURN_IF_ERROR(right_->Open());
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, right_->Next());
+    if (!tuple.has_value()) break;
+    size_t bucket = HashSlots(*tuple, right_key_slots_) % kBuckets;
+    hash_buckets_[bucket].push_back(std::move(*tuple));
+  }
+  right_->Close();
+  current_left_.reset();
+  current_bucket_ = nullptr;
+  bucket_pos_ = 0;
+  return Status::OK();
+}
+
+Tuple HashJoin::Combine(const Tuple& left, const Tuple& right) const {
+  Tuple out(schema_.size());
+  for (size_t i = 0; i < left.size(); ++i) out[i] = left[i];
+  for (size_t i = 0; i < right.size(); ++i) {
+    out[right_output_slots_[i]] = right[i];
+  }
+  return out;
+}
+
+Result<std::optional<Tuple>> HashJoin::Next() {
+  while (true) {
+    if (current_left_.has_value() && current_bucket_ != nullptr) {
+      while (bucket_pos_ < current_bucket_->size()) {
+        const Tuple& candidate = (*current_bucket_)[bucket_pos_++];
+        if (SlotsEqual(*current_left_, left_key_slots_, candidate,
+                       right_key_slots_)) {
+          return std::optional<Tuple>(Combine(*current_left_, candidate));
+        }
+      }
+    }
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> left, left_->Next());
+    if (!left.has_value()) return std::optional<Tuple>{};
+    current_left_ = std::move(left);
+    size_t bucket =
+        HashSlots(*current_left_, left_key_slots_) % hash_buckets_.size();
+    current_bucket_ = &hash_buckets_[bucket];
+    bucket_pos_ = 0;
+  }
+}
+
+void HashJoin::Close() {
+  left_->Close();
+  hash_buckets_.clear();
+}
+
+std::string HashJoin::label() const {
+  std::string vars;
+  for (size_t i = 0; i < join_variables_.size(); ++i) {
+    if (i > 0) vars += ",";
+    vars += "$" + join_variables_[i];
+  }
+  return "HashJoin(" + vars + ")";
+}
+
+// ---- NestedLoopJoin -----------------------------------------------------------
+
+NestedLoopJoin::NestedLoopJoin(std::unique_ptr<Operator> left,
+                               std::unique_ptr<Operator> right,
+                               std::vector<BoundCondition> conditions)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      conditions_(std::move(conditions)) {
+  children_views_.push_back(left_.get());
+  children_views_.push_back(right_.get());
+  schema_ = left_->schema().Merge(right_->schema());
+  for (const std::string& var : right_->schema().variables()) {
+    right_output_slots_.push_back(*schema_.SlotOf(var));
+  }
+}
+
+Status NestedLoopJoin::Open() {
+  NIMBLE_RETURN_IF_ERROR(left_->Open());
+  NIMBLE_ASSIGN_OR_RETURN(right_rows_, right_->Drain());
+  current_left_.reset();
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Tuple NestedLoopJoin::Combine(const Tuple& left, const Tuple& right) const {
+  Tuple out(schema_.size());
+  for (size_t i = 0; i < left.size(); ++i) out[i] = left[i];
+  for (size_t i = 0; i < right.size(); ++i) {
+    out[right_output_slots_[i]] = right[i];
+  }
+  return out;
+}
+
+Result<std::optional<Tuple>> NestedLoopJoin::Next() {
+  while (true) {
+    if (current_left_.has_value()) {
+      while (right_pos_ < right_rows_.size()) {
+        Tuple combined = Combine(*current_left_, right_rows_[right_pos_++]);
+        bool pass = true;
+        for (const BoundCondition& cond : conditions_) {
+          if (!cond.Evaluate(combined)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) return std::optional<Tuple>(std::move(combined));
+      }
+    }
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> left, left_->Next());
+    if (!left.has_value()) return std::optional<Tuple>{};
+    current_left_ = std::move(left);
+    right_pos_ = 0;
+  }
+}
+
+void NestedLoopJoin::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+// ---- Sort -----------------------------------------------------------------------
+
+Sort::Sort(std::unique_ptr<Operator> child, std::vector<Key> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {
+  children_views_.push_back(child_.get());
+}
+
+Status Sort::Open() {
+  NIMBLE_ASSIGN_OR_RETURN(sorted_, child_->Drain());
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     for (const Key& key : keys_) {
+                       int cmp = a[key.slot].AsScalar().Compare(
+                           b[key.slot].AsScalar());
+                       if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+                     }
+                     return false;
+                   });
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> Sort::Next() {
+  if (position_ >= sorted_.size()) return std::optional<Tuple>{};
+  return std::optional<Tuple>(sorted_[position_++]);
+}
+
+void Sort::Close() { sorted_.clear(); }
+
+// ---- Limit ----------------------------------------------------------------------
+
+Limit::Limit(std::unique_ptr<Operator> child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  children_views_.push_back(child_.get());
+}
+
+Result<std::optional<Tuple>> Limit::Next() {
+  if (emitted_ >= limit_) return std::optional<Tuple>{};
+  NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, child_->Next());
+  if (tuple.has_value()) ++emitted_;
+  return tuple;
+}
+
+std::string Limit::label() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+// ---- HashAggregate -------------------------------------------------------------
+
+HashAggregate::HashAggregate(std::unique_ptr<Operator> child,
+                             std::vector<std::string> group_variables,
+                             std::vector<Spec> specs)
+    : child_(std::move(child)),
+      group_variables_(std::move(group_variables)),
+      specs_(std::move(specs)) {
+  children_views_.push_back(child_.get());
+  for (const std::string& var : group_variables_) schema_.AddVariable(var);
+  for (const Spec& spec : specs_) schema_.AddVariable(spec.output_variable);
+}
+
+Status HashAggregate::Open() {
+  NIMBLE_ASSIGN_OR_RETURN(std::vector<Tuple> input, child_->Drain());
+
+  std::vector<size_t> group_slots;
+  for (const std::string& var : group_variables_) {
+    std::optional<size_t> slot = child_->schema().SlotOf(var);
+    if (!slot.has_value()) {
+      return Status::InvalidArgument("group variable $" + var + " not bound");
+    }
+    group_slots.push_back(*slot);
+  }
+  std::vector<int> input_slots;
+  for (const Spec& spec : specs_) {
+    if (spec.fn == Fn::kCount && spec.input_variable.empty()) {
+      input_slots.push_back(-1);
+      continue;
+    }
+    std::optional<size_t> slot = child_->schema().SlotOf(spec.input_variable);
+    if (!slot.has_value()) {
+      return Status::InvalidArgument("aggregate input $" +
+                                     spec.input_variable + " not bound");
+    }
+    input_slots.push_back(static_cast<int>(*slot));
+  }
+
+  // Group rows. Keys ordered by first appearance.
+  struct GroupState {
+    std::vector<const Tuple*> rows;
+  };
+  std::map<std::vector<std::string>, GroupState> groups;  // serialized keys
+  std::vector<std::vector<std::string>> order;
+  std::map<std::vector<std::string>, Tuple> key_tuples;
+  for (const Tuple& tuple : input) {
+    std::vector<std::string> key;
+    key.reserve(group_slots.size());
+    for (size_t slot : group_slots) {
+      key.push_back(tuple[slot].AsScalar().ToString() + "\x1f" +
+                    ValueTypeName(tuple[slot].AsScalar().type()));
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      order.push_back(key);
+      Tuple key_tuple;
+      for (size_t slot : group_slots) key_tuple.push_back(tuple[slot]);
+      key_tuples[key] = std::move(key_tuple);
+    }
+    it->second.rows.push_back(&tuple);
+  }
+
+  results_.clear();
+  for (const std::vector<std::string>& key : order) {
+    const GroupState& group = groups[key];
+    Tuple out(schema_.size());
+    const Tuple& key_tuple = key_tuples[key];
+    for (size_t i = 0; i < key_tuple.size(); ++i) out[i] = key_tuple[i];
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const Spec& spec = specs_[s];
+      size_t out_slot = *schema_.SlotOf(spec.output_variable);
+      int in_slot = input_slots[s];
+      int64_t count = 0;
+      double sum = 0;
+      bool any = false;
+      Value min_v, max_v;
+      for (const Tuple* row : group.rows) {
+        Value v = in_slot < 0 ? Value::Int(1)
+                              : (*row)[static_cast<size_t>(in_slot)].AsScalar();
+        if (in_slot >= 0 && v.is_null()) continue;
+        ++count;
+        if (v.is_numeric()) sum += v.NumericValue();
+        if (!any) {
+          min_v = v;
+          max_v = v;
+          any = true;
+        } else {
+          if (v.Compare(min_v) < 0) min_v = v;
+          if (v.Compare(max_v) > 0) max_v = v;
+        }
+      }
+      switch (spec.fn) {
+        case Fn::kCount:
+          out[out_slot] = Binding{Value::Int(count)};
+          break;
+        case Fn::kSum:
+          out[out_slot] = Binding{any ? Value::Double(sum) : Value::Null()};
+          break;
+        case Fn::kMin:
+          out[out_slot] = Binding{any ? min_v : Value::Null()};
+          break;
+        case Fn::kMax:
+          out[out_slot] = Binding{any ? max_v : Value::Null()};
+          break;
+        case Fn::kAvg:
+          out[out_slot] =
+              Binding{any ? Value::Double(sum / static_cast<double>(count))
+                          : Value::Null()};
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> HashAggregate::Next() {
+  if (position_ >= results_.size()) return std::optional<Tuple>{};
+  return std::optional<Tuple>(results_[position_++]);
+}
+
+void HashAggregate::Close() { results_.clear(); }
+
+}  // namespace algebra
+}  // namespace nimble

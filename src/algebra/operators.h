@@ -1,0 +1,241 @@
+#ifndef NIMBLE_ALGEBRA_OPERATORS_H_
+#define NIMBLE_ALGEBRA_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/tuple.h"
+#include "common/result.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace algebra {
+
+/// A condition with variable references resolved to tuple slots.
+struct BoundCondition {
+  xmlql::Condition::Op op = xmlql::Condition::Op::kEq;
+  int lhs_slot = -1;  ///< -1 means literal.
+  Value lhs_literal;
+  int rhs_slot = -1;
+  Value rhs_literal;
+
+  /// Resolves a parsed condition against `schema`.
+  static Result<BoundCondition> Bind(const xmlql::Condition& condition,
+                                     const TupleSchema& schema);
+
+  bool Evaluate(const Tuple& tuple) const;
+};
+
+/// Volcano-style iterator. Open() may do bulk work (builds, sorts);
+/// Next() yields tuples until nullopt. Operators own their children.
+///
+/// The paper deliberately ships only a *physical* algebra (§3.1): query
+/// plans are built directly in terms of these operators, with no logical
+/// algebra in between.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const TupleSchema& schema() const = 0;
+  virtual Status Open() = 0;
+  virtual Result<std::optional<Tuple>> Next() = 0;
+  virtual void Close() = 0;
+
+  /// Operator name plus parameters, e.g. "HashJoin($id)".
+  virtual std::string label() const = 0;
+
+  /// Indented plan tree rendering (for EXPLAIN-style output).
+  std::string Describe(int indent = 0) const;
+
+  /// Drains the operator: Open, collect all tuples, Close.
+  Result<std::vector<Tuple>> Drain();
+
+ protected:
+  std::vector<const Operator*> children_views_;  ///< for Describe only.
+};
+
+/// Leaf yielding a pre-materialized tuple vector (the output of pattern
+/// matching a fetched collection, or of a pushed-down SQL fragment).
+class MaterializedScan : public Operator {
+ public:
+  MaterializedScan(TupleSchema schema, std::vector<Tuple> tuples,
+                   std::string source_label = "materialized");
+
+  const TupleSchema& schema() const override { return schema_; }
+  Status Open() override {
+    position_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override {}
+  std::string label() const override;
+
+ private:
+  TupleSchema schema_;
+  std::vector<Tuple> tuples_;
+  size_t position_ = 0;
+  std::string source_label_;
+};
+
+/// σ: drops tuples failing any bound condition.
+class Filter : public Operator {
+ public:
+  Filter(std::unique_ptr<Operator> child, std::vector<BoundCondition> conds);
+
+  const TupleSchema& schema() const override { return child_->schema(); }
+  Status Open() override { return child_->Open(); }
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override { child_->Close(); }
+  std::string label() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<BoundCondition> conditions_;
+};
+
+/// ⋈: hash join on the variables shared between the two inputs (natural
+/// join over variable names — XML-QL joins are expressed by repeating a
+/// variable across patterns). Builds on the right input.
+class HashJoin : public Operator {
+ public:
+  HashJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right);
+
+  const TupleSchema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override;
+  std::string label() const override;
+
+  const std::vector<std::string>& join_variables() const {
+    return join_variables_;
+  }
+
+ private:
+  Tuple Combine(const Tuple& left, const Tuple& right) const;
+
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  TupleSchema schema_;
+  std::vector<std::string> join_variables_;
+  std::vector<size_t> left_key_slots_;
+  std::vector<size_t> right_key_slots_;
+  /// right-slot → output-slot mapping.
+  std::vector<size_t> right_output_slots_;
+
+  std::vector<std::vector<Tuple>> hash_buckets_;
+  std::optional<Tuple> current_left_;
+  const std::vector<Tuple>* current_bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// Nested-loop join for inputs with no shared variables (cartesian) or
+/// with extra non-equi conditions. Right side is materialized on Open.
+class NestedLoopJoin : public Operator {
+ public:
+  NestedLoopJoin(std::unique_ptr<Operator> left,
+                 std::unique_ptr<Operator> right,
+                 std::vector<BoundCondition> conditions_on_output);
+
+  const TupleSchema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override;
+  std::string label() const override { return "NestedLoopJoin"; }
+
+ private:
+  Tuple Combine(const Tuple& left, const Tuple& right) const;
+
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  TupleSchema schema_;
+  std::vector<size_t> right_output_slots_;
+  std::vector<BoundCondition> conditions_;
+  std::vector<Tuple> right_rows_;
+  std::optional<Tuple> current_left_;
+  size_t right_pos_ = 0;
+};
+
+/// Sort by variables (stable; document order preserved among equals —
+/// XML ordering, §4).
+class Sort : public Operator {
+ public:
+  struct Key {
+    size_t slot;
+    bool descending;
+  };
+
+  Sort(std::unique_ptr<Operator> child, std::vector<Key> keys);
+
+  const TupleSchema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override;
+  std::string label() const override { return "Sort"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<Key> keys_;
+  std::vector<Tuple> sorted_;
+  size_t position_ = 0;
+};
+
+/// Emits at most `limit` tuples.
+class Limit : public Operator {
+ public:
+  Limit(std::unique_ptr<Operator> child, size_t limit);
+
+  const TupleSchema& schema() const override { return child_->schema(); }
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override { child_->Close(); }
+  std::string label() const override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+/// γ: hash aggregation. Groups by `group_variables`, computes one
+/// aggregate per spec into a fresh output variable. Not reachable from the
+/// XML-QL surface subset but part of the physical algebra (the paper's
+/// engine is "equivalent to a standard SQL query engine", §4) and used by
+/// the frontend and benchmarks.
+class HashAggregate : public Operator {
+ public:
+  enum class Fn { kCount, kSum, kMin, kMax, kAvg };
+
+  struct Spec {
+    Fn fn;
+    std::string input_variable;   ///< ignored for kCount.
+    std::string output_variable;
+  };
+
+  HashAggregate(std::unique_ptr<Operator> child,
+                std::vector<std::string> group_variables,
+                std::vector<Spec> specs);
+
+  const TupleSchema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<std::optional<Tuple>> Next() override;
+  void Close() override;
+  std::string label() const override { return "HashAggregate"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> group_variables_;
+  std::vector<Spec> specs_;
+  TupleSchema schema_;
+  std::vector<Tuple> results_;
+  size_t position_ = 0;
+};
+
+}  // namespace algebra
+}  // namespace nimble
+
+#endif  // NIMBLE_ALGEBRA_OPERATORS_H_

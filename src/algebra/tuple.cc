@@ -1,0 +1,81 @@
+#include "algebra/tuple.h"
+
+namespace nimble {
+namespace algebra {
+
+Value Binding::AsScalar() const {
+  switch (kind_) {
+    case Kind::kUnset:
+      return Value::Null();
+    case Kind::kScalar:
+      return scalar_;
+    case Kind::kNode:
+      return node_->ScalarValue();
+  }
+  return Value::Null();
+}
+
+bool Binding::EqualsForJoin(const Binding& other) const {
+  if (is_unset() || other.is_unset()) return false;
+  if (is_node() && other.is_node()) {
+    // Two node bindings unify when structurally equal.
+    return node_->DeepEquals(*other.node_);
+  }
+  Value a = AsScalar();
+  Value b = other.AsScalar();
+  // SQL-style semantics: null never equi-joins, not even with null.
+  if (a.is_null() || b.is_null()) return false;
+  return a == b;
+}
+
+std::optional<size_t> TupleSchema::SlotOf(const std::string& variable) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == variable) return i;
+  }
+  return std::nullopt;
+}
+
+size_t TupleSchema::AddVariable(const std::string& variable) {
+  std::optional<size_t> slot = SlotOf(variable);
+  if (slot.has_value()) return *slot;
+  variables_.push_back(variable);
+  return variables_.size() - 1;
+}
+
+TupleSchema TupleSchema::Merge(const TupleSchema& other) const {
+  TupleSchema merged = *this;
+  for (const std::string& var : other.variables_) {
+    merged.AddVariable(var);
+  }
+  return merged;
+}
+
+std::string TupleSchema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + variables_[i];
+  }
+  return out + "]";
+}
+
+size_t HashSlots(const Tuple& tuple, const std::vector<size_t>& slots) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (size_t slot : slots) {
+    h ^= tuple[slot].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool SlotsEqual(const Tuple& a, const std::vector<size_t>& slots_a,
+                const Tuple& b, const std::vector<size_t>& slots_b) {
+  if (slots_a.size() != slots_b.size()) return false;
+  for (size_t i = 0; i < slots_a.size(); ++i) {
+    if (!a[slots_a[i]].EqualsForJoin(b[slots_b[i]])) return false;
+  }
+  return true;
+}
+
+}  // namespace algebra
+}  // namespace nimble

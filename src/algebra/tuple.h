@@ -1,0 +1,92 @@
+#ifndef NIMBLE_ALGEBRA_TUPLE_H_
+#define NIMBLE_ALGEBRA_TUPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace algebra {
+
+/// One variable binding: unset, a typed scalar, or an XML node (bound via
+/// ELEMENT_AS). The physical algebra flows tuples of bindings between
+/// operators — this is the "slightly more structured" representation the
+/// paper's algebra operates on (§3.1): relational rows and tree fragments
+/// share one runtime value type.
+class Binding {
+ public:
+  Binding() : kind_(Kind::kUnset) {}
+  explicit Binding(Value scalar)
+      : kind_(Kind::kScalar), scalar_(std::move(scalar)) {}
+  explicit Binding(NodePtr node)
+      : kind_(Kind::kNode), node_(std::move(node)) {}
+
+  bool is_unset() const { return kind_ == Kind::kUnset; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_node() const { return kind_ == Kind::kNode; }
+
+  const Value& scalar() const { return scalar_; }
+  const NodePtr& node() const { return node_; }
+
+  /// Scalar view: scalars pass through; nodes yield their ScalarValue();
+  /// unset yields null. Used by predicates, sorts and joins.
+  Value AsScalar() const;
+
+  /// Equality for unification and join keys: scalar-to-scalar compares
+  /// values (node bindings compare by ScalarValue too, so a node can join
+  /// with a scalar).
+  bool EqualsForJoin(const Binding& other) const;
+
+  size_t Hash() const { return AsScalar().Hash(); }
+
+ private:
+  enum class Kind { kUnset, kScalar, kNode };
+  Kind kind_;
+  Value scalar_;
+  NodePtr node_;
+};
+
+/// A tuple of bindings, positionally aligned with a TupleSchema.
+using Tuple = std::vector<Binding>;
+
+/// Maps variable names to tuple slots.
+class TupleSchema {
+ public:
+  TupleSchema() = default;
+  explicit TupleSchema(std::vector<std::string> variables)
+      : variables_(std::move(variables)) {}
+
+  const std::vector<std::string>& variables() const { return variables_; }
+  size_t size() const { return variables_.size(); }
+
+  std::optional<size_t> SlotOf(const std::string& variable) const;
+
+  /// Adds `variable` if absent; returns its slot either way.
+  size_t AddVariable(const std::string& variable);
+
+  /// Schema with this schema's variables followed by `other`'s variables
+  /// that are not already present (join output shape).
+  TupleSchema Merge(const TupleSchema& other) const;
+
+  bool operator==(const TupleSchema& other) const {
+    return variables_ == other.variables_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> variables_;
+};
+
+/// Hash/equality over the scalar views of selected slots (join keys).
+size_t HashSlots(const Tuple& tuple, const std::vector<size_t>& slots);
+bool SlotsEqual(const Tuple& a, const std::vector<size_t>& slots_a,
+                const Tuple& b, const std::vector<size_t>& slots_b);
+
+}  // namespace algebra
+}  // namespace nimble
+
+#endif  // NIMBLE_ALGEBRA_TUPLE_H_

@@ -1,0 +1,161 @@
+#include "cleaning/concordance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+std::optional<ConcordanceEntry> ConcordanceDatabase::Lookup(
+    const std::string& id_a, const std::string& id_b) const {
+  auto it = entries_.find(Key(id_a, id_b));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ConcordanceDatabase::RecordAutomatic(const std::string& id_a,
+                                          const std::string& id_b,
+                                          MatchDecision decision,
+                                          double score) {
+  auto key = Key(id_a, id_b);
+  auto it = entries_.find(key);
+  // Human decisions are never overwritten by automatic ones.
+  if (it != entries_.end() && it->second.source == DecisionSource::kHuman) {
+    return;
+  }
+  entries_[key] = ConcordanceEntry{decision, DecisionSource::kAutomatic,
+                                   score};
+}
+
+Status ConcordanceDatabase::RecordHuman(const std::string& id_a,
+                                        const std::string& id_b,
+                                        bool is_match) {
+  auto key = Key(id_a, id_b);
+  entries_[key] = ConcordanceEntry{
+      is_match ? MatchDecision::kMatch : MatchDecision::kNonMatch,
+      DecisionSource::kHuman, is_match ? 1.0 : 0.0};
+  // Clear any matching queued exception.
+  exceptions_.erase(
+      std::remove_if(exceptions_.begin(), exceptions_.end(),
+                     [&](const auto& e) { return e.first == key; }),
+      exceptions_.end());
+  return Status::OK();
+}
+
+void ConcordanceDatabase::QueueException(const std::string& id_a,
+                                         const std::string& id_b,
+                                         double score) {
+  auto key = Key(id_a, id_b);
+  for (const auto& [existing, existing_score] : exceptions_) {
+    if (existing == key) return;  // already queued
+  }
+  exceptions_.emplace_back(key, score);
+}
+
+std::vector<std::pair<std::string, std::string>>
+ConcordanceDatabase::PendingExceptions() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(exceptions_.size());
+  for (const auto& [key, score] : exceptions_) out.push_back(key);
+  return out;
+}
+
+std::string ConcordanceDatabase::Serialize() const {
+  // Format: "E\tid_a\tid_b\tdecision\tsource\tscore" per entry,
+  //         "X\tid_a\tid_b\tscore" per pending exception.
+  std::string out;
+  for (const auto& [key, entry] : entries_) {
+    out += "E\t" + key.first + "\t" + key.second + "\t" +
+           std::to_string(static_cast<int>(entry.decision)) + "\t" +
+           std::to_string(static_cast<int>(entry.source)) + "\t" +
+           std::to_string(entry.score) + "\n";
+  }
+  for (const auto& [key, score] : exceptions_) {
+    out += "X\t" + key.first + "\t" + key.second + "\t" +
+           std::to_string(score) + "\n";
+  }
+  return out;
+}
+
+Status ConcordanceDatabase::Deserialize(const std::string& data) {
+  size_t line_number = 0;
+  for (const std::string& line : Split(data, '\n')) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    auto bad = [&]() {
+      return Status::ParseError("bad concordance line " +
+                                std::to_string(line_number));
+    };
+    if (fields[0] == "E") {
+      if (fields.size() != 6) return bad();
+      ConcordanceEntry entry;
+      int decision = std::atoi(fields[3].c_str());
+      int source = std::atoi(fields[4].c_str());
+      if (decision < 0 || decision > 2 || source < 0 || source > 1) {
+        return bad();
+      }
+      entry.decision = static_cast<MatchDecision>(decision);
+      entry.source = static_cast<DecisionSource>(source);
+      entry.score = std::strtod(fields[5].c_str(), nullptr);
+      auto key = Key(fields[1], fields[2]);
+      auto it = entries_.find(key);
+      // Merge rule: an existing human decision yields only to another
+      // human decision.
+      bool existing_human = it != entries_.end() &&
+                            it->second.source == DecisionSource::kHuman;
+      bool incoming_human = entry.source == DecisionSource::kHuman;
+      if (!existing_human || incoming_human) {
+        entries_[key] = entry;
+      }
+    } else if (fields[0] == "X") {
+      if (fields.size() != 4) return bad();
+      QueueException(fields[1], fields[2],
+                     std::strtod(fields[3].c_str(), nullptr));
+    } else {
+      return bad();
+    }
+  }
+  return Status::OK();
+}
+
+Status ConcordanceDatabase::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << Serialize();
+  return out.good() ? Status::OK()
+                    : Status::Internal("write to '" + path + "' failed");
+}
+
+Status ConcordanceDatabase::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+Result<std::pair<std::string, std::string>>
+ConcordanceDatabase::ResolveNextException(bool is_match) {
+  if (exceptions_.empty()) {
+    return Status::NotFound("no pending exceptions");
+  }
+  std::pair<std::string, std::string> key = exceptions_.front().first;
+  NIMBLE_RETURN_IF_ERROR(RecordHuman(key.first, key.second, is_match));
+  return key;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

@@ -1,0 +1,102 @@
+#ifndef NIMBLE_CLEANING_CONCORDANCE_H_
+#define NIMBLE_CLEANING_CONCORDANCE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cleaning/matcher.h"
+#include "common/result.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// Who made a match determination.
+enum class DecisionSource { kAutomatic, kHuman };
+
+/// One stored determination about a record pair.
+struct ConcordanceEntry {
+  MatchDecision decision = MatchDecision::kNonMatch;
+  DecisionSource source = DecisionSource::kAutomatic;
+  double score = 0;  ///< matcher score at determination time (if any).
+};
+
+/// The paper's concordance database (§3.2): "a separate data store that is
+/// created to serve to match records from two or more different original
+/// data sources". Stores per-pair determinations keyed by record ids, so
+/// that "past human decisions are reapplied" and expensive matching is
+/// short-circuited on later runs; ambiguous pairs queue as exceptions for
+/// a human.
+class ConcordanceDatabase {
+ public:
+  ConcordanceDatabase() = default;
+
+  /// Looks up a stored determination (order-insensitive on the pair).
+  std::optional<ConcordanceEntry> Lookup(const std::string& id_a,
+                                         const std::string& id_b) const;
+
+  /// Records an automatic determination.
+  void RecordAutomatic(const std::string& id_a, const std::string& id_b,
+                       MatchDecision decision, double score);
+
+  /// Records a human determination (always wins over automatic ones).
+  /// kPossible is not a valid human decision.
+  Status RecordHuman(const std::string& id_a, const std::string& id_b,
+                     bool is_match);
+
+  /// Queues a pair needing human review (trapped exception).
+  void QueueException(const std::string& id_a, const std::string& id_b,
+                      double score);
+
+  /// Pending exceptions, oldest first.
+  std::vector<std::pair<std::string, std::string>> PendingExceptions() const;
+  size_t pending_exception_count() const { return exceptions_.size(); }
+
+  /// Resolves the oldest pending exception with a human decision; returns
+  /// the pair resolved, or NotFound when the queue is empty.
+  Result<std::pair<std::string, std::string>> ResolveNextException(
+      bool is_match);
+
+  size_t size() const { return entries_.size(); }
+
+  /// Serializes every determination (one tab-separated line per pair) so
+  /// the concordance survives process restarts — it is "a separate data
+  /// store" (§3.2), not session state. Pending exceptions are included.
+  std::string Serialize() const;
+
+  /// Restores a store serialized by Serialize(), merging into this one
+  /// (human entries in the input win over existing automatic ones).
+  Status Deserialize(const std::string& data);
+
+  /// File convenience wrappers around Serialize/Deserialize.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  /// Lookup traffic counters — the E4/A2 ablation evidence (a warm
+  /// concordance turns repeat matching into hits).
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  static std::pair<std::string, std::string> Key(const std::string& a,
+                                                 const std::string& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::map<std::pair<std::string, std::string>, ConcordanceEntry> entries_;
+  std::vector<std::pair<std::pair<std::string, std::string>, double>>
+      exceptions_;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_CONCORDANCE_H_

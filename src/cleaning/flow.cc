@@ -1,0 +1,129 @@
+#include "cleaning/flow.h"
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+CleaningFlow& CleaningFlow::NormalizeField(const std::string& field,
+                                           NormalizerPipeline pipeline) {
+  normalize_steps_.push_back(NormalizeStep{field, std::move(pipeline)});
+  return *this;
+}
+
+CleaningFlow& CleaningFlow::Deduplicate(std::shared_ptr<RecordMatcher> matcher,
+                                        MergePurgeOptions options) {
+  dedup_step_ = DedupStep{std::move(matcher), std::move(options)};
+  return *this;
+}
+
+Result<FlowOutput> CleaningFlow::Run(std::vector<KeyedRecord> input,
+                                     LineageLog* lineage) const {
+  FlowOutput output;
+
+  // Normalization steps.
+  for (const NormalizeStep& step : normalize_steps_) {
+    for (KeyedRecord& record : input) {
+      auto it = record.fields.find(step.field);
+      if (it == record.fields.end() || it->second.is_null()) continue;
+      std::string before = it->second.ToString();
+      std::string after = step.pipeline.Apply(before);
+      if (after != before) {
+        if (lineage != nullptr) {
+          lineage->Record(record.id, step.field, "normalize:" + step.field,
+                          it->second, Value::String(after));
+        }
+        it->second = Value::String(after);
+        ++output.values_normalized;
+      }
+    }
+  }
+
+  // Deduplication step.
+  if (dedup_step_.has_value()) {
+    NIMBLE_ASSIGN_OR_RETURN(
+        MergePurgeResult merged,
+        MergePurge(input, *dedup_step_->matcher, dedup_step_->options));
+    std::vector<KeyedRecord> fused;
+    fused.reserve(merged.clusters.size());
+    for (const std::vector<size_t>& cluster : merged.clusters) {
+      KeyedRecord out;
+      out.id = input[cluster.front()].id;
+      out.fields = FuseCluster(input, cluster);
+      if (cluster.size() > 1 && lineage != nullptr) {
+        std::string members;
+        for (size_t i = 0; i < cluster.size(); ++i) {
+          if (i > 0) members += ",";
+          members += input[cluster[i]].id;
+        }
+        lineage->Record(out.id, "*", "merge", Value::String(members),
+                        Value::String(out.id));
+      }
+      fused.push_back(std::move(out));
+    }
+    output.merge_stats = std::move(merged);
+    output.records = std::move(fused);
+  } else {
+    output.records = std::move(input);
+  }
+  return output;
+}
+
+std::string CleaningFlow::Describe() const {
+  std::string out = "flow " + name_ + ":\n";
+  int step_number = 1;
+  for (const NormalizeStep& step : normalize_steps_) {
+    out += "  " + std::to_string(step_number++) + ". normalize(" +
+           step.field + ": " + Join(step.pipeline.StepNames(), " | ") + ")\n";
+  }
+  if (dedup_step_.has_value()) {
+    const MergePurgeOptions& options = dedup_step_->options;
+    out += "  " + std::to_string(step_number++) + ". deduplicate(strategy=" +
+           (options.strategy == MatchStrategy::kNaivePairwise
+                ? "naive-pairwise"
+                : "sorted-neighbourhood w=" + std::to_string(options.window)) +
+           ", thresholds=[" +
+           std::to_string(dedup_step_->matcher->lower_threshold()) + "," +
+           std::to_string(dedup_step_->matcher->upper_threshold()) + "]" +
+           (options.concordance != nullptr ? ", concordance=on" : "") + ")\n";
+  }
+  return out;
+}
+
+Result<NodePtr> CleanXmlRecords(const Node& root, const CleaningFlow& flow,
+                                const std::string& key_prefix,
+                                LineageLog* lineage) {
+  std::vector<KeyedRecord> records;
+  std::vector<std::string> tags;
+  size_t index = 0;
+  for (const NodePtr& child : root.children()) {
+    if (!child->is_element()) continue;
+    KeyedRecord record;
+    record.id = key_prefix + "#" + std::to_string(index++);
+    record.fields = RecordFromXml(*child);
+    records.push_back(std::move(record));
+    tags.push_back(child->name());
+  }
+  NIMBLE_ASSIGN_OR_RETURN(FlowOutput output,
+                          flow.Run(std::move(records), lineage));
+
+  NodePtr cleaned = Node::Element(root.name());
+  for (const auto& [attr_name, attr_value] : root.attributes()) {
+    cleaned->SetAttribute(attr_name, attr_value);
+  }
+  for (const KeyedRecord& record : output.records) {
+    // Recover the element tag from the record id (prefix#idx).
+    size_t hash = record.id.rfind('#');
+    size_t original = hash == std::string::npos
+                          ? 0
+                          : static_cast<size_t>(std::strtoull(
+                                record.id.c_str() + hash + 1, nullptr, 10));
+    const std::string& tag =
+        original < tags.size() ? tags[original] : "record";
+    cleaned->AddChild(RecordToXml(record.fields, tag));
+  }
+  return cleaned;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

@@ -1,0 +1,83 @@
+#ifndef NIMBLE_CLEANING_FLOW_H_
+#define NIMBLE_CLEANING_FLOW_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cleaning/lineage.h"
+#include "cleaning/matcher.h"
+#include "cleaning/merge_purge.h"
+#include "cleaning/normalize.h"
+#include "cleaning/record.h"
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// What a flow run produced.
+struct FlowOutput {
+  std::vector<KeyedRecord> records;  ///< cleaned (and possibly fused).
+  size_t values_normalized = 0;
+  std::optional<MergePurgeResult> merge_stats;
+};
+
+/// A declarative cleaning flow (§3.2: "we use a declarative representation
+/// of the flow", after Galhardas et al.): an ordered list of steps, built
+/// fluently, runnable over record batches, and self-describing. Flows make
+/// it "easy to add new data sources to an existing flow" — the steps are
+/// data, not code.
+class CleaningFlow {
+ public:
+  explicit CleaningFlow(std::string flow_name = "flow")
+      : name_(std::move(flow_name)) {}
+
+  /// Step: normalize one field through a pipeline.
+  CleaningFlow& NormalizeField(const std::string& field,
+                               NormalizerPipeline pipeline);
+
+  /// Step: deduplicate via merge/purge and fuse each cluster to one
+  /// record. At most one dedup step per flow (it terminates the pipeline).
+  CleaningFlow& Deduplicate(std::shared_ptr<RecordMatcher> matcher,
+                            MergePurgeOptions options = {});
+
+  /// Runs the flow. `lineage` (optional) records every change.
+  Result<FlowOutput> Run(std::vector<KeyedRecord> input,
+                         LineageLog* lineage = nullptr) const;
+
+  /// The declarative representation: one line per step.
+  std::string Describe() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct NormalizeStep {
+    std::string field;
+    NormalizerPipeline pipeline;
+  };
+  struct DedupStep {
+    std::shared_ptr<RecordMatcher> matcher;
+    MergePurgeOptions options;
+  };
+
+  std::string name_;
+  std::vector<NormalizeStep> normalize_steps_;
+  std::optional<DedupStep> dedup_step_;
+};
+
+/// Dynamic cleaning of a query result: converts `root`'s child elements to
+/// records (keyed "<prefix>#<index>"), runs `flow`, and returns a fresh
+/// root whose children are the cleaned records (element tag preserved per
+/// fused cluster's first member). This is the integration-time path —
+/// source data is left untouched (§3.2: "with data integration, the source
+/// data is unchanged").
+Result<NodePtr> CleanXmlRecords(const Node& root, const CleaningFlow& flow,
+                                const std::string& key_prefix = "rec",
+                                LineageLog* lineage = nullptr);
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_FLOW_H_

@@ -1,0 +1,39 @@
+#include "cleaning/lineage.h"
+
+namespace nimble {
+namespace cleaning {
+
+void LineageLog::Record(const std::string& record_id, const std::string& field,
+                        const std::string& step, Value before, Value after) {
+  LineageEntry entry;
+  entry.sequence = next_sequence_++;
+  entry.record_id = record_id;
+  entry.field = field;
+  entry.step = step;
+  entry.before = std::move(before);
+  entry.after = std::move(after);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<LineageEntry> LineageLog::ForRecord(
+    const std::string& record_id) const {
+  std::vector<LineageEntry> out;
+  for (const LineageEntry& entry : entries_) {
+    if (entry.record_id == record_id) out.push_back(entry);
+  }
+  return out;
+}
+
+Result<Value> LineageLog::OriginalValue(const std::string& record_id,
+                                        const std::string& field) const {
+  for (const LineageEntry& entry : entries_) {
+    if (entry.record_id == record_id && entry.field == field) {
+      return entry.before;  // earliest entry wins (append-only order)
+    }
+  }
+  return Status::NotFound("no lineage for record '" + record_id + "' field '" +
+                          field + "'");
+}
+
+}  // namespace cleaning
+}  // namespace nimble

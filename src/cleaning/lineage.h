@@ -1,0 +1,53 @@
+#ifndef NIMBLE_CLEANING_LINEAGE_H_
+#define NIMBLE_CLEANING_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// One recorded data transformation (§3.2: "the system supports a data
+/// lineage mechanism, recording data ancestry, human decisions, and
+/// supporting roll-back whenever possible").
+struct LineageEntry {
+  uint64_t sequence = 0;  ///< global ordering.
+  std::string record_id;
+  std::string field;  ///< "*" for record-level events (e.g. merges).
+  std::string step;   ///< flow step name or tool id.
+  Value before;
+  Value after;
+};
+
+/// Append-only lineage log with per-record retrieval and value roll-back.
+class LineageLog {
+ public:
+  LineageLog() = default;
+
+  void Record(const std::string& record_id, const std::string& field,
+              const std::string& step, Value before, Value after);
+
+  /// All entries for one record, in application order.
+  std::vector<LineageEntry> ForRecord(const std::string& record_id) const;
+
+  /// The value `field` of `record_id` held before any transformation.
+  /// NotFound when the log has no entry for that field.
+  Result<Value> OriginalValue(const std::string& record_id,
+                              const std::string& field) const;
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<LineageEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LineageEntry> entries_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_LINEAGE_H_

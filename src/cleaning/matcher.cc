@@ -1,0 +1,60 @@
+#include "cleaning/matcher.h"
+
+#include <cassert>
+
+namespace nimble {
+namespace cleaning {
+
+const char* MatchDecisionName(MatchDecision decision) {
+  switch (decision) {
+    case MatchDecision::kNonMatch:
+      return "non-match";
+    case MatchDecision::kPossible:
+      return "possible";
+    case MatchDecision::kMatch:
+      return "match";
+  }
+  return "?";
+}
+
+RecordMatcher::RecordMatcher(std::vector<MatchRule> rules,
+                             double lower_threshold, double upper_threshold)
+    : rules_(std::move(rules)),
+      lower_threshold_(lower_threshold),
+      upper_threshold_(upper_threshold) {
+  assert(lower_threshold_ <= upper_threshold_);
+  assert(!rules_.empty());
+}
+
+double RecordMatcher::Score(const Record& a, const Record& b) const {
+  ++comparisons_;
+  double total_weight = 0;
+  double total = 0;
+  for (const MatchRule& rule : rules_) {
+    total_weight += rule.weight;
+    auto ita = a.find(rule.field);
+    auto itb = b.find(rule.field);
+    bool missing_a = ita == a.end() || ita->second.is_null();
+    bool missing_b = itb == b.end() || itb->second.is_null();
+    if (missing_a || missing_b) {
+      total += rule.weight * rule.missing_score;
+      continue;
+    }
+    total += rule.weight *
+             rule.similarity(ita->second.ToString(), itb->second.ToString());
+  }
+  return total_weight == 0 ? 0 : total / total_weight;
+}
+
+MatchDecision RecordMatcher::DecideFromScore(double score) const {
+  if (score >= upper_threshold_) return MatchDecision::kMatch;
+  if (score < lower_threshold_) return MatchDecision::kNonMatch;
+  return MatchDecision::kPossible;
+}
+
+MatchDecision RecordMatcher::Decide(const Record& a, const Record& b) const {
+  return DecideFromScore(Score(a, b));
+}
+
+}  // namespace cleaning
+}  // namespace nimble

@@ -1,0 +1,65 @@
+#ifndef NIMBLE_CLEANING_MATCHER_H_
+#define NIMBLE_CLEANING_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cleaning/record.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// Field-level similarity: takes the two field values as strings.
+using FieldSimilarityFn =
+    std::function<double(const std::string&, const std::string&)>;
+
+/// One field-comparison rule of a record matcher.
+struct MatchRule {
+  std::string field;
+  FieldSimilarityFn similarity;
+  double weight = 1.0;
+  /// When either record lacks the field (or it is null): the similarity
+  /// assumed for the pair (0.5 = uninformative by default).
+  double missing_score = 0.5;
+};
+
+/// Three-way match decision. kPossible pairs are the "exceptions trapped"
+/// for human disambiguation (§3.2); they queue in the concordance layer.
+enum class MatchDecision { kNonMatch, kPossible, kMatch };
+
+const char* MatchDecisionName(MatchDecision decision);
+
+/// Weighted rule-based record matcher with dual thresholds:
+/// score >= upper → match; score < lower → non-match; else possible.
+class RecordMatcher {
+ public:
+  RecordMatcher(std::vector<MatchRule> rules, double lower_threshold,
+                double upper_threshold);
+
+  /// Weighted average similarity in [0,1].
+  double Score(const Record& a, const Record& b) const;
+
+  MatchDecision Decide(const Record& a, const Record& b) const;
+  MatchDecision DecideFromScore(double score) const;
+
+  double lower_threshold() const { return lower_threshold_; }
+  double upper_threshold() const { return upper_threshold_; }
+  const std::vector<MatchRule>& rules() const { return rules_; }
+
+  /// Number of Score() invocations — the cost metric for E4 (comparisons
+  /// are what sorted-neighbourhood saves over naive pairwise).
+  size_t comparisons() const { return comparisons_; }
+  void ResetCounters() { comparisons_ = 0; }
+
+ private:
+  std::vector<MatchRule> rules_;
+  double lower_threshold_;
+  double upper_threshold_;
+  mutable size_t comparisons_ = 0;
+};
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_MATCHER_H_

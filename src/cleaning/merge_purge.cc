@@ -1,0 +1,180 @@
+#include "cleaning/merge_purge.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+void UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+}
+
+std::vector<size_t> UnionFind::Roots() {
+  std::vector<size_t> roots(parent_.size());
+  for (size_t i = 0; i < parent_.size(); ++i) roots[i] = Find(i);
+  return roots;
+}
+
+namespace {
+
+std::string DefaultKey(const KeyedRecord& record) {
+  std::string key;
+  for (const auto& [field, value] : record.fields) {
+    key += ToLower(value.ToString());
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+/// Processes one candidate pair through concordance + matcher.
+void ConsiderPair(size_t i, size_t j, const std::vector<KeyedRecord>& records,
+                  const RecordMatcher& matcher,
+                  const MergePurgeOptions& options, UnionFind* clusters,
+                  MergePurgeResult* result) {
+  ++result->pairs_considered;
+  const KeyedRecord& a = records[i];
+  const KeyedRecord& b = records[j];
+
+  if (options.concordance != nullptr) {
+    std::optional<ConcordanceEntry> stored =
+        options.concordance->Lookup(a.id, b.id);
+    if (stored.has_value() &&
+        stored->decision != MatchDecision::kPossible) {
+      ++result->concordance_hits;
+      if (stored->decision == MatchDecision::kMatch) clusters->Union(i, j);
+      return;
+    }
+  }
+
+  double score = matcher.Score(a.fields, b.fields);
+  ++result->pairs_scored;
+  MatchDecision decision = matcher.DecideFromScore(score);
+  switch (decision) {
+    case MatchDecision::kMatch:
+      clusters->Union(i, j);
+      break;
+    case MatchDecision::kPossible:
+      if (options.trap_exceptions && options.concordance != nullptr) {
+        options.concordance->QueueException(a.id, b.id, score);
+        ++result->exceptions_queued;
+      }
+      break;
+    case MatchDecision::kNonMatch:
+      break;
+  }
+  if (options.concordance != nullptr &&
+      decision != MatchDecision::kPossible) {
+    options.concordance->RecordAutomatic(a.id, b.id, decision, score);
+  }
+}
+
+}  // namespace
+
+Result<MergePurgeResult> MergePurge(const std::vector<KeyedRecord>& records,
+                                    const RecordMatcher& matcher,
+                                    const MergePurgeOptions& options) {
+  if (options.strategy != MatchStrategy::kNaivePairwise &&
+      options.window < 2) {
+    return Status::InvalidArgument("sorted-neighbourhood window must be >= 2");
+  }
+  MergePurgeResult result;
+  UnionFind clusters(records.size());
+
+  auto run_window_pass =
+      [&](const std::function<std::string(const KeyedRecord&)>& key_of) {
+        std::vector<size_t> order(records.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::vector<std::string> keys(records.size());
+        for (size_t i = 0; i < records.size(); ++i) {
+          keys[i] = key_of(records[i]);
+        }
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return keys[a] < keys[b];
+        });
+        for (size_t w = 0; w < order.size(); ++w) {
+          for (size_t d = 1; d < options.window && w + d < order.size(); ++d) {
+            // Skip pairs already clustered together by an earlier pass.
+            if (clusters.Find(order[w]) == clusters.Find(order[w + d])) {
+              continue;
+            }
+            ConsiderPair(order[w], order[w + d], records, matcher, options,
+                         &clusters, &result);
+          }
+        }
+      };
+
+  switch (options.strategy) {
+    case MatchStrategy::kNaivePairwise:
+      for (size_t i = 0; i < records.size(); ++i) {
+        for (size_t j = i + 1; j < records.size(); ++j) {
+          ConsiderPair(i, j, records, matcher, options, &clusters, &result);
+        }
+      }
+      break;
+    case MatchStrategy::kSortedNeighbourhood:
+      run_window_pass(options.key_extractor ? options.key_extractor
+                                            : DefaultKey);
+      break;
+    case MatchStrategy::kMultiPassSortedNeighbourhood: {
+      if (options.key_extractors.empty()) {
+        run_window_pass(options.key_extractor ? options.key_extractor
+                                              : DefaultKey);
+      } else {
+        for (const auto& key_of : options.key_extractors) {
+          run_window_pass(key_of);
+        }
+      }
+      break;
+    }
+  }
+
+  // Gather clusters in first-appearance order.
+  std::vector<size_t> roots = clusters.Roots();
+  std::map<size_t, size_t> root_to_cluster;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    auto [it, inserted] =
+        root_to_cluster.try_emplace(roots[i], result.clusters.size());
+    if (inserted) result.clusters.emplace_back();
+    result.clusters[it->second].push_back(i);
+  }
+  return result;
+}
+
+Record FuseCluster(const std::vector<KeyedRecord>& records,
+                   const std::vector<size_t>& cluster) {
+  Record fused;
+  for (size_t index : cluster) {
+    for (const auto& [field, value] : records[index].fields) {
+      if (value.is_null()) continue;
+      auto it = fused.find(field);
+      if (it == fused.end() ||
+          value.ToString().size() > it->second.ToString().size()) {
+        fused[field] = value;
+      }
+    }
+  }
+  return fused;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

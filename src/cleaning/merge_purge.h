@@ -1,0 +1,84 @@
+#ifndef NIMBLE_CLEANING_MERGE_PURGE_H_
+#define NIMBLE_CLEANING_MERGE_PURGE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cleaning/concordance.h"
+#include "cleaning/matcher.h"
+#include "cleaning/record.h"
+#include "common/result.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// Disjoint-set forest used to accumulate match clusters.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  size_t Find(size_t x);
+  void Union(size_t a, size_t b);
+
+  /// Cluster representative per element (path-compressed).
+  std::vector<size_t> Roots();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+/// How candidate pairs are enumerated.
+enum class MatchStrategy {
+  kNaivePairwise,        ///< all O(n²) pairs — the E4 baseline.
+  kSortedNeighbourhood,  ///< Hernández/Stolfo merge/purge: sort by key,
+                         ///< compare within a sliding window.
+  kMultiPassSortedNeighbourhood,  ///< the full merge/purge method: several
+                                  ///< independent sort keys, clusters
+                                  ///< unioned transitively across passes —
+                                  ///< recovers duplicates a single key
+                                  ///< sorts far apart.
+};
+
+struct MergePurgeOptions {
+  MatchStrategy strategy = MatchStrategy::kSortedNeighbourhood;
+  /// Window size for sorted-neighbourhood (w >= 2).
+  size_t window = 10;
+  /// Sort-key extractor; default concatenates all fields lower-cased.
+  std::function<std::string(const KeyedRecord&)> key_extractor;
+  /// Sort keys for the multi-pass strategy (one pass per extractor);
+  /// falls back to {key_extractor or default} when empty.
+  std::vector<std::function<std::string(const KeyedRecord&)>> key_extractors;
+  /// Optional concordance store: consulted before scoring, updated after.
+  ConcordanceDatabase* concordance = nullptr;
+  /// Treat kPossible as a trapped exception (queued on the concordance,
+  /// not merged). When false, possibles count as non-matches silently.
+  bool trap_exceptions = true;
+};
+
+/// The outcome of a merge/purge run.
+struct MergePurgeResult {
+  /// clusters[i] lists indexes (into the input) of records deemed the same
+  /// real-world entity.
+  std::vector<std::vector<size_t>> clusters;
+  size_t pairs_considered = 0;   ///< candidate pairs enumerated.
+  size_t pairs_scored = 0;       ///< pairs actually run through the matcher.
+  size_t concordance_hits = 0;   ///< pairs short-circuited by the store.
+  size_t exceptions_queued = 0;  ///< possibles handed to the human queue.
+};
+
+/// Runs duplicate detection over `records`, clustering matches.
+Result<MergePurgeResult> MergePurge(const std::vector<KeyedRecord>& records,
+                                    const RecordMatcher& matcher,
+                                    const MergePurgeOptions& options = {});
+
+/// Survivorship: fuses a cluster into one record — for each field, the
+/// longest non-null value wins (ties: first record in cluster order).
+Record FuseCluster(const std::vector<KeyedRecord>& records,
+                   const std::vector<size_t>& cluster);
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_MERGE_PURGE_H_

@@ -1,0 +1,131 @@
+#include "cleaning/normalize.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+std::string CollapseWhitespace(const std::string& input) {
+  return Join(SplitWhitespace(input), " ");
+}
+
+std::string StripPunctuation(const std::string& input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    if (std::isalnum(static_cast<unsigned char>(c)) ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    }
+  }
+  return CollapseWhitespace(out);
+}
+
+std::string LowerCase(const std::string& input) { return ToLower(input); }
+
+std::string ExpandAbbreviations(
+    const std::string& input,
+    const std::map<std::string, std::string>& dictionary) {
+  std::vector<std::string> words = SplitWhitespace(input);
+  for (std::string& word : words) {
+    std::string key = ToLower(word);
+    while (!key.empty() &&
+           !std::isalnum(static_cast<unsigned char>(key.back()))) {
+      key.pop_back();
+    }
+    auto it = dictionary.find(key);
+    if (it != dictionary.end()) word = it->second;
+  }
+  return Join(words, " ");
+}
+
+const std::map<std::string, std::string>& AddressAbbreviations() {
+  static const std::map<std::string, std::string>* const kDict =
+      new std::map<std::string, std::string>{
+          {"st", "street"},     {"str", "street"},    {"ave", "avenue"},
+          {"av", "avenue"},     {"rd", "road"},       {"dr", "drive"},
+          {"blvd", "boulevard"}, {"ln", "lane"},      {"ct", "court"},
+          {"pl", "place"},      {"sq", "square"},     {"hwy", "highway"},
+          {"pkwy", "parkway"},  {"n", "north"},       {"s", "south"},
+          {"e", "east"},        {"w", "west"},        {"ne", "northeast"},
+          {"nw", "northwest"},  {"se", "southeast"},  {"sw", "southwest"},
+          {"apt", "apartment"}, {"ste", "suite"},     {"fl", "floor"},
+          {"bldg", "building"}, {"mt", "mount"},      {"ft", "fort"},
+      };
+  return *kDict;
+}
+
+std::string StandardizeName(const std::string& input) {
+  std::string collapsed = CollapseWhitespace(input);
+  size_t comma = collapsed.find(',');
+  if (comma == std::string::npos) return collapsed;
+  std::string last = Trim(collapsed.substr(0, comma));
+  std::string first = Trim(collapsed.substr(comma + 1));
+  if (last.empty()) return first;
+  if (first.empty()) return last;
+  return first + " " + last;
+}
+
+std::string StandardizePhone(const std::string& input) {
+  std::string digits;
+  for (char c : input) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits.push_back(c);
+  }
+  if (digits.size() == 11 && digits[0] == '1') digits = digits.substr(1);
+  if (digits.size() == 10) {
+    return digits.substr(0, 3) + "-" + digits.substr(3, 3) + "-" +
+           digits.substr(6);
+  }
+  return digits;
+}
+
+NormalizerPipeline& NormalizerPipeline::Add(std::string step_name,
+                                            NormalizeFn fn) {
+  steps_.emplace_back(std::move(step_name), std::move(fn));
+  return *this;
+}
+
+std::string NormalizerPipeline::Apply(const std::string& input) const {
+  std::string current = input;
+  for (const auto& [step_name, fn] : steps_) {
+    current = fn(current);
+  }
+  return current;
+}
+
+std::vector<std::string> NormalizerPipeline::StepNames() const {
+  std::vector<std::string> names;
+  names.reserve(steps_.size());
+  for (const auto& [step_name, fn] : steps_) names.push_back(step_name);
+  return names;
+}
+
+NormalizerPipeline NormalizerPipeline::ForNames() {
+  NormalizerPipeline pipeline;
+  pipeline.Add("collapse_whitespace", CollapseWhitespace)
+      .Add("standardize_name", StandardizeName);
+  return pipeline;
+}
+
+NormalizerPipeline NormalizerPipeline::ForAddresses() {
+  NormalizerPipeline pipeline;
+  pipeline.Add("collapse_whitespace", CollapseWhitespace)
+      .Add("lower_case", LowerCase)
+      .Add("expand_abbreviations",
+           [](const std::string& s) {
+             return ExpandAbbreviations(s, AddressAbbreviations());
+           })
+      .Add("strip_punctuation", StripPunctuation);
+  return pipeline;
+}
+
+NormalizerPipeline NormalizerPipeline::ForPhones() {
+  NormalizerPipeline pipeline;
+  pipeline.Add("standardize_phone", StandardizePhone);
+  return pipeline;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

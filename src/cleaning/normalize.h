@@ -1,0 +1,71 @@
+#ifndef NIMBLE_CLEANING_NORMALIZE_H_
+#define NIMBLE_CLEANING_NORMALIZE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nimble {
+namespace cleaning {
+
+/// A string→string transform, the unit of normalization pipelines. The
+/// framework is extensible (§3.2: "domain-specific and customer-provided
+/// normalization and matching functions are supported") — any callable
+/// can be registered.
+using NormalizeFn = std::function<std::string(const std::string&)>;
+
+/// Built-in normalizers.
+std::string CollapseWhitespace(const std::string& input);
+std::string StripPunctuation(const std::string& input);
+std::string LowerCase(const std::string& input);
+
+/// Expands abbreviations word-by-word using `dictionary` (lower-cased
+/// keys; trailing '.' on a word is ignored when looking up).
+std::string ExpandAbbreviations(
+    const std::string& input,
+    const std::map<std::string, std::string>& dictionary);
+
+/// The default US-address abbreviation dictionary (st→street, ave→avenue,
+/// rd→road, dr→drive, n/s/e/w→north/…, apt→apartment, …).
+const std::map<std::string, std::string>& AddressAbbreviations();
+
+/// "Last, First [Middle]" → "First [Middle] Last"; other shapes pass
+/// through (after whitespace collapse).
+std::string StandardizeName(const std::string& input);
+
+/// Keeps digits only, then formats 10-digit US numbers as "NNN-NNN-NNNN";
+/// 11 digits with leading 1 are reduced to 10 first; anything else
+/// returns the digit string.
+std::string StandardizePhone(const std::string& input);
+
+/// A named chain of normalizers applied left to right.
+class NormalizerPipeline {
+ public:
+  NormalizerPipeline() = default;
+
+  /// Appends a step; returns *this for chaining.
+  NormalizerPipeline& Add(std::string step_name, NormalizeFn fn);
+
+  std::string Apply(const std::string& input) const;
+
+  /// Step names, for the declarative-flow description (§3.2).
+  std::vector<std::string> StepNames() const;
+
+  /// Standard pipeline for person names: collapse → standardize-name.
+  static NormalizerPipeline ForNames();
+  /// Standard pipeline for street addresses: collapse → lower → expand
+  /// abbreviations → strip punctuation.
+  static NormalizerPipeline ForAddresses();
+  /// Standard pipeline for phone numbers.
+  static NormalizerPipeline ForPhones();
+
+ private:
+  std::vector<std::pair<std::string, NormalizeFn>> steps_;
+};
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_NORMALIZE_H_

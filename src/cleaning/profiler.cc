@@ -1,0 +1,150 @@
+#include "cleaning/profiler.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+bool LooksEncoded(const std::string& text) {
+  // KEY=VALUE or embedded record separators.
+  if (text.find('=') != std::string::npos) return true;
+  if (text.find('|') != std::string::npos) return true;
+  if (text.find(';') != std::string::npos) return true;
+  // CODE-1234 style identifiers: letters, dash, digits.
+  size_t dash = text.find('-');
+  if (dash != std::string::npos && dash > 0 && dash + 1 < text.size()) {
+    bool letters = true;
+    for (size_t i = 0; i < dash; ++i) {
+      if (!std::isalpha(static_cast<unsigned char>(text[i]))) {
+        letters = false;
+        break;
+      }
+    }
+    bool digits = true;
+    for (size_t i = dash + 1; i < text.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (letters && digits) return true;
+  }
+  return false;
+}
+
+BatchProfile ProfileRecords(const std::vector<KeyedRecord>& records) {
+  BatchProfile profile;
+  profile.record_count = records.size();
+
+  // field → value-text → count.
+  std::map<std::string, std::map<std::string, size_t>> value_counts;
+  std::map<std::string, FieldProfile> fields;
+
+  // First pass: discover the field universe.
+  for (const KeyedRecord& record : records) {
+    for (const auto& [field, value] : record.fields) {
+      fields.try_emplace(field).first->second.field = field;
+    }
+  }
+  // Second pass: tally.
+  for (const KeyedRecord& record : records) {
+    for (auto& [field, fp] : fields) {
+      auto it = record.fields.find(field);
+      if (it == record.fields.end() || it->second.is_null()) {
+        ++fp.nulls;
+        continue;
+      }
+      const Value& value = it->second;
+      ++fp.present;
+      ++fp.type_counts[ValueTypeName(value.type())];
+      std::string text = value.ToString();
+      ++value_counts[field][text];
+      double len = static_cast<double>(text.size());
+      if (fp.present == 1) {
+        fp.min_length = len;
+        fp.max_length = len;
+      } else {
+        fp.min_length = std::min(fp.min_length, len);
+        fp.max_length = std::max(fp.max_length, len);
+      }
+      fp.mean_length += len;
+      if (value.is_string() && LooksEncoded(text)) {
+        ++fp.suspected_encoded_values;
+      }
+    }
+  }
+
+  for (auto& [field, fp] : fields) {
+    if (fp.present > 0) fp.mean_length /= static_cast<double>(fp.present);
+    fp.mixed_types = fp.type_counts.size() > 1;
+    const auto& counts = value_counts[field];
+    fp.distinct = counts.size();
+    // Top values.
+    std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                       counts.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (ranked.size() > 5) ranked.resize(5);
+    fp.top_values = std::move(ranked);
+    // Near-duplicate values: canonical form (trimmed, lower-cased,
+    // whitespace-collapsed) shared by >1 distinct raw value.
+    std::map<std::string, size_t> canonical_forms;
+    for (const auto& [text, count] : counts) {
+      ++canonical_forms[ToLower(Join(SplitWhitespace(text), " "))];
+    }
+    for (const auto& [canon, distinct_raws] : canonical_forms) {
+      if (distinct_raws > 1) fp.near_duplicate_values += distinct_raws;
+    }
+    profile.fields.push_back(fp);
+  }
+  return profile;
+}
+
+const FieldProfile* BatchProfile::field(const std::string& name) const {
+  for (const FieldProfile& fp : fields) {
+    if (fp.field == name) return &fp;
+  }
+  return nullptr;
+}
+
+std::string BatchProfile::ToText() const {
+  std::string out =
+      "profile of " + std::to_string(record_count) + " records\n";
+  for (const FieldProfile& fp : fields) {
+    out += "  " + fp.field + ": present=" + std::to_string(fp.present) +
+           " nulls=" + std::to_string(fp.nulls) +
+           " distinct=" + std::to_string(fp.distinct) + " types={";
+    bool first = true;
+    for (const auto& [type, count] : fp.type_counts) {
+      if (!first) out += ",";
+      out += type + ":" + std::to_string(count);
+      first = false;
+    }
+    out += "}";
+    if (fp.mixed_types) out += "  [ANOMALY: mixed types]";
+    if (fp.suspected_encoded_values > 0) {
+      out += "  [ANOMALY: " + std::to_string(fp.suspected_encoded_values) +
+             " values look like encoded legacy data]";
+    }
+    if (fp.near_duplicate_values > 0) {
+      out += "  [" + std::to_string(fp.near_duplicate_values) +
+             " near-duplicate spellings]";
+    }
+    out += "\n";
+    if (!fp.top_values.empty()) {
+      out += "    top:";
+      for (const auto& [text, count] : fp.top_values) {
+        out += " '" + text + "'x" + std::to_string(count);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

@@ -1,0 +1,64 @@
+#ifndef NIMBLE_CLEANING_PROFILER_H_
+#define NIMBLE_CLEANING_PROFILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cleaning/record.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// Profile of one field across a record batch.
+struct FieldProfile {
+  std::string field;
+  size_t present = 0;   ///< non-null occurrences.
+  size_t nulls = 0;     ///< records lacking the field or holding null.
+  size_t distinct = 0;
+  /// Type histogram (type name → count) over present values.
+  std::map<std::string, size_t> type_counts;
+  /// Most frequent values (value text → count), descending, top 5.
+  std::vector<std::pair<std::string, size_t>> top_values;
+  double min_length = 0, max_length = 0, mean_length = 0;
+
+  // ---- Anomaly flags (§3.2 "data anomalies") -------------------------------
+  bool mixed_types = false;  ///< >1 scalar type observed.
+  /// Values that look like legacy structured data hiding in text fields
+  /// ("representational inadequacy" / "legacy data encoded in text
+  /// fields"): KEY=VALUE pairs, CODE-1234 identifiers, embedded
+  /// separators like '|' or ';'.
+  size_t suspected_encoded_values = 0;
+  /// Values whose only difference from a more frequent value is case or
+  /// surrounding whitespace — prime normalization candidates.
+  size_t near_duplicate_values = 0;
+
+  double NullRate() const {
+    size_t total = present + nulls;
+    return total == 0 ? 0 : static_cast<double>(nulls) / total;
+  }
+};
+
+/// Batch profile: one FieldProfile per field (union over records).
+struct BatchProfile {
+  size_t record_count = 0;
+  std::vector<FieldProfile> fields;
+
+  const FieldProfile* field(const std::string& name) const;
+  /// Human-readable report, one block per field with anomaly callouts.
+  std::string ToText() const;
+};
+
+/// The interactive "datamining phase" helper (§3.2): profiles a record
+/// batch so an analyst can find anomalies, candidate matching keys and
+/// legacy encodings before authoring a cleaning flow.
+BatchProfile ProfileRecords(const std::vector<KeyedRecord>& records);
+
+/// Heuristic: does `text` look like structured data stuffed into a text
+/// field? Exposed for tests.
+bool LooksEncoded(const std::string& text);
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_PROFILER_H_

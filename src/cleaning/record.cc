@@ -1,0 +1,28 @@
+#include "cleaning/record.h"
+
+namespace nimble {
+namespace cleaning {
+
+Record RecordFromXml(const Node& element) {
+  Record record;
+  for (const auto& [name, value] : element.attributes()) {
+    record[name] = value;
+  }
+  for (const NodePtr& child : element.children()) {
+    if (child->is_element()) {
+      record[child->name()] = child->ScalarValue();
+    }
+  }
+  return record;
+}
+
+NodePtr RecordToXml(const Record& record, const std::string& tag) {
+  NodePtr element = Node::Element(tag);
+  for (const auto& [field, value] : record) {
+    element->AddScalarChild(field, value);
+  }
+  return element;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

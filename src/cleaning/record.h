@@ -1,0 +1,39 @@
+#ifndef NIMBLE_CLEANING_RECORD_H_
+#define NIMBLE_CLEANING_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace cleaning {
+
+/// A flat record under cleaning: field name → value.
+using Record = std::map<std::string, Value>;
+
+/// A record with a stable identity (source-qualified key), the unit the
+/// concordance database and lineage log refer to.
+struct KeyedRecord {
+  std::string id;
+  Record fields;
+};
+
+/// Converts an XML record element (`<row><field>v</field>…</row>`) into a
+/// Record; nested elements flatten via their scalar value, attributes are
+/// included as fields. Used for *dynamic* cleaning of query results —
+/// cleaning applied on the way out of the integration engine rather than
+/// at warehouse-load time (§3.2: "at least some of the cleansing and
+/// matching need to be performed dynamically").
+Record RecordFromXml(const Node& element);
+
+/// Renders a Record back to an XML element named `tag` (fields in map
+/// order).
+NodePtr RecordToXml(const Record& record, const std::string& tag);
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_RECORD_H_

@@ -1,0 +1,153 @@
+#include "cleaning/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace cleaning {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, substitution});
+    }
+  }
+  return row[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t match_window =
+      std::max(a.size(), b.size()) / 2 > 0
+          ? std::max(a.size(), b.size()) / 2 - 1
+          : 0;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Transpositions.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double TokenJaccardSimilarity(std::string_view a, std::string_view b) {
+  std::set<std::string> ta, tb;
+  for (const std::string& t : SplitWhitespace(a)) ta.insert(ToLower(t));
+  for (const std::string& t : SplitWhitespace(b)) tb.insert(ToLower(t));
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const std::string& t : ta) {
+    if (tb.count(t) > 0) ++intersection;
+  }
+  size_t uni = ta.size() + tb.size() - intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+std::string Soundex(std::string_view word) {
+  auto code_of = [](char c) -> char {
+    switch (std::tolower(static_cast<unsigned char>(c))) {
+      case 'b':
+      case 'f':
+      case 'p':
+      case 'v':
+        return '1';
+      case 'c':
+      case 'g':
+      case 'j':
+      case 'k':
+      case 'q':
+      case 's':
+      case 'x':
+      case 'z':
+        return '2';
+      case 'd':
+      case 't':
+        return '3';
+      case 'l':
+        return '4';
+      case 'm':
+      case 'n':
+        return '5';
+      case 'r':
+        return '6';
+      default:
+        return '0';  // vowels, h, w, y and non-letters
+    }
+  };
+  size_t start = 0;
+  while (start < word.size() &&
+         !std::isalpha(static_cast<unsigned char>(word[start]))) {
+    ++start;
+  }
+  if (start == word.size()) return "0000";
+  std::string out(1, static_cast<char>(std::toupper(
+                         static_cast<unsigned char>(word[start]))));
+  char last_code = code_of(word[start]);
+  for (size_t i = start + 1; i < word.size() && out.size() < 4; ++i) {
+    char c = word[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) continue;
+    char code = code_of(c);
+    char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower == 'h' || lower == 'w') continue;  // h/w do not break runs
+    if (code != '0' && code != last_code) out.push_back(code);
+    last_code = code;
+  }
+  out.resize(4, '0');
+  return out;
+}
+
+}  // namespace cleaning
+}  // namespace nimble

@@ -1,0 +1,32 @@
+#ifndef NIMBLE_CLEANING_SIMILARITY_H_
+#define NIMBLE_CLEANING_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+
+namespace nimble {
+namespace cleaning {
+
+/// Classic edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance/max_len, in [0,1]; 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common prefix (standard p=0.1, max 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of whitespace-token sets, case-insensitive.
+double TokenJaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Standard 4-character Soundex code (e.g. "Robert" → "R163").
+/// Non-alphabetic leading input yields "0000".
+std::string Soundex(std::string_view word);
+
+}  // namespace cleaning
+}  // namespace nimble
+
+#endif  // NIMBLE_CLEANING_SIMILARITY_H_

@@ -1,0 +1,17 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace nimble {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::AdvanceMicros(int64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace nimble

@@ -1,0 +1,47 @@
+#ifndef NIMBLE_COMMON_CLOCK_H_
+#define NIMBLE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nimble {
+
+/// Abstraction over time so the federation experiments can run on *virtual*
+/// time: simulated connectors charge their latency to the clock instead of
+/// sleeping, which keeps the benchmark suite fast and deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Advances time by `micros` (a real clock actually sleeps; a virtual
+  /// clock just bumps its counter).
+  virtual void AdvanceMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock implementation; AdvanceMicros is a no-op spin-free "sleep"
+/// realised through std::this_thread inside the .cc.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void AdvanceMicros(int64_t micros) override;
+};
+
+/// Deterministic virtual clock; starts at zero.
+class VirtualClock : public Clock {
+ public:
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+
+  /// Resets virtual time to zero (between benchmark trials).
+  void Reset() { now_ = 0; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_COMMON_CLOCK_H_

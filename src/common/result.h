@@ -1,0 +1,73 @@
+#ifndef NIMBLE_COMMON_RESULT_H_
+#define NIMBLE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nimble {
+
+/// Holds either a value of type T or an error Status. Analogous to
+/// arrow::Result. A Result constructed from an OK Status is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works from functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...();` works.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nimble
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define NIMBLE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  NIMBLE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      NIMBLE_CONCAT_(_nimble_result_, __LINE__), lhs, rexpr)
+
+#define NIMBLE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define NIMBLE_CONCAT_(a, b) NIMBLE_CONCAT_IMPL_(a, b)
+#define NIMBLE_CONCAT_IMPL_(a, b) a##b
+
+#endif  // NIMBLE_COMMON_RESULT_H_

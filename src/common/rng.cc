@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace nimble {
+
+ZipfGenerator::ZipfGenerator(size_t n, double skew, uint64_t seed)
+    : rng_(seed), cdf_(n) {
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc / total;
+  }
+}
+
+size_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  // Binary search for the first CDF entry >= u.
+  size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+}  // namespace nimble

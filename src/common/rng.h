@@ -1,0 +1,71 @@
+#ifndef NIMBLE_COMMON_RNG_H_
+#define NIMBLE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nimble {
+
+/// Deterministic splitmix64-based PRNG. Used by the workload generators and
+/// the availability simulator so every benchmark run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lower-case alphabetic string of length `len`.
+  std::string RandomWord(size_t len) {
+    std::string out(len, 'a');
+    for (char& c : out) c = static_cast<char>('a' + Uniform(26));
+    return out;
+  }
+
+  /// Picks a uniformly random element index of a container of size n.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(n)); }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed integer generator over [0, n). Higher `skew` concentrates
+/// probability mass on low ranks; skew 0 is uniform. Used for E2/E8 query
+/// workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double skew, uint64_t seed);
+
+  /// Draws one rank in [0, n).
+  size_t Next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_COMMON_RNG_H_

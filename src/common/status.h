@@ -1,0 +1,96 @@
+#ifndef NIMBLE_COMMON_STATUS_H_
+#define NIMBLE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace nimble {
+
+/// Error categories used across the library. Modelled after the
+/// RocksDB/Arrow convention: no exceptions cross an API boundary; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,      ///< A data source is offline or unreachable.
+  kParseError,       ///< Query-language or document syntax error.
+  kTypeError,        ///< Value/type mismatch during evaluation.
+  kPermissionDenied, ///< Lens authentication failure.
+  kUnsupported,      ///< Operation outside a source's capabilities.
+  kTimeout,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); carries a message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace nimble
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define NIMBLE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::nimble::Status _nimble_status = (expr);         \
+    if (!_nimble_status.ok()) return _nimble_status;  \
+  } while (false)
+
+#endif  // NIMBLE_COMMON_STATUS_H_

@@ -1,0 +1,12 @@
+#include "connector/connector.h"
+
+namespace nimble {
+namespace connector {
+
+Result<relational::ResultSet> Connector::ExecuteSql(const std::string& sql) {
+  (void)sql;
+  return Status::Unsupported("source '" + name() + "' does not accept SQL");
+}
+
+}  // namespace connector
+}  // namespace nimble

@@ -1,0 +1,90 @@
+#ifndef NIMBLE_CONNECTOR_CONNECTOR_H_
+#define NIMBLE_CONNECTOR_CONNECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/executor.h"
+#include "xml/node.h"
+
+namespace nimble {
+namespace connector {
+
+/// What a source can do, consulted by the mediator's compiler when deciding
+/// how much of a query fragment to push down (paper §2.1: the compiler
+/// considers "the type of the underlying source … and the presence of
+/// indices"; §4: "an internal query optimizer that can address the varying
+/// query capabilities of different data sources").
+struct SourceCapabilities {
+  bool supports_sql = false;         ///< accepts pushed-down SELECT text.
+  bool supports_predicates = false;  ///< can filter inside the source.
+  bool supports_joins = false;       ///< can join collections internally.
+  bool supports_aggregates = false;
+  /// (table, column) pairs with a source-side index.
+  std::vector<std::pair<std::string, std::string>> indexed_columns;
+
+  bool HasIndexOn(const std::string& table, const std::string& column) const {
+    for (const auto& [t, c] : indexed_columns) {
+      if (t == table && c == column) return true;
+    }
+    return false;
+  }
+};
+
+/// Per-call transfer statistics, aggregated by the decorators and surfaced
+/// in query execution reports (E3 measures rows shipped; E1/E5/E6 measure
+/// latency).
+struct FetchStats {
+  size_t calls = 0;
+  size_t rows_shipped = 0;   ///< records crossing the source boundary.
+  int64_t latency_micros = 0;  ///< simulated wire+source time charged.
+
+  void Add(const FetchStats& other) {
+    calls += other.calls;
+    rows_shipped += other.rows_shipped;
+    latency_micros += other.latency_micros;
+  }
+  void Reset() { *this = FetchStats{}; }
+};
+
+/// Abstract wrapper around one data source. All sources can serve their
+/// collections as XML record trees (the unifying model, paper §1); SQL-
+/// capable sources additionally accept pushed-down SELECT statements.
+class Connector {
+ public:
+  virtual ~Connector() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual SourceCapabilities capabilities() const = 0;
+
+  /// Liveness probe. Returns Unavailable when the source is offline —
+  /// the engine's partial-results machinery (§3.4) keys off this code.
+  virtual Status Ping() { return Status::OK(); }
+
+  /// Names of the collections (tables, documents, subtrees) exposed.
+  virtual std::vector<std::string> Collections() = 0;
+
+  /// Fetches the entire collection as an XML tree whose children are the
+  /// records. The caller owns the returned tree (sources return clones).
+  virtual Result<NodePtr> FetchCollection(const std::string& collection) = 0;
+
+  /// Executes pushed-down SQL. Default: unsupported.
+  virtual Result<relational::ResultSet> ExecuteSql(const std::string& sql);
+
+  /// Monotone data-version cookie for cache/materialization staleness.
+  virtual uint64_t DataVersion() = 0;
+
+  /// Cumulative transfer statistics since the last ResetStats().
+  virtual const FetchStats& stats() const { return stats_; }
+  virtual void ResetStats() { stats_.Reset(); }
+
+ protected:
+  FetchStats stats_;
+};
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_CONNECTOR_H_

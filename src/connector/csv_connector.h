@@ -1,0 +1,46 @@
+#ifndef NIMBLE_CONNECTOR_CSV_CONNECTOR_H_
+#define NIMBLE_CONNECTOR_CSV_CONNECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace nimble {
+namespace connector {
+
+/// Serves flat files (CSV with a header row) as record collections — the
+/// "legacy flat file" source class. Fields are type-inferred on ingest,
+/// quoted fields ("a,b" and doubled "" escapes) are supported.
+class CsvConnector : public Connector {
+ public:
+  explicit CsvConnector(std::string source_name)
+      : name_(std::move(source_name)) {}
+
+  const std::string& name() const override { return name_; }
+  SourceCapabilities capabilities() const override {
+    return SourceCapabilities{};
+  }
+  std::vector<std::string> Collections() override;
+  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  uint64_t DataVersion() override { return version_; }
+
+  /// Parses `csv_text` (header row + data rows) and registers it as
+  /// `collection_name`. Each row becomes `<row><header>value</header>…</row>`.
+  Status PutCsv(const std::string& collection_name,
+                const std::string& csv_text);
+
+ private:
+  std::string name_;
+  std::map<std::string, NodePtr> collections_;
+  uint64_t version_ = 0;
+};
+
+/// Splits one CSV line honouring quotes; exposed for tests.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_CSV_CONNECTOR_H_

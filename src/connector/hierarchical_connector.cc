@@ -1,0 +1,34 @@
+#include "connector/hierarchical_connector.h"
+
+namespace nimble {
+namespace connector {
+
+std::vector<std::string> HierarchicalConnector::Collections() {
+  std::vector<std::string> names;
+  names.reserve(collection_paths_.size());
+  for (const auto& [collection, path] : collection_paths_) {
+    names.push_back(collection);
+  }
+  return names;
+}
+
+Result<NodePtr> HierarchicalConnector::FetchCollection(
+    const std::string& collection) {
+  auto it = collection_paths_.find(collection);
+  if (it == collection_paths_.end()) {
+    return Status::NotFound("source '" + name_ + "' has no collection '" +
+                            collection + "'");
+  }
+  NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, store_->ExportXml(it->second));
+  ++stats_.calls;
+  stats_.rows_shipped += tree->SubtreeSize();
+  return tree;
+}
+
+void HierarchicalConnector::MapCollection(const std::string& collection_name,
+                                          const std::string& base_path) {
+  collection_paths_[collection_name] = base_path;
+}
+
+}  // namespace connector
+}  // namespace nimble

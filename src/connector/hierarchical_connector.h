@@ -1,0 +1,48 @@
+#ifndef NIMBLE_CONNECTOR_HIERARCHICAL_CONNECTOR_H_
+#define NIMBLE_CONNECTOR_HIERARCHICAL_CONNECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "hierarchical/hstore.h"
+
+namespace nimble {
+namespace connector {
+
+/// Wraps a hierarchical::HStore. Collections are named exported subtrees:
+/// register "staff" -> "/corp/people" and the mediator sees one XML tree
+/// per mapping (the paper's directory-style legacy sources).
+class HierarchicalConnector : public Connector {
+ public:
+  /// `store` must outlive the connector.
+  HierarchicalConnector(std::string source_name, hierarchical::HStore* store)
+      : name_(std::move(source_name)), store_(store) {}
+
+  const std::string& name() const override { return name_; }
+  SourceCapabilities capabilities() const override {
+    SourceCapabilities caps;
+    caps.supports_predicates = true;  // HStore::Search filters server-side
+    return caps;
+  }
+  std::vector<std::string> Collections() override;
+  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  uint64_t DataVersion() override { return store_->version(); }
+
+  /// Maps `collection_name` to the subtree rooted at `base_path`.
+  void MapCollection(const std::string& collection_name,
+                     const std::string& base_path);
+
+  hierarchical::HStore* store() { return store_; }
+
+ private:
+  std::string name_;
+  hierarchical::HStore* store_;
+  std::map<std::string, std::string> collection_paths_;
+};
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_HIERARCHICAL_CONNECTOR_H_

@@ -1,0 +1,60 @@
+#include "connector/relational_connector.h"
+
+namespace nimble {
+namespace connector {
+
+SourceCapabilities RelationalConnector::capabilities() const {
+  SourceCapabilities caps;
+  caps.supports_sql = true;
+  caps.supports_predicates = true;
+  caps.supports_joins = true;
+  caps.supports_aggregates = true;
+  for (const std::string& table_name : db_->TableNames()) {
+    const relational::Table* table = db_->GetTable(table_name);
+    for (const auto& index : table->indexes()) {
+      caps.indexed_columns.emplace_back(
+          table_name, table->schema().columns()[index->column()].name);
+    }
+  }
+  return caps;
+}
+
+std::vector<std::string> RelationalConnector::Collections() {
+  return db_->TableNames();
+}
+
+NodePtr RelationalConnector::ResultSetToXml(const relational::ResultSet& rs,
+                                            const std::string& root_name,
+                                            const std::string& record_name) {
+  NodePtr root = Node::Element(root_name);
+  for (const relational::Row& row : rs.rows) {
+    NodePtr record = Node::Element(record_name);
+    for (size_t i = 0; i < rs.columns.size() && i < row.size(); ++i) {
+      record->AddScalarChild(rs.columns[i], row[i]);
+    }
+    root->AddChild(std::move(record));
+  }
+  return root;
+}
+
+Result<NodePtr> RelationalConnector::FetchCollection(
+    const std::string& collection) {
+  relational::SelectStmt all;
+  all.select_star = true;
+  all.from.table = collection;
+  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->Query(all));
+  ++stats_.calls;
+  stats_.rows_shipped += rs.rows.size();
+  return ResultSetToXml(rs, collection, "row");
+}
+
+Result<relational::ResultSet> RelationalConnector::ExecuteSql(
+    const std::string& sql) {
+  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->Execute(sql));
+  ++stats_.calls;
+  stats_.rows_shipped += rs.rows.size();
+  return rs;
+}
+
+}  // namespace connector
+}  // namespace nimble

@@ -1,0 +1,48 @@
+#ifndef NIMBLE_CONNECTOR_RELATIONAL_CONNECTOR_H_
+#define NIMBLE_CONNECTOR_RELATIONAL_CONNECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "relational/database.h"
+
+namespace nimble {
+namespace connector {
+
+/// Wraps a relational::Database as a federated source. This is the "RDB"
+/// endpoint of the paper: the mediator's compiler generates SQL text, this
+/// connector parses and executes it in the source engine (so pushdown runs
+/// the source's own planner and indexes — the real code path, per
+/// DESIGN.md's substitution table).
+class RelationalConnector : public Connector {
+ public:
+  /// `db` must outlive the connector.
+  RelationalConnector(std::string source_name, relational::Database* db)
+      : name_(std::move(source_name)), db_(db) {}
+
+  const std::string& name() const override { return name_; }
+  SourceCapabilities capabilities() const override;
+  std::vector<std::string> Collections() override;
+  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  Result<relational::ResultSet> ExecuteSql(const std::string& sql) override;
+  uint64_t DataVersion() override { return db_->Version(); }
+
+  relational::Database* database() { return db_; }
+
+  /// Renders a ResultSet as an XML record tree:
+  /// `<rows><row><col>v</col>…</row>…</rows>`.
+  static NodePtr ResultSetToXml(const relational::ResultSet& rs,
+                                const std::string& root_name = "rows",
+                                const std::string& record_name = "row");
+
+ private:
+  std::string name_;
+  relational::Database* db_;
+};
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_RELATIONAL_CONNECTOR_H_

@@ -1,0 +1,49 @@
+#include "connector/simulated_source.h"
+
+namespace nimble {
+namespace connector {
+
+Status SimulatedSource::AdmitRequest() {
+  bool up = forced_ ? online_ : rng_.Bernoulli(config_.availability);
+  if (!up) {
+    return Status::Unavailable("source '" + name() + "' is offline");
+  }
+  clock_->AdvanceMicros(config_.fixed_latency_micros);
+  stats_.latency_micros += config_.fixed_latency_micros;
+  ++stats_.calls;
+  return Status::OK();
+}
+
+void SimulatedSource::ChargeRows(size_t rows) {
+  int64_t cost = static_cast<int64_t>(rows) * config_.per_row_latency_micros;
+  clock_->AdvanceMicros(cost);
+  stats_.latency_micros += cost;
+  stats_.rows_shipped += rows;
+}
+
+Status SimulatedSource::Ping() {
+  bool up = forced_ ? online_ : rng_.Bernoulli(config_.availability);
+  if (!up) {
+    return Status::Unavailable("source '" + name() + "' is offline");
+  }
+  return Status::OK();
+}
+
+Result<NodePtr> SimulatedSource::FetchCollection(
+    const std::string& collection) {
+  NIMBLE_RETURN_IF_ERROR(AdmitRequest());
+  NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, inner_->FetchCollection(collection));
+  ChargeRows(tree->children().size());
+  return tree;
+}
+
+Result<relational::ResultSet> SimulatedSource::ExecuteSql(
+    const std::string& sql) {
+  NIMBLE_RETURN_IF_ERROR(AdmitRequest());
+  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, inner_->ExecuteSql(sql));
+  ChargeRows(rs.rows.size());
+  return rs;
+}
+
+}  // namespace connector
+}  // namespace nimble

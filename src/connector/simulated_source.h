@@ -1,0 +1,86 @@
+#ifndef NIMBLE_CONNECTOR_SIMULATED_SOURCE_H_
+#define NIMBLE_CONNECTOR_SIMULATED_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "connector/connector.h"
+
+namespace nimble {
+namespace connector {
+
+/// Behavioural knobs for a simulated remote source (see DESIGN.md
+/// substitutions: stands in for WAN latency and flaky corporate sources).
+struct SimulationConfig {
+  int64_t fixed_latency_micros = 0;    ///< per-request round-trip cost.
+  int64_t per_row_latency_micros = 0;  ///< bandwidth: cost per shipped row.
+  double availability = 1.0;           ///< P(request succeeds), per request.
+  uint64_t seed = 1;                   ///< drives the availability draw.
+};
+
+/// Decorator that makes any connector behave like a remote, possibly
+/// unavailable source. Latency is charged to a Clock (a VirtualClock in
+/// benchmarks, so runs are fast and deterministic; a RealClock in demos).
+/// Availability can be driven probabilistically (per request) or forced
+/// with SetOnline for scripted outages.
+class SimulatedSource : public Connector {
+ public:
+  /// `inner` is owned; `clock` must outlive the connector.
+  SimulatedSource(std::unique_ptr<Connector> inner, SimulationConfig config,
+                  Clock* clock)
+      : inner_(std::move(inner)),
+        config_(config),
+        clock_(clock),
+        rng_(config.seed) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  SourceCapabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+
+  Status Ping() override;
+  std::vector<std::string> Collections() override {
+    return inner_->Collections();
+  }
+  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  Result<relational::ResultSet> ExecuteSql(const std::string& sql) override;
+  uint64_t DataVersion() override { return inner_->DataVersion(); }
+
+  const FetchStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_.Reset();
+    inner_->ResetStats();
+  }
+
+  /// Forces the source on/offline, overriding the availability probability
+  /// until ClearForcedState().
+  void SetOnline(bool online) {
+    forced_ = true;
+    online_ = online;
+  }
+  void ClearForcedState() { forced_ = false; }
+
+  Connector* inner() { return inner_.get(); }
+  const SimulationConfig& config() const { return config_; }
+  void set_config(const SimulationConfig& config) { config_ = config; }
+
+ private:
+  /// Draws availability and charges fixed latency; Unavailable on failure.
+  Status AdmitRequest();
+  void ChargeRows(size_t rows);
+
+  std::unique_ptr<Connector> inner_;
+  SimulationConfig config_;
+  Clock* clock_;
+  Rng rng_;
+  bool forced_ = false;
+  bool online_ = true;
+};
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_SIMULATED_SOURCE_H_

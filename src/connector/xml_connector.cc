@@ -1,0 +1,47 @@
+#include "connector/xml_connector.h"
+
+#include "xml/parser.h"
+
+namespace nimble {
+namespace connector {
+
+std::vector<std::string> XmlConnector::Collections() {
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [doc_name, doc] : documents_) names.push_back(doc_name);
+  return names;
+}
+
+Result<NodePtr> XmlConnector::FetchCollection(const std::string& collection) {
+  auto it = documents_.find(collection);
+  if (it == documents_.end()) {
+    return Status::NotFound("source '" + name_ + "' has no document '" +
+                            collection + "'");
+  }
+  ++stats_.calls;
+  NodePtr clone = it->second->Clone();
+  stats_.rows_shipped += clone->children().size();
+  return clone;
+}
+
+void XmlConnector::PutDocument(const std::string& doc_name, NodePtr document) {
+  documents_[doc_name] = std::move(document);
+  ++version_;
+}
+
+Status XmlConnector::PutDocumentText(const std::string& doc_name,
+                                     const std::string& xml_text) {
+  NIMBLE_ASSIGN_OR_RETURN(NodePtr doc, ParseXml(xml_text));
+  PutDocument(doc_name, std::move(doc));
+  return Status::OK();
+}
+
+NodePtr XmlConnector::MutableDocument(const std::string& doc_name) {
+  auto it = documents_.find(doc_name);
+  if (it == documents_.end()) return nullptr;
+  ++version_;
+  return it->second;
+}
+
+}  // namespace connector
+}  // namespace nimble

@@ -1,0 +1,48 @@
+#ifndef NIMBLE_CONNECTOR_XML_CONNECTOR_H_
+#define NIMBLE_CONNECTOR_XML_CONNECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace nimble {
+namespace connector {
+
+/// Serves a set of named XML documents — the "native XML" source class the
+/// paper's market (data interchange via XML, §1) centres on. Documents are
+/// registered programmatically or parsed from text.
+class XmlConnector : public Connector {
+ public:
+  explicit XmlConnector(std::string source_name)
+      : name_(std::move(source_name)) {}
+
+  const std::string& name() const override { return name_; }
+  SourceCapabilities capabilities() const override {
+    return SourceCapabilities{};  // bare document server; mediator does all work
+  }
+  std::vector<std::string> Collections() override;
+  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  uint64_t DataVersion() override { return version_; }
+
+  /// Registers (or replaces) a document under `doc_name`.
+  void PutDocument(const std::string& doc_name, NodePtr document);
+
+  /// Parses `xml_text` and registers it.
+  Status PutDocumentText(const std::string& doc_name,
+                         const std::string& xml_text);
+
+  /// Mutable access for update simulations (bumps the data version).
+  NodePtr MutableDocument(const std::string& doc_name);
+
+ private:
+  std::string name_;
+  std::map<std::string, NodePtr> documents_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace connector
+}  // namespace nimble
+
+#endif  // NIMBLE_CONNECTOR_XML_CONNECTOR_H_

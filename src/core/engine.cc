@@ -1,0 +1,579 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "algebra/construct.h"
+#include "algebra/pattern_match.h"
+#include "core/sql_generator.h"
+#include "xmlql/parser.h"
+
+namespace nimble {
+namespace core {
+
+namespace {
+
+/// Applies bound conditions in place over a materialized tuple vector.
+Result<size_t> FilterTuples(const std::vector<const xmlql::Condition*>& conds,
+                            const algebra::TupleSchema& schema,
+                            std::vector<algebra::Tuple>* tuples) {
+  if (conds.empty()) return tuples->size();
+  std::vector<algebra::BoundCondition> bound;
+  bound.reserve(conds.size());
+  for (const xmlql::Condition* cond : conds) {
+    NIMBLE_ASSIGN_OR_RETURN(algebra::BoundCondition bc,
+                            algebra::BoundCondition::Bind(*cond, schema));
+    bound.push_back(bc);
+  }
+  std::vector<algebra::Tuple> kept;
+  kept.reserve(tuples->size());
+  for (algebra::Tuple& tuple : *tuples) {
+    bool pass = true;
+    for (const algebra::BoundCondition& bc : bound) {
+      if (!bc.Evaluate(tuple)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) kept.push_back(std::move(tuple));
+  }
+  *tuples = std::move(kept);
+  return tuples->size();
+}
+
+void AddUnique(std::vector<std::string>* list, const std::string& item) {
+  if (std::find(list->begin(), list->end(), item) == list->end()) {
+    list->push_back(item);
+  }
+}
+
+}  // namespace
+
+std::string ExecutionReport::Summary() const {
+  std::string out = std::to_string(result_count) + " results, " +
+                    std::to_string(rows_shipped) + " rows shipped, " +
+                    std::to_string(source_latency_micros) + "us source time, " +
+                    std::to_string(fragments_pushed_down) + " pushed / " +
+                    std::to_string(fragments_fetched) + " fetched";
+  out += "; " + completeness.ToString();
+  return out;
+}
+
+Result<QueryResult> IntegrationEngine::ExecuteText(
+    std::string_view xmlql_text, const QueryOptions& query_options) {
+  NIMBLE_ASSIGN_OR_RETURN(xmlql::Program program,
+                          xmlql::ParseProgram(xmlql_text));
+  return Execute(program, query_options);
+}
+
+Result<QueryResult> IntegrationEngine::Execute(
+    const xmlql::Program& program, const QueryOptions& query_options) {
+  ++queries_served_;
+  return ExecuteInternal(program, query_options, 0);
+}
+
+Result<QueryResult> IntegrationEngine::ExecuteInternal(
+    const xmlql::Program& program, const QueryOptions& query_options,
+    int view_depth) {
+  if (view_depth > options_.max_view_depth) {
+    return Status::InvalidArgument("mediated view nesting exceeds depth " +
+                                   std::to_string(options_.max_view_depth));
+  }
+  AvailabilityPolicy policy =
+      query_options.availability.value_or(options_.availability);
+
+  QueryResult result;
+  result.document = Node::Element("results");
+  ExecutionReport& report = result.report;
+
+  for (size_t branch = 0; branch < program.branches.size(); ++branch) {
+    ExecutionReport branch_report;
+    Status status = ExecuteBranch(program.branches[branch], query_options,
+                                  view_depth, result.document.get(),
+                                  &branch_report);
+    // Merge accounting even for failed branches (work was done).
+    report.rows_shipped += branch_report.rows_shipped;
+    report.fragments_pushed_down += branch_report.fragments_pushed_down;
+    report.fragments_fetched += branch_report.fragments_fetched;
+    report.fragments_bind_joined += branch_report.fragments_bind_joined;
+    report.pushdown_hit_index |= branch_report.pushdown_hit_index;
+    if (options_.parallel_fetch) {
+      report.source_latency_micros = std::max(
+          report.source_latency_micros, branch_report.source_latency_micros);
+    } else {
+      report.source_latency_micros += branch_report.source_latency_micros;
+    }
+    for (const std::string& src : branch_report.sources_contacted) {
+      AddUnique(&report.sources_contacted, src);
+    }
+    if (!branch_report.plan.empty()) report.plan = branch_report.plan;
+
+    if (status.ok()) continue;
+    if (status.code() != StatusCode::kUnavailable) return status;
+
+    // An unavailable source. Who?
+    for (const std::string& src :
+         branch_report.completeness.unavailable_sources) {
+      AddUnique(&report.completeness.unavailable_sources, src);
+      // Required sources fail the query under any policy.
+      for (const std::string& required : query_options.required_sources) {
+        if (required == src) {
+          return Status::Unavailable("required source '" + src +
+                                     "' is unavailable");
+        }
+      }
+    }
+    if (policy == AvailabilityPolicy::kFailFast) return status;
+    report.completeness.complete = false;
+    report.completeness.skipped_branches.push_back(branch);
+  }
+
+  report.result_count = result.document->children().size();
+  // Surface completeness on the document itself so downstream consumers
+  // (lenses, devices) can display it (§3.4: "indicating to the user that
+  // the results were not complete").
+  result.document->SetAttribute(
+      "complete", Value::Bool(report.completeness.complete));
+  if (!report.completeness.complete) {
+    std::string missing;
+    for (size_t i = 0; i < report.completeness.unavailable_sources.size();
+         ++i) {
+      if (i > 0) missing += ",";
+      missing += report.completeness.unavailable_sources[i];
+    }
+    result.document->SetAttribute("missing_sources", Value::String(missing));
+  }
+  return result;
+}
+
+Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
+                                        const QueryOptions& query_options,
+                                        int view_depth, Node* out_root,
+                                        ExecutionReport* report) {
+  Fragmentation fragmentation = FragmentQuery(query);
+
+  // Evaluation order: non-SQL fragments first so their join-key values are
+  // available for bind-join pushdown into the SQL fragments that follow.
+  std::vector<size_t> order;
+  if (options_.enable_bind_join && options_.enable_pushdown) {
+    std::vector<size_t> sql_fragments;
+    for (size_t i = 0; i < fragmentation.fragments.size(); ++i) {
+      const xmlql::SourceRef& ref =
+          fragmentation.fragments[i].pattern->source;
+      connector::Connector* source =
+          ref.is_view() ? nullptr : catalog_->source(ref.source);
+      bool sql_capable =
+          source != nullptr && source->capabilities().supports_sql;
+      (sql_capable ? sql_fragments : order).push_back(i);
+    }
+    order.insert(order.end(), sql_fragments.begin(), sql_fragments.end());
+  } else {
+    for (size_t i = 0; i < fragmentation.fragments.size(); ++i) {
+      order.push_back(i);
+    }
+  }
+
+  // Complete distinct join-key sets from already-evaluated fragments.
+  std::map<std::string, std::vector<Value>> bind_values;
+
+  // ORDER BY/LIMIT can ride into the source only when this fragment *is*
+  // the query.
+  TopLevelPushdown top;
+  top.order_by = &query.order_by;
+  top.limit = query.limit;
+  bool top_eligible = fragmentation.fragments.size() == 1 &&
+                      fragmentation.cross_conditions.empty() &&
+                      !query.IsAggregation();
+
+  std::vector<FragmentResult> fragment_results;
+  fragment_results.reserve(fragmentation.fragments.size());
+  for (size_t index : order) {
+    const Fragment& fragment = fragmentation.fragments[index];
+    Result<FragmentResult> fr = EvaluateFragment(
+        fragment, query_options, view_depth,
+        options_.enable_bind_join ? &bind_values : nullptr,
+        top_eligible ? &top : nullptr, report);
+    if (!fr.ok()) return fr.status();
+    if (fr->bind_joined) ++report->fragments_bind_joined;
+    // Harvest distinct values for future bind joins (scalar bindings only;
+    // node bindings join by deep equality, which IN cannot express).
+    if (options_.enable_bind_join) {
+      for (const std::string& var : fr->schema.variables()) {
+        if (bind_values.count(var) > 0) continue;
+        size_t slot = *fr->schema.SlotOf(var);
+        std::set<std::string> seen;
+        std::vector<Value> distinct;
+        bool usable = true;
+        for (const algebra::Tuple& tuple : fr->tuples) {
+          const algebra::Binding& binding = tuple[slot];
+          if (binding.is_node()) {
+            usable = false;
+            break;
+          }
+          Value v = binding.AsScalar();
+          std::string key =
+              std::string(ValueTypeName(v.type())) + "\x1f" + v.ToString();
+          if (seen.insert(key).second) distinct.push_back(std::move(v));
+          if (distinct.size() > options_.bind_join_limit) {
+            usable = false;
+            break;
+          }
+        }
+        if (usable) bind_values[var] = std::move(distinct);
+      }
+    }
+    if (options_.parallel_fetch) {
+      report->source_latency_micros =
+          std::max(report->source_latency_micros, fr->latency_micros);
+    } else {
+      report->source_latency_micros += fr->latency_micros;
+    }
+    report->rows_shipped += fr->rows_shipped;
+    if (fr->pushed_down) {
+      ++report->fragments_pushed_down;
+      report->pushdown_hit_index |= fr->hit_index;
+    } else {
+      ++report->fragments_fetched;
+    }
+    fragment_results.push_back(std::move(*fr));
+  }
+
+  Result<std::unique_ptr<algebra::Operator>> plan = BuildPlan(
+      std::move(fragment_results), fragmentation.cross_conditions, query);
+  if (!plan.ok()) return plan.status();
+  report->plan = (*plan)->Describe();
+
+  // Drain the plan, instantiating the CONSTRUCT template per tuple.
+  NIMBLE_RETURN_IF_ERROR((*plan)->Open());
+  while (true) {
+    Result<std::optional<algebra::Tuple>> tuple = (*plan)->Next();
+    if (!tuple.ok()) return tuple.status();
+    if (!tuple->has_value()) break;
+    Result<NodePtr> instance = algebra::InstantiateTemplate(
+        *query.construct, (*plan)->schema(), **tuple);
+    if (!instance.ok()) return instance.status();
+    out_root->AddChild(std::move(*instance));
+  }
+  (*plan)->Close();
+  return Status::OK();
+}
+
+Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
+    const Fragment& fragment, const QueryOptions& query_options,
+    int view_depth,
+    const std::map<std::string, std::vector<Value>>* bind_values,
+    const TopLevelPushdown* top_pushdown, ExecutionReport* report) {
+  FragmentResult out;
+  const xmlql::SourceRef& source_ref = fragment.pattern->source;
+
+  if (source_ref.is_view()) {
+    // Mediated-view reference: execute the view's program recursively and
+    // match this pattern against its result document (GAV expansion).
+    const metadata::MediatedView* view = catalog_->view(source_ref.collection);
+    if (view == nullptr) {
+      return Status::NotFound("no view or source named '" +
+                              source_ref.collection + "'");
+    }
+    NIMBLE_ASSIGN_OR_RETURN(xmlql::Program view_program,
+                            xmlql::ParseProgram(view->query_text));
+    Result<QueryResult> view_result =
+        ExecuteInternal(view_program, query_options, view_depth + 1);
+    if (!view_result.ok()) {
+      if (view_result.status().code() == StatusCode::kUnavailable) {
+        // Propagate which sources were down.
+        for (const std::string& src : view->source_dependencies) {
+          AddUnique(&report->completeness.unavailable_sources, src);
+        }
+      }
+      return view_result.status();
+    }
+    // Nested incompleteness taints this query too.
+    if (!view_result->report.completeness.complete) {
+      report->completeness.complete = false;
+      for (const std::string& src :
+           view_result->report.completeness.unavailable_sources) {
+        AddUnique(&report->completeness.unavailable_sources, src);
+      }
+    }
+    report->rows_shipped += view_result->report.rows_shipped;
+    out.latency_micros = view_result->report.source_latency_micros;
+    for (const std::string& src : view_result->report.sources_contacted) {
+      AddUnique(&report->sources_contacted, src);
+    }
+    out.schema = fragment.schema;
+    NIMBLE_ASSIGN_OR_RETURN(
+        out.tuples, algebra::MatchPattern(fragment.pattern->root,
+                                          view_result->document, out.schema));
+    NIMBLE_RETURN_IF_ERROR(
+        FilterTuples(fragment.local_conditions, out.schema, &out.tuples)
+            .status());
+    out.label = "view:" + source_ref.collection;
+    return out;
+  }
+
+  connector::Connector* source = catalog_->source(source_ref.source);
+  if (source == nullptr) {
+    return Status::NotFound("no source named '" + source_ref.source + "'");
+  }
+  AddUnique(&report->sources_contacted, source_ref.source);
+
+  connector::FetchStats before = source->stats();
+
+  // Try SQL pushdown first.
+  if (options_.enable_pushdown) {
+    Result<SqlTranslation> translation = TranslateFragmentToSql(
+        fragment, source->capabilities(),
+        /*push_predicates=*/true, bind_values, top_pushdown);
+    if (translation.ok()) {
+      Result<relational::ResultSet> rs = source->ExecuteSql(translation->sql);
+      for (size_t attempt = 0;
+           !rs.ok() && rs.status().code() == StatusCode::kUnavailable &&
+           attempt < options_.fetch_retries;
+           ++attempt) {
+        rs = source->ExecuteSql(translation->sql);
+      }
+      if (!rs.ok()) {
+        if (rs.status().code() == StatusCode::kUnavailable) {
+          AddUnique(&report->completeness.unavailable_sources,
+                    source_ref.source);
+        }
+        return rs.status();
+      }
+      algebra::TupleSchema schema(translation->variables);
+      std::vector<algebra::Tuple> tuples;
+      tuples.reserve(rs->rows.size());
+      for (const relational::Row& row : rs->rows) {
+        algebra::Tuple tuple;
+        tuple.reserve(row.size());
+        for (const Value& v : row) tuple.emplace_back(algebra::Binding{v});
+        tuples.push_back(std::move(tuple));
+      }
+      // Apply local conditions the translation did not consume.
+      std::vector<const xmlql::Condition*> residual;
+      for (const xmlql::Condition* cond : fragment.local_conditions) {
+        bool consumed = false;
+        for (const xmlql::Condition* pushed : translation->pushed_conditions) {
+          if (pushed == cond) {
+            consumed = true;
+            break;
+          }
+        }
+        if (!consumed) residual.push_back(cond);
+      }
+      NIMBLE_RETURN_IF_ERROR(
+          FilterTuples(residual, schema, &tuples).status());
+
+      connector::FetchStats after = source->stats();
+      out.schema = std::move(schema);
+      out.tuples = std::move(tuples);
+      out.rows_shipped = after.rows_shipped - before.rows_shipped;
+      out.latency_micros = after.latency_micros - before.latency_micros;
+      out.pushed_down = true;
+      out.hit_index = translation->predicate_hits_index;
+      out.bind_joined = !translation->bound_variables.empty();
+      out.label = (out.bind_joined ? "sql+bind:" : "sql:") +
+                  source_ref.ToString();
+      return out;
+    }
+    // Unsupported shapes fall back to fetch+match below; real errors too —
+    // the fetch path will surface them.
+  }
+
+  Result<NodePtr> tree = source->FetchCollection(source_ref.collection);
+  for (size_t attempt = 0;
+       !tree.ok() && tree.status().code() == StatusCode::kUnavailable &&
+       attempt < options_.fetch_retries;
+       ++attempt) {
+    tree = source->FetchCollection(source_ref.collection);
+  }
+  if (!tree.ok()) {
+    if (tree.status().code() == StatusCode::kUnavailable) {
+      AddUnique(&report->completeness.unavailable_sources, source_ref.source);
+    }
+    return tree.status();
+  }
+  out.schema = fragment.schema;
+  NIMBLE_ASSIGN_OR_RETURN(
+      out.tuples,
+      algebra::MatchPattern(fragment.pattern->root, *tree, out.schema));
+  NIMBLE_RETURN_IF_ERROR(
+      FilterTuples(fragment.local_conditions, out.schema, &out.tuples)
+          .status());
+  connector::FetchStats after = source->stats();
+  out.rows_shipped = after.rows_shipped - before.rows_shipped;
+  out.latency_micros = after.latency_micros - before.latency_micros;
+  out.label = "fetch:" + source_ref.ToString();
+  return out;
+}
+
+Result<std::unique_ptr<algebra::Operator>> IntegrationEngine::BuildPlan(
+    std::vector<FragmentResult> fragments,
+    const std::vector<const xmlql::Condition*>& cross_conditions,
+    const xmlql::Query& query) {
+  struct PlanEntry {
+    std::unique_ptr<algebra::Operator> op;
+    double size_estimate;
+  };
+  std::vector<PlanEntry> entries;
+  entries.reserve(fragments.size());
+  for (FragmentResult& fr : fragments) {
+    double size = static_cast<double>(fr.tuples.size());
+    entries.push_back(PlanEntry{
+        std::make_unique<algebra::MaterializedScan>(
+            std::move(fr.schema), std::move(fr.tuples), fr.label),
+        size});
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+
+  std::vector<const xmlql::Condition*> pending = cross_conditions;
+
+  auto shares_variable = [](const algebra::Operator& a,
+                            const algebra::Operator& b) {
+    for (const std::string& var : a.schema().variables()) {
+      if (b.schema().SlotOf(var).has_value()) return true;
+    }
+    return false;
+  };
+
+  while (entries.size() > 1) {
+    // Pick the cheapest joinable pair; prefer pairs sharing variables.
+    size_t best_i = 0, best_j = 1;
+    bool best_shared = false;
+    double best_cost = 0;
+    bool found = false;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        bool shared = shares_variable(*entries[i].op, *entries[j].op);
+        double cost = entries[i].size_estimate * entries[j].size_estimate;
+        bool better = !found || (shared && !best_shared) ||
+                      (shared == best_shared && cost < best_cost);
+        if (better) {
+          best_i = i;
+          best_j = j;
+          best_shared = shared;
+          best_cost = cost;
+          found = true;
+        }
+      }
+    }
+
+    PlanEntry left = std::move(entries[best_i]);
+    PlanEntry right = std::move(entries[best_j]);
+    entries.erase(entries.begin() + static_cast<ptrdiff_t>(best_j));
+    entries.erase(entries.begin() + static_cast<ptrdiff_t>(best_i));
+
+    std::unique_ptr<algebra::Operator> joined;
+    double estimate;
+    if (best_shared) {
+      joined = std::make_unique<algebra::HashJoin>(std::move(left.op),
+                                                   std::move(right.op));
+      estimate = std::max(left.size_estimate, right.size_estimate);
+    } else {
+      joined = std::make_unique<algebra::NestedLoopJoin>(
+          std::move(left.op), std::move(right.op),
+          std::vector<algebra::BoundCondition>{});
+      estimate = left.size_estimate * right.size_estimate;
+    }
+
+    // Attach any cross conditions that just became evaluable.
+    std::vector<algebra::BoundCondition> newly_bound;
+    std::vector<const xmlql::Condition*> still_pending;
+    for (const xmlql::Condition* cond : pending) {
+      bool covered = true;
+      for (const std::string& var : cond->Variables()) {
+        if (!joined->schema().SlotOf(var).has_value()) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) {
+        NIMBLE_ASSIGN_OR_RETURN(
+            algebra::BoundCondition bc,
+            algebra::BoundCondition::Bind(*cond, joined->schema()));
+        newly_bound.push_back(bc);
+      } else {
+        still_pending.push_back(cond);
+      }
+    }
+    pending = std::move(still_pending);
+    if (!newly_bound.empty()) {
+      joined = std::make_unique<algebra::Filter>(std::move(joined),
+                                                 std::move(newly_bound));
+    }
+    entries.push_back(PlanEntry{std::move(joined), estimate});
+  }
+
+  std::unique_ptr<algebra::Operator> plan = std::move(entries[0].op);
+  if (!pending.empty()) {
+    // Single-fragment queries land here when a "cross" condition exists
+    // (cannot happen via the fragmenter, but guard anyway).
+    std::vector<algebra::BoundCondition> bound;
+    for (const xmlql::Condition* cond : pending) {
+      NIMBLE_ASSIGN_OR_RETURN(
+          algebra::BoundCondition bc,
+          algebra::BoundCondition::Bind(*cond, plan->schema()));
+      bound.push_back(bc);
+    }
+    plan = std::make_unique<algebra::Filter>(std::move(plan), std::move(bound));
+  }
+
+  // Aggregation: group by the GROUP BY variables and compute the template's
+  // aggregate calls. Output variables are named "<fn>_<var>" and resolved
+  // by template instantiation (see algebra/construct.cc).
+  if (query.IsAggregation()) {
+    std::vector<std::pair<xmlql::AggregateFn, std::string>> calls;
+    query.construct->CollectAggregates(&calls);
+    std::vector<algebra::HashAggregate::Spec> specs;
+    for (const auto& [fn, var] : calls) {
+      if (!plan->schema().SlotOf(var).has_value()) {
+        return Status::InvalidArgument("aggregate over unbound variable $" +
+                                       var);
+      }
+      algebra::HashAggregate::Fn op = algebra::HashAggregate::Fn::kCount;
+      switch (fn) {
+        case xmlql::AggregateFn::kCount:
+          op = algebra::HashAggregate::Fn::kCount;
+          break;
+        case xmlql::AggregateFn::kSum:
+          op = algebra::HashAggregate::Fn::kSum;
+          break;
+        case xmlql::AggregateFn::kAvg:
+          op = algebra::HashAggregate::Fn::kAvg;
+          break;
+        case xmlql::AggregateFn::kMin:
+          op = algebra::HashAggregate::Fn::kMin;
+          break;
+        case xmlql::AggregateFn::kMax:
+          op = algebra::HashAggregate::Fn::kMax;
+          break;
+      }
+      specs.push_back(algebra::HashAggregate::Spec{
+          op, var, std::string(xmlql::AggregateFnName(fn)) + "_" + var});
+    }
+    plan = std::make_unique<algebra::HashAggregate>(
+        std::move(plan), query.group_by, std::move(specs));
+  }
+
+  if (!query.order_by.empty()) {
+    std::vector<algebra::Sort::Key> keys;
+    for (const xmlql::OrderSpec& spec : query.order_by) {
+      std::optional<size_t> slot = plan->schema().SlotOf(spec.variable);
+      if (!slot.has_value()) {
+        return Status::InvalidArgument("ORDER BY variable $" + spec.variable +
+                                       " not bound");
+      }
+      keys.push_back(algebra::Sort::Key{*slot, spec.descending});
+    }
+    plan = std::make_unique<algebra::Sort>(std::move(plan), std::move(keys));
+  }
+  if (query.limit >= 0) {
+    plan = std::make_unique<algebra::Limit>(std::move(plan),
+                                            static_cast<size_t>(query.limit));
+  }
+  return plan;
+}
+
+}  // namespace core
+}  // namespace nimble

@@ -1,0 +1,155 @@
+#ifndef NIMBLE_CORE_ENGINE_H_
+#define NIMBLE_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "common/result.h"
+#include "core/fragmenter.h"
+#include "core/partial_results.h"
+#include "core/sql_generator.h"
+#include "metadata/catalog.h"
+#include "xml/node.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace core {
+
+/// Engine-wide configuration.
+struct EngineOptions {
+  /// Push projections/selections into SQL-capable sources. Disabling this
+  /// is the E3 ablation: every relational collection is shipped whole.
+  bool enable_pushdown = true;
+  /// Bind joins: when the distinct join-key values from already-fetched
+  /// fragments fit under `bind_join_limit`, push them as `col IN (…)`
+  /// semijoin filters into SQL fragments (Adali et al., paper ref [1]).
+  bool enable_bind_join = true;
+  size_t bind_join_limit = 500;
+  /// Model fragment fetches as concurrent: the report's source latency is
+  /// the max over fragments instead of the sum.
+  bool parallel_fetch = true;
+  /// Default availability behaviour (overridable per query).
+  AvailabilityPolicy availability = AvailabilityPolicy::kFailFast;
+  /// Transparent retries per fragment on transient source unavailability
+  /// before the availability policy kicks in (0 = fail immediately).
+  size_t fetch_retries = 0;
+  /// Maximum depth of mediated-view expansion (cycle guard).
+  int max_view_depth = 16;
+};
+
+/// Per-query options.
+struct QueryOptions {
+  /// When set, overrides the engine's availability policy.
+  std::optional<AvailabilityPolicy> availability;
+  /// Sources that must answer even under kPartial; if one of these is
+  /// down the query fails (paper §3.4: "whether and how to allow the query
+  /// to specify behavior when data sources are unavailable").
+  std::vector<std::string> required_sources;
+};
+
+/// What happened while executing a query: the evidence stream for the
+/// E1/E3/E5/E6 experiments.
+struct ExecutionReport {
+  size_t result_count = 0;        ///< instantiated template instances.
+  size_t rows_shipped = 0;        ///< records pulled across source wires.
+  int64_t source_latency_micros = 0;  ///< max (parallel) or sum (serial).
+  size_t fragments_pushed_down = 0;   ///< fragments answered via SQL.
+  size_t fragments_fetched = 0;       ///< fragments answered fetch+match.
+  size_t fragments_bind_joined = 0;   ///< SQL fragments with pushed IN keys.
+  bool pushdown_hit_index = false;
+  std::vector<std::string> sources_contacted;
+  CompletenessInfo completeness;
+  std::string plan;  ///< physical plan rendering of the last branch.
+
+  std::string Summary() const;
+};
+
+/// A query answer: the constructed XML document plus its report.
+struct QueryResult {
+  NodePtr document;
+  ExecutionReport report;
+};
+
+/// The Nimble integration engine (paper §2.1, Figure 1): parses XML-QL,
+/// fragments it by source, compiles relational fragments to SQL, runs the
+/// physical-algebra plan in the mediator, and constructs XML results.
+class IntegrationEngine {
+ public:
+  /// `catalog` must outlive the engine.
+  explicit IntegrationEngine(metadata::Catalog* catalog,
+                             EngineOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  IntegrationEngine(const IntegrationEngine&) = delete;
+  IntegrationEngine& operator=(const IntegrationEngine&) = delete;
+
+  /// Parses and executes XML-QL text (a single query or a UNION program).
+  Result<QueryResult> ExecuteText(std::string_view xmlql_text,
+                                  const QueryOptions& query_options = {});
+
+  /// Executes a parsed program.
+  Result<QueryResult> Execute(const xmlql::Program& program,
+                              const QueryOptions& query_options = {});
+
+  const EngineOptions& options() const { return options_; }
+  void set_options(const EngineOptions& options) { options_ = options; }
+  metadata::Catalog* catalog() { return catalog_; }
+
+  /// Number of queries served (load-balancer bookkeeping).
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  /// The tuples produced for one fragment plus accounting.
+  struct FragmentResult {
+    algebra::TupleSchema schema;
+    std::vector<algebra::Tuple> tuples;
+    size_t rows_shipped = 0;
+    int64_t latency_micros = 0;
+    bool pushed_down = false;
+    bool hit_index = false;
+    bool bind_joined = false;
+    std::vector<const xmlql::Condition*> consumed_conditions;
+    std::string label;
+  };
+
+  Result<QueryResult> ExecuteInternal(const xmlql::Program& program,
+                                      const QueryOptions& query_options,
+                                      int view_depth);
+
+  /// Executes one branch into `out_root`; updates `report`.
+  Status ExecuteBranch(const xmlql::Query& query,
+                       const QueryOptions& query_options, int view_depth,
+                       Node* out_root, ExecutionReport* report);
+
+  /// `bind_values` (nullable) carries complete distinct join-key sets from
+  /// already-evaluated fragments for semijoin pushdown. `top_pushdown`
+  /// (nullable) carries query-level ORDER BY/LIMIT when this fragment is
+  /// the entire query.
+  Result<FragmentResult> EvaluateFragment(
+      const Fragment& fragment, const QueryOptions& query_options,
+      int view_depth,
+      const std::map<std::string, std::vector<Value>>* bind_values,
+      const TopLevelPushdown* top_pushdown, ExecutionReport* report);
+
+  /// Builds the join tree over materialized fragments, applying cross
+  /// conditions as soon as their variables are covered. Greedy smallest-
+  /// first with shared-variable preference (the "internal query optimizer"
+  /// of §4).
+  Result<std::unique_ptr<algebra::Operator>> BuildPlan(
+      std::vector<FragmentResult> fragments,
+      const std::vector<const xmlql::Condition*>& cross_conditions,
+      const xmlql::Query& query);
+
+  metadata::Catalog* catalog_;
+  EngineOptions options_;
+  uint64_t queries_served_ = 0;
+};
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_ENGINE_H_

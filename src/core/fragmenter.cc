@@ -1,0 +1,43 @@
+#include "core/fragmenter.h"
+
+#include "algebra/pattern_match.h"
+
+namespace nimble {
+namespace core {
+
+Fragmentation FragmentQuery(const xmlql::Query& query) {
+  Fragmentation out;
+  out.fragments.reserve(query.patterns.size());
+  for (const xmlql::PatternClause& pattern : query.patterns) {
+    Fragment fragment;
+    fragment.pattern = &pattern;
+    fragment.schema = algebra::SchemaForPattern(pattern.root);
+    out.fragments.push_back(std::move(fragment));
+  }
+  for (const xmlql::Condition& condition : query.conditions) {
+    std::vector<std::string> vars = condition.Variables();
+    Fragment* owner = nullptr;
+    for (Fragment& fragment : out.fragments) {
+      bool covers = true;
+      for (const std::string& var : vars) {
+        if (!fragment.schema.SlotOf(var).has_value()) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        owner = &fragment;
+        break;
+      }
+    }
+    if (owner != nullptr) {
+      owner->local_conditions.push_back(&condition);
+    } else {
+      out.cross_conditions.push_back(&condition);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nimble

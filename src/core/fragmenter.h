@@ -1,0 +1,36 @@
+#ifndef NIMBLE_CORE_FRAGMENTER_H_
+#define NIMBLE_CORE_FRAGMENTER_H_
+
+#include <vector>
+
+#include "algebra/tuple.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace core {
+
+/// One per-source unit of work: a WHERE pattern plus the conditions whose
+/// variables it alone binds (candidates for pushdown or early filtering).
+struct Fragment {
+  const xmlql::PatternClause* pattern = nullptr;
+  std::vector<const xmlql::Condition*> local_conditions;
+  algebra::TupleSchema schema;  ///< variables bound by this pattern.
+};
+
+/// A query split by target source (paper §2.1: "it is parsed and broken
+/// into multiple fragments based on the target data sources").
+struct Fragmentation {
+  std::vector<Fragment> fragments;
+  /// Conditions spanning fragments — evaluated in the mediator after joins.
+  std::vector<const xmlql::Condition*> cross_conditions;
+};
+
+/// Splits `query` into fragments. A condition is local to a fragment iff
+/// every variable it references is bound by that fragment's pattern (when
+/// several fragments qualify, the first one claims it).
+Fragmentation FragmentQuery(const xmlql::Query& query);
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_FRAGMENTER_H_

@@ -1,0 +1,24 @@
+#include "core/partial_results.h"
+
+namespace nimble {
+namespace core {
+
+std::string CompletenessInfo::ToString() const {
+  if (complete) return "complete";
+  std::string out = "INCOMPLETE; unavailable sources: ";
+  for (size_t i = 0; i < unavailable_sources.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += unavailable_sources[i];
+  }
+  if (!skipped_branches.empty()) {
+    out += "; skipped branches: ";
+    for (size_t i = 0; i < skipped_branches.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(skipped_branches[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace nimble

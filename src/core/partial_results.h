@@ -1,0 +1,36 @@
+#ifndef NIMBLE_CORE_PARTIAL_RESULTS_H_
+#define NIMBLE_CORE_PARTIAL_RESULTS_H_
+
+#include <string>
+#include <vector>
+
+namespace nimble {
+namespace core {
+
+/// What to do when a data source is unavailable mid-query (paper §3.4:
+/// "it is often not acceptable … to simply return an error or an empty
+/// result"; the system should provide "partial results, and indicat[e] to
+/// the user that the results were not complete").
+enum class AvailabilityPolicy {
+  /// Fail the whole query on the first unavailable source.
+  kFailFast,
+  /// Skip query branches whose sources are down; annotate the result as
+  /// incomplete and list what was missing.
+  kPartial,
+};
+
+/// Completeness annotation attached to every query result.
+struct CompletenessInfo {
+  bool complete = true;
+  /// Sources that could not be reached.
+  std::vector<std::string> unavailable_sources;
+  /// UNION branches (by index) skipped because of unavailable sources.
+  std::vector<size_t> skipped_branches;
+
+  std::string ToString() const;
+};
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_PARTIAL_RESULTS_H_

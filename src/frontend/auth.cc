@@ -1,0 +1,30 @@
+#include "frontend/auth.h"
+
+namespace nimble {
+namespace frontend {
+
+void AuthRegistry::GrantAccess(const std::string& token,
+                               const std::string& principal,
+                               std::set<std::string> lenses) {
+  grants_[token] = Grant{principal, std::move(lenses)};
+}
+
+void AuthRegistry::Revoke(const std::string& token) { grants_.erase(token); }
+
+Result<std::string> AuthRegistry::Authorize(
+    const std::string& token, const std::string& lens_name) const {
+  auto it = grants_.find(token);
+  if (it == grants_.end()) {
+    return Status::PermissionDenied("unknown token");
+  }
+  const Grant& grant = it->second;
+  if (grant.lenses.count("*") == 0 && grant.lenses.count(lens_name) == 0) {
+    return Status::PermissionDenied("principal '" + grant.principal +
+                                    "' may not invoke lens '" + lens_name +
+                                    "'");
+  }
+  return grant.principal;
+}
+
+}  // namespace frontend
+}  // namespace nimble

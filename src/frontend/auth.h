@@ -1,0 +1,43 @@
+#ifndef NIMBLE_FRONTEND_AUTH_H_
+#define NIMBLE_FRONTEND_AUTH_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+
+namespace nimble {
+namespace frontend {
+
+/// Minimal token-based authentication/authorization for lenses (§2.1: a
+/// lens carries "authentication information"). A principal holds a token
+/// and a set of lens names it may invoke ("*" grants all).
+class AuthRegistry {
+ public:
+  AuthRegistry() = default;
+
+  /// Registers `token` for `principal` with access to `lenses`.
+  void GrantAccess(const std::string& token, const std::string& principal,
+                   std::set<std::string> lenses);
+
+  /// Revokes a token entirely.
+  void Revoke(const std::string& token);
+
+  /// OK (with the principal name) when `token` may invoke `lens_name`;
+  /// PermissionDenied otherwise.
+  Result<std::string> Authorize(const std::string& token,
+                                const std::string& lens_name) const;
+
+ private:
+  struct Grant {
+    std::string principal;
+    std::set<std::string> lenses;  ///< contains "*" for full access.
+  };
+  std::map<std::string, Grant> grants_;
+};
+
+}  // namespace frontend
+}  // namespace nimble
+
+#endif  // NIMBLE_FRONTEND_AUTH_H_

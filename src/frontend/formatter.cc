@@ -1,0 +1,162 @@
+#include "frontend/formatter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace frontend {
+
+namespace {
+
+/// Extracts the tabular shape of a record document: the union of field
+/// names (child-element names and attributes) across record children, in
+/// first-appearance order, plus each record's field values.
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Table Tabulate(const Node& document) {
+  Table table;
+  auto column_index = [&table](const std::string& name) {
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (table.columns[i] == name) return i;
+    }
+    table.columns.push_back(name);
+    return table.columns.size() - 1;
+  };
+  // First pass: establish columns.
+  for (const NodePtr& record : document.children()) {
+    if (!record->is_element()) continue;
+    for (const auto& [attr_name, attr_value] : record->attributes()) {
+      column_index(attr_name);
+    }
+    for (const NodePtr& field : record->children()) {
+      if (field->is_element()) column_index(field->name());
+    }
+    // A record with pure scalar content (no element children) contributes
+    // a column named after itself.
+    if (record->children().size() == 1 && record->children()[0]->is_text()) {
+      column_index(record->name());
+    }
+  }
+  // Second pass: fill rows.
+  for (const NodePtr& record : document.children()) {
+    if (!record->is_element()) continue;
+    std::vector<std::string> row(table.columns.size());
+    for (const auto& [attr_name, attr_value] : record->attributes()) {
+      row[column_index(attr_name)] = attr_value.ToString();
+    }
+    bool scalar_only = true;
+    for (const NodePtr& field : record->children()) {
+      if (field->is_element()) {
+        row[column_index(field->name())] = field->ScalarValue().ToString();
+        scalar_only = false;
+      }
+    }
+    if (scalar_only && record->children().size() == 1 &&
+        record->children()[0]->is_text()) {
+      row[column_index(record->name())] = record->ScalarValue().ToString();
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string EscapeCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  return "\"" + ReplaceAll(field, "\"", "\"\"") + "\"";
+}
+
+}  // namespace
+
+const char* TargetFormatName(TargetFormat format) {
+  switch (format) {
+    case TargetFormat::kXml:
+      return "xml";
+    case TargetFormat::kHtml:
+      return "html";
+    case TargetFormat::kText:
+      return "text";
+    case TargetFormat::kCsv:
+      return "csv";
+  }
+  return "?";
+}
+
+std::string FormatResult(const Node& document, TargetFormat format) {
+  if (format == TargetFormat::kXml) return ToPrettyXml(document);
+
+  Table table = Tabulate(document);
+  switch (format) {
+    case TargetFormat::kHtml: {
+      std::string out = "<table>\n  <tr>";
+      for (const std::string& column : table.columns) {
+        out += "<th>" + EscapeXmlText(column) + "</th>";
+      }
+      out += "</tr>\n";
+      for (const auto& row : table.rows) {
+        out += "  <tr>";
+        for (const std::string& cell : row) {
+          out += "<td>" + EscapeXmlText(cell) + "</td>";
+        }
+        out += "</tr>\n";
+      }
+      out += "</table>";
+      return out;
+    }
+    case TargetFormat::kText: {
+      // Column widths.
+      std::vector<size_t> widths(table.columns.size());
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        widths[c] = table.columns[c].size();
+        for (const auto& row : table.rows) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+      auto pad = [](const std::string& s, size_t w) {
+        return s + std::string(w - s.size(), ' ');
+      };
+      std::string out;
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        if (c > 0) out += "  ";
+        out += pad(table.columns[c], widths[c]);
+      }
+      out += "\n";
+      for (const auto& row : table.rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) out += "  ";
+          out += pad(row[c], widths[c]);
+        }
+        out += "\n";
+      }
+      return out;
+    }
+    case TargetFormat::kCsv: {
+      std::string out;
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        if (c > 0) out += ",";
+        out += EscapeCsvField(table.columns[c]);
+      }
+      out += "\n";
+      for (const auto& row : table.rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c > 0) out += ",";
+          out += EscapeCsvField(row[c]);
+        }
+        out += "\n";
+      }
+      return out;
+    }
+    case TargetFormat::kXml:
+      break;
+  }
+  return ToPrettyXml(document);
+}
+
+}  // namespace frontend
+}  // namespace nimble

@@ -1,0 +1,30 @@
+#ifndef NIMBLE_FRONTEND_FORMATTER_H_
+#define NIMBLE_FRONTEND_FORMATTER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace nimble {
+namespace frontend {
+
+/// Output targets for lens results (§2.1: "result formatting can be
+/// targeted to specific devices (e.g., web interface, wireless device)").
+enum class TargetFormat {
+  kXml,   ///< raw pretty XML — the programmatic interface.
+  kHtml,  ///< table for a web interface.
+  kText,  ///< compact plain text for a constrained (wireless) device.
+  kCsv,   ///< flat export for spreadsheets.
+};
+
+const char* TargetFormatName(TargetFormat format);
+
+/// Formats a result document (a root whose children are record elements)
+/// for a target device. Tabular targets build the column set as the union
+/// of field names across records, in first-appearance order.
+std::string FormatResult(const Node& document, TargetFormat format);
+
+}  // namespace frontend
+}  // namespace nimble
+
+#endif  // NIMBLE_FRONTEND_FORMATTER_H_

@@ -1,0 +1,81 @@
+#ifndef NIMBLE_FRONTEND_LENS_H_
+#define NIMBLE_FRONTEND_LENS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "frontend/auth.h"
+#include "frontend/formatter.h"
+#include "frontend/load_balancer.h"
+#include "materialize/result_cache.h"
+
+namespace nimble {
+namespace frontend {
+
+/// A lens (§2.1): "an object that contains a set of XML queries,
+/// parameters, XSL formatting, and authentication information". The query
+/// text may contain `{param}` placeholders filled at invocation time;
+/// formatting retargets the result per device.
+struct Lens {
+  std::string name;
+  std::string query_template;
+  std::map<std::string, std::string> default_parameters;
+  TargetFormat format = TargetFormat::kXml;
+  bool require_auth = false;
+  bool cacheable = true;
+};
+
+/// A formatted lens answer.
+struct LensResult {
+  std::string body;  ///< formatted per the lens's target.
+  core::QueryResult raw;
+  bool served_from_cache = false;
+};
+
+/// Registry + invoker for lenses: binds the front end together —
+/// authentication, parameter substitution, load-balanced execution,
+/// result caching, and device formatting.
+class LensService {
+ public:
+  /// `balancer` and `cache` must outlive the service; `cache` may be null
+  /// (caching disabled). `auth` may be null (all lenses public).
+  LensService(LoadBalancer* balancer, materialize::ResultCache* cache,
+              AuthRegistry* auth)
+      : balancer_(balancer), cache_(cache), auth_(auth) {}
+
+  LensService(const LensService&) = delete;
+  LensService& operator=(const LensService&) = delete;
+
+  Status RegisterLens(Lens lens);
+  const Lens* lens(const std::string& name) const;
+  std::vector<std::string> LensNames() const;
+
+  /// Invokes a lens. `parameters` override the lens defaults; every
+  /// placeholder must end up bound. `token` is checked when the lens
+  /// requires auth.
+  Result<LensResult> Invoke(
+      const std::string& lens_name,
+      const std::map<std::string, std::string>& parameters = {},
+      const std::string& token = "");
+
+  /// Expands `{param}` placeholders; single quotes in values are doubled
+  /// to keep them inert inside quoted XML-QL literals. Exposed for tests.
+  static Result<std::string> ExpandTemplate(
+      const std::string& query_template,
+      const std::map<std::string, std::string>& parameters);
+
+ private:
+  LoadBalancer* balancer_;
+  materialize::ResultCache* cache_;
+  AuthRegistry* auth_;
+  std::map<std::string, Lens> lenses_;
+};
+
+}  // namespace frontend
+}  // namespace nimble
+
+#endif  // NIMBLE_FRONTEND_LENS_H_

@@ -1,0 +1,54 @@
+#include "frontend/load_balancer.h"
+
+#include <algorithm>
+
+namespace nimble {
+namespace frontend {
+
+void LoadBalancer::AddEngine(std::unique_ptr<core::IntegrationEngine> engine) {
+  engines_.push_back(std::move(engine));
+  busy_micros_.push_back(0);
+}
+
+size_t LoadBalancer::PickEngine() {
+  if (policy_ == BalancePolicy::kRoundRobin) {
+    size_t pick = next_round_robin_;
+    next_round_robin_ = (next_round_robin_ + 1) % engines_.size();
+    return pick;
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < engines_.size(); ++i) {
+    if (busy_micros_[i] < busy_micros_[best]) best = i;
+  }
+  return best;
+}
+
+Result<core::QueryResult> LoadBalancer::Execute(
+    std::string_view xmlql_text, const core::QueryOptions& options) {
+  if (engines_.empty()) {
+    return Status::Internal("load balancer has no engine instances");
+  }
+  size_t pick = PickEngine();
+  Result<core::QueryResult> result =
+      engines_[pick]->ExecuteText(xmlql_text, options);
+  if (result.ok()) {
+    busy_micros_[pick] += result->report.source_latency_micros;
+  }
+  return result;
+}
+
+std::vector<uint64_t> LoadBalancer::QueriesPerEngine() const {
+  std::vector<uint64_t> out;
+  out.reserve(engines_.size());
+  for (const auto& engine : engines_) out.push_back(engine->queries_served());
+  return out;
+}
+
+int64_t LoadBalancer::MakespanMicros() const {
+  int64_t makespan = 0;
+  for (int64_t busy : busy_micros_) makespan = std::max(makespan, busy);
+  return makespan;
+}
+
+}  // namespace frontend
+}  // namespace nimble

@@ -1,0 +1,64 @@
+#ifndef NIMBLE_FRONTEND_LOAD_BALANCER_H_
+#define NIMBLE_FRONTEND_LOAD_BALANCER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace nimble {
+namespace frontend {
+
+/// How queries are spread over engine instances.
+enum class BalancePolicy {
+  kRoundRobin,
+  kLeastLoaded,  ///< least cumulative simulated busy-time.
+};
+
+/// Dispatches queries over a pool of integration-engine instances (§2.1:
+/// "load balancing is provided; multiple instances of the integration
+/// engine can be run simultaneously on one or more servers"). Engines
+/// share the catalog; the balancer tracks per-instance load so E6 can
+/// measure scaling and policy quality.
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(BalancePolicy policy = BalancePolicy::kRoundRobin)
+      : policy_(policy) {}
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  /// Adds an engine instance to the pool (owned).
+  void AddEngine(std::unique_ptr<core::IntegrationEngine> engine);
+
+  size_t pool_size() const { return engines_.size(); }
+  BalancePolicy policy() const { return policy_; }
+  void set_policy(BalancePolicy policy) { policy_ = policy; }
+
+  /// Executes XML-QL text on the chosen instance.
+  Result<core::QueryResult> Execute(std::string_view xmlql_text,
+                                    const core::QueryOptions& options = {});
+
+  /// Per-instance cumulative busy time (source latency charged to the
+  /// instance that served each query) — the load distribution evidence.
+  std::vector<int64_t> BusyMicrosPerEngine() const { return busy_micros_; }
+  std::vector<uint64_t> QueriesPerEngine() const;
+
+  /// Makespan under the recorded assignment: the busiest instance's total.
+  int64_t MakespanMicros() const;
+
+ private:
+  size_t PickEngine();
+
+  BalancePolicy policy_;
+  std::vector<std::unique_ptr<core::IntegrationEngine>> engines_;
+  std::vector<int64_t> busy_micros_;
+  size_t next_round_robin_ = 0;
+};
+
+}  // namespace frontend
+}  // namespace nimble
+
+#endif  // NIMBLE_FRONTEND_LOAD_BALANCER_H_

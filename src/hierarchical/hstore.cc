@@ -1,0 +1,230 @@
+#include "hierarchical/hstore.h"
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace hierarchical {
+
+bool AttrCondition::Matches(const AttributeMap& attrs) const {
+  auto it = attrs.find(attribute);
+  if (op == Op::kPresent) return it != attrs.end();
+  if (it == attrs.end()) return false;
+  int cmp = it->second.Compare(operand);
+  switch (op) {
+    case Op::kEq:
+      return cmp == 0;
+    case Op::kNe:
+      return cmp != 0;
+    case Op::kLt:
+      return cmp < 0;
+    case Op::kLe:
+      return cmp <= 0;
+    case Op::kGt:
+      return cmp > 0;
+    case Op::kGe:
+      return cmp >= 0;
+    case Op::kPresent:
+      return true;
+  }
+  return false;
+}
+
+HStore::Entry* HStore::Entry::FindChild(const std::string& child_name) {
+  for (auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+const HStore::Entry* HStore::Entry::FindChild(
+    const std::string& child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+Result<std::vector<std::string>> HStore::SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': " + path);
+  }
+  std::vector<std::string> segments;
+  for (const std::string& seg : Split(path.substr(1), '/')) {
+    if (seg.empty()) {
+      if (path == "/") break;  // root
+      return Status::InvalidArgument("empty path segment in: " + path);
+    }
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+Status HStore::Put(const std::string& path, AttributeMap attributes) {
+  NIMBLE_ASSIGN_OR_RETURN(std::vector<std::string> segments, SplitPath(path));
+  if (segments.empty()) {
+    return Status::InvalidArgument("cannot Put at the root");
+  }
+  Entry* current = &root_;
+  for (const std::string& seg : segments) {
+    Entry* child = current->FindChild(seg);
+    if (child == nullptr) {
+      auto fresh = std::make_unique<Entry>();
+      fresh->name = seg;
+      child = fresh.get();
+      current->children.push_back(std::move(fresh));
+    }
+    current = child;
+  }
+  current->attributes = std::move(attributes);
+  current->materialized = true;
+  ++version_;
+  return Status::OK();
+}
+
+const HStore::Entry* HStore::Resolve(const std::string& path) const {
+  Result<std::vector<std::string>> segments = SplitPath(path);
+  if (!segments.ok()) return nullptr;
+  const Entry* current = &root_;
+  for (const std::string& seg : *segments) {
+    current = current->FindChild(seg);
+    if (current == nullptr) return nullptr;
+  }
+  return current;
+}
+
+Result<AttributeMap> HStore::Get(const std::string& path) const {
+  const Entry* entry = Resolve(path);
+  if (entry == nullptr || (!entry->materialized && entry != &root_)) {
+    return Status::NotFound("no entry at " + path);
+  }
+  return entry->attributes;
+}
+
+bool HStore::Exists(const std::string& path) const {
+  const Entry* entry = Resolve(path);
+  return entry != nullptr && (entry->materialized || entry == &root_);
+}
+
+Result<std::vector<std::string>> HStore::ListChildren(
+    const std::string& path) const {
+  const Entry* entry = Resolve(path);
+  if (entry == nullptr) return Status::NotFound("no entry at " + path);
+  std::vector<std::string> out;
+  std::string prefix = path == "/" ? "" : path;
+  for (const auto& child : entry->children) {
+    out.push_back(prefix + "/" + child->name);
+  }
+  return out;
+}
+
+size_t HStore::DeleteSubtree(const std::string& path) {
+  Result<std::vector<std::string>> segments = SplitPath(path);
+  if (!segments.ok() || segments->empty()) return 0;
+  Entry* current = &root_;
+  Entry* parent = nullptr;
+  size_t child_index = 0;
+  for (const std::string& seg : *segments) {
+    bool found = false;
+    for (size_t i = 0; i < current->children.size(); ++i) {
+      if (current->children[i]->name == seg) {
+        parent = current;
+        child_index = i;
+        current = current->children[i].get();
+        found = true;
+        break;
+      }
+    }
+    if (!found) return 0;
+  }
+  // Count materialized entries in the subtree.
+  std::function<size_t(const Entry&)> count = [&](const Entry& e) -> size_t {
+    size_t n = e.materialized ? 1 : 0;
+    for (const auto& c : e.children) n += count(*c);
+    return n;
+  };
+  size_t removed = count(*current);
+  parent->children.erase(parent->children.begin() +
+                         static_cast<ptrdiff_t>(child_index));
+  if (removed > 0) ++version_;
+  return removed;
+}
+
+void HStore::SearchRec(const Entry& entry, const std::string& prefix,
+                       const std::vector<AttrCondition>& conditions,
+                       bool include_empty,
+                       std::vector<std::string>* out) const {
+  if ((entry.materialized || include_empty) && &entry != &root_) {
+    bool all = true;
+    for (const AttrCondition& cond : conditions) {
+      if (!cond.Matches(entry.attributes)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out->push_back(prefix);
+  }
+  for (const auto& child : entry.children) {
+    SearchRec(*child, prefix + "/" + child->name, conditions, include_empty,
+              out);
+  }
+}
+
+std::vector<std::string> HStore::Search(
+    const std::string& base, const std::vector<AttrCondition>& conditions,
+    bool include_empty) const {
+  std::vector<std::string> out;
+  const Entry* entry = Resolve(base);
+  if (entry == nullptr) return out;
+  std::string prefix = base == "/" ? "" : base;
+  if (entry == &root_) {
+    for (const auto& child : entry->children) {
+      SearchRec(*child, prefix + "/" + child->name, conditions, include_empty,
+                &out);
+    }
+  } else {
+    SearchRec(*entry, base, conditions, include_empty, &out);
+  }
+  return out;
+}
+
+size_t HStore::size() const {
+  std::function<size_t(const Entry&)> count = [&](const Entry& e) -> size_t {
+    size_t n = e.materialized ? 1 : 0;
+    for (const auto& c : e.children) n += count(*c);
+    return n;
+  };
+  return count(root_);
+}
+
+void HStore::ExportRec(const Entry& entry, const std::string& prefix,
+                       const std::string& element_name, Node* parent) const {
+  NodePtr elem = Node::Element(element_name);
+  elem->SetAttribute("path", Value::String(prefix));
+  elem->SetAttribute("name", Value::String(entry.name));
+  for (const auto& [attr_name, attr_value] : entry.attributes) {
+    elem->AddScalarChild(attr_name, attr_value);
+  }
+  Node* raw = parent->AddChild(std::move(elem)).get();
+  for (const auto& child : entry.children) {
+    ExportRec(*child, prefix + "/" + child->name, element_name, raw);
+  }
+}
+
+Result<NodePtr> HStore::ExportXml(const std::string& base,
+                                  const std::string& element_name) const {
+  const Entry* entry = Resolve(base);
+  if (entry == nullptr) return Status::NotFound("no entry at " + base);
+  NodePtr root = Node::Element(name_);
+  std::string prefix = base == "/" ? "" : base;
+  if (entry == &root_) {
+    for (const auto& child : entry->children) {
+      ExportRec(*child, prefix + "/" + child->name, element_name, root.get());
+    }
+  } else {
+    ExportRec(*entry, base, element_name, root.get());
+  }
+  return root;
+}
+
+}  // namespace hierarchical
+}  // namespace nimble

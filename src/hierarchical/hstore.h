@@ -1,0 +1,105 @@
+#ifndef NIMBLE_HIERARCHICAL_HSTORE_H_
+#define NIMBLE_HIERARCHICAL_HSTORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace hierarchical {
+
+/// An attribute set attached to one entry.
+using AttributeMap = std::map<std::string, Value>;
+
+/// A simple filter over entry attributes: conjunction of comparisons.
+struct AttrCondition {
+  std::string attribute;
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kPresent } op = Op::kEq;
+  Value operand;
+
+  bool Matches(const AttributeMap& attrs) const;
+};
+
+/// An LDAP-like hierarchical store: entries are addressed by slash-separated
+/// paths ("/corp/sales/emp42"), each carrying typed attributes. This is the
+/// substrate for the paper's "hierarchical" legacy sources (§3.1 argues the
+/// Nimble data model must accommodate hierarchical data natively).
+class HStore {
+ public:
+  explicit HStore(std::string store_name = "hstore")
+      : name_(std::move(store_name)) {}
+
+  HStore(const HStore&) = delete;
+  HStore& operator=(const HStore&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Creates or replaces the entry at `path`, creating intermediate entries
+  /// (with empty attributes) as needed. Paths must start with '/'.
+  Status Put(const std::string& path, AttributeMap attributes);
+
+  /// Attributes of the entry at `path`.
+  Result<AttributeMap> Get(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  /// Direct children paths of `path`, in insertion order.
+  Result<std::vector<std::string>> ListChildren(const std::string& path) const;
+
+  /// Removes the entry and its whole subtree; returns entries removed.
+  size_t DeleteSubtree(const std::string& path);
+
+  /// All entry paths under `base` (inclusive if it exists, exclusive of
+  /// intermediate entries with no attributes unless include_empty) whose
+  /// attributes satisfy every condition.
+  std::vector<std::string> Search(const std::string& base,
+                                  const std::vector<AttrCondition>& conditions,
+                                  bool include_empty = false) const;
+
+  /// Number of entries (excluding the implicit root).
+  size_t size() const;
+
+  /// Materializes the subtree at `base` as an XML tree: each entry becomes
+  /// an element named `entry` with a `path` attribute, attributes become
+  /// scalar children, children nest. Used by the hierarchical connector.
+  Result<NodePtr> ExportXml(const std::string& base,
+                            const std::string& element_name = "entry") const;
+
+  /// Monotone version counter for staleness checks.
+  uint64_t version() const { return version_; }
+
+ private:
+  struct Entry {
+    std::string name;  ///< last path segment.
+    AttributeMap attributes;
+    bool materialized = false;  ///< false for auto-created intermediates.
+    std::vector<std::unique_ptr<Entry>> children;
+
+    Entry* FindChild(const std::string& child_name);
+    const Entry* FindChild(const std::string& child_name) const;
+  };
+
+  static Result<std::vector<std::string>> SplitPath(const std::string& path);
+  const Entry* Resolve(const std::string& path) const;
+
+  void SearchRec(const Entry& entry, const std::string& prefix,
+                 const std::vector<AttrCondition>& conditions,
+                 bool include_empty, std::vector<std::string>* out) const;
+  void ExportRec(const Entry& entry, const std::string& prefix,
+                 const std::string& element_name, Node* parent) const;
+
+  std::string name_;
+  Entry root_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace hierarchical
+}  // namespace nimble
+
+#endif  // NIMBLE_HIERARCHICAL_HSTORE_H_

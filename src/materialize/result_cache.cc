@@ -1,0 +1,61 @@
+#include "materialize/result_cache.h"
+
+namespace nimble {
+namespace materialize {
+
+NodePtr ResultCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (ttl_micros_ > 0 &&
+      clock_->NowMicros() - it->second->inserted_at_micros >= ttl_micros_) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Promote to MRU.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->document->Clone();
+}
+
+void ResultCache::Insert(const std::string& key, const NodePtr& document) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->document = document->Clone();
+    it->second->inserted_at_micros = clock_->NowMicros();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.insertions;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, document->Clone(), clock_->NowMicros()});
+  entries_[key] = lru_.begin();
+  ++stats_.insertions;
+}
+
+bool ResultCache::Invalidate(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace materialize
+}  // namespace nimble

@@ -1,0 +1,76 @@
+#ifndef NIMBLE_MATERIALIZE_RESULT_CACHE_H_
+#define NIMBLE_MATERIALIZE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "xml/node.h"
+
+namespace nimble {
+namespace materialize {
+
+/// Cache statistics (E8 evidence).
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t expirations = 0;
+
+  double HitRate() const {
+    size_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// LRU query-result cache with TTL expiry, keyed by query text — the
+/// "query caching and other performance tuning capabilities" of §2.1/§4.
+/// Entries store cloned result documents so callers can mutate freely.
+class ResultCache {
+ public:
+  /// `capacity` in entries; `ttl_micros` <= 0 disables expiry.
+  ResultCache(size_t capacity, int64_t ttl_micros, Clock* clock)
+      : capacity_(capacity), ttl_micros_(ttl_micros), clock_(clock) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns a clone of the cached document, or nullptr on miss/expiry.
+  NodePtr Lookup(const std::string& key);
+
+  /// Inserts (or replaces) an entry, evicting the LRU entry when full.
+  void Insert(const std::string& key, const NodePtr& document);
+
+  /// Drops one entry; false if absent.
+  bool Invalidate(const std::string& key);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Entry {
+    std::string key;
+    NodePtr document;
+    int64_t inserted_at_micros;
+  };
+
+  size_t capacity_;
+  int64_t ttl_micros_;
+  Clock* clock_;
+  std::list<Entry> lru_;  ///< front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace materialize
+}  // namespace nimble
+
+#endif  // NIMBLE_MATERIALIZE_RESULT_CACHE_H_

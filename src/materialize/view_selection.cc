@@ -1,0 +1,87 @@
+#include "materialize/view_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nimble {
+namespace materialize {
+
+double WorkloadCost(const std::vector<ViewCandidate>& candidates,
+                    const std::vector<bool>& materialized) {
+  double total = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const ViewCandidate& c = candidates[i];
+    total += c.query_frequency *
+             (materialized[i] ? c.materialized_cost : c.virtual_cost);
+  }
+  return total;
+}
+
+SelectionResult SelectViewsGreedy(const std::vector<ViewCandidate>& candidates,
+                                  double storage_budget) {
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    // Benefit density; zero-cost views are infinitely dense (take first).
+    const ViewCandidate& ca = candidates[a];
+    const ViewCandidate& cb = candidates[b];
+    double da = ca.storage_cost > 0 ? ca.Benefit() / ca.storage_cost
+                                    : ca.Benefit() * 1e18;
+    double db = cb.storage_cost > 0 ? cb.Benefit() / cb.storage_cost
+                                    : cb.Benefit() * 1e18;
+    return da > db;
+  });
+
+  SelectionResult result;
+  std::vector<bool> materialized(candidates.size(), false);
+  for (size_t index : order) {
+    const ViewCandidate& c = candidates[index];
+    if (c.Benefit() <= 0) continue;  // never materialize a losing view
+    if (result.storage_used + c.storage_cost > storage_budget) continue;
+    materialized[index] = true;
+    result.storage_used += c.storage_cost;
+    result.selected.push_back(c.view_name);
+  }
+  result.workload_cost = WorkloadCost(candidates, materialized);
+  return result;
+}
+
+SelectionResult SelectViewsOptimal(
+    const std::vector<ViewCandidate>& candidates, double storage_budget) {
+  const size_t n = candidates.size();
+  SelectionResult best;
+  best.workload_cost =
+      WorkloadCost(candidates, std::vector<bool>(n, false));
+
+  // Exhaustive subset search; n is small in tests/benches (<= ~20).
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    std::vector<bool> materialized(n, false);
+    double storage = 0;
+    bool feasible = true;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        materialized[i] = true;
+        storage += candidates[i].storage_cost;
+        if (storage > storage_budget) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (!feasible) continue;
+    double cost = WorkloadCost(candidates, materialized);
+    if (cost < best.workload_cost) {
+      best.workload_cost = cost;
+      best.storage_used = storage;
+      best.selected.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (materialized[i]) best.selected.push_back(candidates[i].view_name);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace materialize
+}  // namespace nimble

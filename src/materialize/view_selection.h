@@ -1,0 +1,51 @@
+#ifndef NIMBLE_MATERIALIZE_VIEW_SELECTION_H_
+#define NIMBLE_MATERIALIZE_VIEW_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+namespace nimble {
+namespace materialize {
+
+/// One candidate view for materialization.
+struct ViewCandidate {
+  std::string view_name;
+  double storage_cost = 0;     ///< local storage consumed if materialized.
+  double virtual_cost = 0;     ///< per-query cost served virtually.
+  double materialized_cost = 0;  ///< per-query cost served locally.
+  double query_frequency = 0;  ///< queries per workload unit.
+
+  /// Workload saving per unit if materialized.
+  double Benefit() const {
+    return query_frequency * (virtual_cost - materialized_cost);
+  }
+};
+
+/// What the selection decided.
+struct SelectionResult {
+  std::vector<std::string> selected;
+  double storage_used = 0;
+  double workload_cost = 0;  ///< total cost of the workload under the plan.
+};
+
+/// Greedy benefit-density selection under a storage budget — the paper's
+/// open problem (§3.3: "there is a need for algorithms that decide which
+/// data … need to be materialized"), in the lineage of
+/// Agrawal/Chaudhuri/Narasayya's automated selection. Candidates are
+/// ranked by Benefit()/storage_cost and taken while they fit.
+SelectionResult SelectViewsGreedy(const std::vector<ViewCandidate>& candidates,
+                                  double storage_budget);
+
+/// Exhaustive optimum (for small candidate sets; used by tests and the E2
+/// bench to bound the greedy heuristic's gap).
+SelectionResult SelectViewsOptimal(
+    const std::vector<ViewCandidate>& candidates, double storage_budget);
+
+/// Workload cost of a fixed selection (helper shared by both searches).
+double WorkloadCost(const std::vector<ViewCandidate>& candidates,
+                    const std::vector<bool>& materialized);
+
+}  // namespace materialize
+}  // namespace nimble
+
+#endif  // NIMBLE_MATERIALIZE_VIEW_SELECTION_H_

@@ -1,0 +1,110 @@
+#include "metadata/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "xmlql/parser.h"
+
+namespace nimble {
+namespace metadata {
+
+Status Catalog::RegisterSource(
+    std::unique_ptr<connector::Connector> source) {
+  const std::string name = source->name();
+  if (sources_.count(name) > 0) {
+    return Status::AlreadyExists("source '" + name + "' already registered");
+  }
+  if (views_.count(name) > 0) {
+    return Status::AlreadyExists("'" + name + "' already names a view");
+  }
+  sources_[name] = std::move(source);
+  return Status::OK();
+}
+
+connector::Connector* Catalog::source(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::SourceNames() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, source] : sources_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::DefineView(const std::string& name,
+                           const std::string& query_text,
+                           const std::string& description) {
+  if (views_.count(name) > 0) {
+    return Status::AlreadyExists("view '" + name + "' already defined");
+  }
+  if (sources_.count(name) > 0) {
+    return Status::AlreadyExists("'" + name + "' already names a source");
+  }
+  NIMBLE_ASSIGN_OR_RETURN(xmlql::Program program,
+                          xmlql::ParseProgram(query_text));
+
+  MediatedView view;
+  view.name = name;
+  view.query_text = query_text;
+  view.description = description;
+
+  std::vector<const xmlql::PatternClause*> all_patterns;
+  for (const xmlql::Query& branch : program.branches) {
+    for (const xmlql::PatternClause& pattern : branch.patterns) {
+      all_patterns.push_back(&pattern);
+    }
+  }
+  std::set<std::string> transitive_sources;
+  for (const xmlql::PatternClause* pattern_ptr : all_patterns) {
+    const xmlql::PatternClause& pattern = *pattern_ptr;
+    if (pattern.source.is_view()) {
+      const std::string& dep = pattern.source.collection;
+      auto it = views_.find(dep);
+      if (it == views_.end()) {
+        return Status::NotFound(
+            "view '" + name + "' references undefined view '" + dep +
+            "' (views must be defined bottom-up)");
+      }
+      view.view_dependencies.push_back(dep);
+      for (const std::string& src : it->second.source_dependencies) {
+        transitive_sources.insert(src);
+      }
+    } else {
+      const std::string& src = pattern.source.source;
+      if (sources_.count(src) == 0) {
+        return Status::NotFound("view '" + name +
+                                "' references unregistered source '" + src +
+                                "'");
+      }
+      transitive_sources.insert(src);
+    }
+  }
+  view.source_dependencies.assign(transitive_sources.begin(),
+                                  transitive_sources.end());
+  views_[name] = std::move(view);
+  return Status::OK();
+}
+
+const MediatedView* Catalog::view(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<std::string>> Catalog::TransitiveSources(
+    const std::string& view_name) const {
+  const MediatedView* v = view(view_name);
+  if (v == nullptr) return Status::NotFound("no view '" + view_name + "'");
+  return v->source_dependencies;
+}
+
+}  // namespace metadata
+}  // namespace nimble

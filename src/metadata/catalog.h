@@ -1,0 +1,68 @@
+#ifndef NIMBLE_METADATA_CATALOG_H_
+#define NIMBLE_METADATA_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "connector/connector.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace metadata {
+
+/// A mediated schema element: a named view defined by an XML-QL query over
+/// sources and/or other views (global-as-view, §2.1). Views compose
+/// hierarchically — "we can define successive schemas as views over other
+/// underlying schemas" — so an organisation integrates incrementally.
+struct MediatedView {
+  std::string name;
+  std::string query_text;
+  std::string description;
+  /// Views this view's query references (for dependency ordering).
+  std::vector<std::string> view_dependencies;
+  /// Sources this view touches, directly or transitively.
+  std::vector<std::string> source_dependencies;
+};
+
+/// The metadata server: registry of source connectors plus the mediated
+/// schema (view) definitions — "the metadata server contains the mappings
+/// that allow XML-QL to be split apart and translated appropriately" (§2.1).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a source connector under its own name.
+  Status RegisterSource(std::unique_ptr<connector::Connector> source);
+
+  connector::Connector* source(const std::string& name) const;
+  std::vector<std::string> SourceNames() const;
+
+  /// Defines a mediated view. The query text is parsed and validated now;
+  /// every source and view it references must already be registered
+  /// (bottom-up definition order — which also rules out cycles).
+  Status DefineView(const std::string& name, const std::string& query_text,
+                    const std::string& description = "");
+
+  const MediatedView* view(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+
+  /// All sources a view depends on, transitively through sub-views.
+  /// Used by the engine for availability pre-checks and by the
+  /// materialization layer for staleness cookies.
+  Result<std::vector<std::string>> TransitiveSources(
+      const std::string& view_name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<connector::Connector>> sources_;
+  std::map<std::string, MediatedView> views_;
+};
+
+}  // namespace metadata
+}  // namespace nimble
+
+#endif  // NIMBLE_METADATA_CATALOG_H_

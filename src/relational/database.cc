@@ -1,0 +1,182 @@
+#include "relational/database.h"
+
+#include "relational/sql_parser.h"
+
+namespace nimble {
+namespace relational {
+
+Result<Table*> Database::CreateTable(TableSchema schema) {
+  const std::string table_name = schema.name();
+  if (tables_.count(table_name) > 0) {
+    return Status::AlreadyExists("table '" + table_name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_[table_name] = std::move(table);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& table_name) {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<ResultSet> Database::Query(const SelectStmt& stmt) const {
+  return ExecuteSelect(*this, stmt);
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql) {
+  NIMBLE_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+
+  if (auto* select = std::get_if<SelectStmt>(&stmt)) {
+    return Query(*select);
+  }
+
+  if (auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    Table* table = GetTable(insert->table);
+    if (table == nullptr) {
+      return Status::NotFound("no table '" + insert->table + "'");
+    }
+    const TableSchema& schema = table->schema();
+    for (const std::vector<Value>& values : insert->rows) {
+      Row row;
+      if (insert->columns.empty()) {
+        row = values;
+      } else {
+        if (values.size() != insert->columns.size()) {
+          return Status::InvalidArgument("VALUES arity mismatch");
+        }
+        row.assign(schema.num_columns(), Value::Null());
+        for (size_t i = 0; i < insert->columns.size(); ++i) {
+          std::optional<size_t> col = schema.ColumnIndex(insert->columns[i]);
+          if (!col.has_value()) {
+            return Status::NotFound("no column '" + insert->columns[i] +
+                                    "' in table '" + insert->table + "'");
+          }
+          row[*col] = values[i];
+        }
+      }
+      NIMBLE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+    ResultSet rs;
+    rs.stats.rows_returned = insert->rows.size();
+    return rs;
+  }
+
+  if (auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    TableSchema schema(create->table, create->columns);
+    if (!create->primary_key.empty()) {
+      NIMBLE_RETURN_IF_ERROR(schema.SetPrimaryKey(create->primary_key));
+    }
+    NIMBLE_ASSIGN_OR_RETURN(Table * table, CreateTable(std::move(schema)));
+    // A primary key implies an index (used for uniqueness checks and probes).
+    if (!create->primary_key.empty()) {
+      NIMBLE_RETURN_IF_ERROR(
+          table->CreateIndex("pk_" + create->table, create->primary_key));
+    }
+    return ResultSet{};
+  }
+
+  if (auto* create_index = std::get_if<CreateIndexStmt>(&stmt)) {
+    Table* table = GetTable(create_index->table);
+    if (table == nullptr) {
+      return Status::NotFound("no table '" + create_index->table + "'");
+    }
+    NIMBLE_RETURN_IF_ERROR(
+        table->CreateIndex(create_index->index_name, create_index->column));
+    return ResultSet{};
+  }
+
+  if (auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    Table* table = GetTable(del->table);
+    if (table == nullptr) {
+      return Status::NotFound("no table '" + del->table + "'");
+    }
+    Status eval_error = Status::OK();
+    size_t removed = table->DeleteWhere([&](const Row& row) {
+      if (del->where == nullptr) return true;
+      Result<Value> v =
+          EvaluateRowExpression(*del->where, table->schema(), row);
+      if (!v.ok()) {
+        eval_error = v.status();
+        return false;
+      }
+      return v->Truthy();
+    });
+    NIMBLE_RETURN_IF_ERROR(eval_error);
+    ResultSet rs;
+    rs.stats.rows_returned = removed;
+    return rs;
+  }
+
+  if (auto* update = std::get_if<UpdateStmt>(&stmt)) {
+    Table* table = GetTable(update->table);
+    if (table == nullptr) {
+      return Status::NotFound("no table '" + update->table + "'");
+    }
+    const TableSchema& schema = table->schema();
+    std::vector<size_t> target_cols;
+    for (const auto& [col, expr] : update->assignments) {
+      std::optional<size_t> idx = schema.ColumnIndex(col);
+      if (!idx.has_value()) {
+        return Status::NotFound("no column '" + col + "' in table '" +
+                                update->table + "'");
+      }
+      target_cols.push_back(*idx);
+    }
+    Status eval_error = Status::OK();
+    NIMBLE_ASSIGN_OR_RETURN(
+        size_t updated,
+        table->UpdateWhere(
+            [&](const Row& row) {
+              if (update->where == nullptr) return true;
+              Result<Value> v =
+                  EvaluateRowExpression(*update->where, schema, row);
+              if (!v.ok()) {
+                eval_error = v.status();
+                return false;
+              }
+              return v->Truthy();
+            },
+            [&](Row* row) {
+              // Assignments see the *old* row values.
+              const Row old_row = *row;
+              for (size_t a = 0; a < update->assignments.size(); ++a) {
+                Result<Value> v = EvaluateRowExpression(
+                    *update->assignments[a].second, schema, old_row);
+                if (!v.ok()) {
+                  eval_error = v.status();
+                  return;
+                }
+                (*row)[target_cols[a]] = std::move(v).value();
+              }
+            }));
+    NIMBLE_RETURN_IF_ERROR(eval_error);
+    ResultSet rs;
+    rs.stats.rows_returned = updated;
+    return rs;
+  }
+
+  return Status::Internal("unhandled statement variant");
+}
+
+uint64_t Database::Version() const {
+  uint64_t v = 0;
+  for (const auto& [name, table] : tables_) v += table->version();
+  return v;
+}
+
+}  // namespace relational
+}  // namespace nimble

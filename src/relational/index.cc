@@ -1,0 +1,28 @@
+#include "relational/index.h"
+
+namespace nimble {
+namespace relational {
+
+std::vector<size_t> OrderedIndex::Lookup(const Value& key) const {
+  std::vector<size_t> out;
+  auto [lo, hi] = entries_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<size_t> OrderedIndex::Range(const Value& lo, bool lo_inclusive,
+                                        const Value& hi,
+                                        bool hi_inclusive) const {
+  std::vector<size_t> out;
+  auto begin = lo.is_null() ? entries_.begin()
+               : lo_inclusive ? entries_.lower_bound(lo)
+                              : entries_.upper_bound(lo);
+  auto end = hi.is_null() ? entries_.end()
+             : hi_inclusive ? entries_.upper_bound(hi)
+                            : entries_.lower_bound(hi);
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace relational
+}  // namespace nimble

@@ -1,0 +1,76 @@
+#include "relational/schema.h"
+
+namespace nimble {
+namespace relational {
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::SetPrimaryKey(const std::string& column_name) {
+  std::optional<size_t> idx = ColumnIndex(column_name);
+  if (!idx.has_value()) {
+    return Status::NotFound("primary key column '" + column_name +
+                            "' not in table '" + name_ + "'");
+  }
+  primary_key_ = idx;
+  return Status::OK();
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table '" + name_ + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("null in non-nullable column '" +
+                                       col.name + "'");
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (col.type) {
+      case ValueType::kInt:
+        ok = v.is_int();
+        break;
+      case ValueType::kDouble:
+        ok = v.is_numeric();
+        break;
+      case ValueType::kBool:
+        ok = v.is_bool();
+        break;
+      case ValueType::kString:
+        ok = v.is_string();
+        break;
+      case ValueType::kNull:
+        ok = true;
+        break;
+    }
+    if (!ok) {
+      return Status::TypeError("column '" + col.name + "' expects " +
+                               ValueTypeName(col.type) + ", got " +
+                               ValueTypeName(v.type()));
+    }
+  }
+  return Status::OK();
+}
+
+void TableSchema::CoerceRow(Row* row) const {
+  for (size_t i = 0; i < row->size() && i < columns_.size(); ++i) {
+    if (columns_[i].type == ValueType::kDouble && (*row)[i].is_int()) {
+      (*row)[i] = Value::Double(static_cast<double>((*row)[i].AsInt()));
+    }
+  }
+}
+
+}  // namespace relational
+}  // namespace nimble

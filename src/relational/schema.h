@@ -1,0 +1,58 @@
+#ifndef NIMBLE_RELATIONAL_SCHEMA_H_
+#define NIMBLE_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace relational {
+
+/// A column definition. Column types reuse the library-wide scalar types.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+};
+
+/// A row is a vector of scalars positionally aligned with the schema.
+using Row = std::vector<Value>;
+
+/// Table schema: ordered columns plus an optional primary-key column.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns)
+      : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column_name`, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& column_name) const;
+
+  /// Declares `column_name` as the primary key (must exist).
+  Status SetPrimaryKey(const std::string& column_name);
+  std::optional<size_t> primary_key() const { return primary_key_; }
+
+  /// Checks arity and column types of `row` against the schema. Integers
+  /// are implicitly widened to double columns; null requires nullable.
+  Status ValidateRow(const Row& row) const;
+
+  /// Coerces `row` in place (int→double widening for double columns).
+  void CoerceRow(Row* row) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::optional<size_t> primary_key_;
+};
+
+}  // namespace relational
+}  // namespace nimble
+
+#endif  // NIMBLE_RELATIONAL_SCHEMA_H_

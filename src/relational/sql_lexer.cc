@@ -1,0 +1,121 @@
+#include "relational/sql_lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace nimble {
+namespace relational {
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string>* const kKeywords =
+      new std::unordered_set<std::string>{
+          "SELECT", "DISTINCT", "FROM", "WHERE", "JOIN", "LEFT", "OUTER",
+          "ON", "AS",
+          "GROUP",  "BY",       "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+          "AND",    "OR",       "NOT",  "LIKE",  "IN",  "IS",  "NULL", "TRUE",
+          "FALSE",  "INSERT",   "INTO", "VALUES", "CREATE", "TABLE", "INDEX",
+          "PRIMARY", "KEY",     "DELETE", "UPDATE", "SET", "INT", "INTEGER",
+          "DOUBLE", "FLOAT",    "REAL", "TEXT", "VARCHAR", "STRING", "BOOL",
+          "BOOLEAN"};
+  return kKeywords->count(upper_word) > 0;
+}
+
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view input) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        tokens.push_back({SqlTokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({SqlTokenKind::kIdentifier, word, start});
+      }
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+              ((input[i] == '+' || input[i] == '-') && i > start &&
+               (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        if (input[i] == '.' || input[i] == 'e' || input[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_float ? SqlTokenKind::kFloat : SqlTokenKind::kInteger,
+                        std::string(input.substr(start, i - start)), start});
+      continue;
+    }
+    // Strings.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({SqlTokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Operators.
+    auto two = input.substr(i, 2);
+    if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+      tokens.push_back(
+          {SqlTokenKind::kOperator, two == "<>" ? "!=" : std::string(two), start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "=<>+-*/%(),.";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({SqlTokenKind::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({SqlTokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace relational
+}  // namespace nimble

@@ -1,0 +1,41 @@
+#ifndef NIMBLE_RELATIONAL_SQL_LEXER_H_
+#define NIMBLE_RELATIONAL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nimble {
+namespace relational {
+
+/// SQL token kinds.
+enum class SqlTokenKind {
+  kKeyword,     ///< upper-cased reserved word (SELECT, FROM, …).
+  kIdentifier,  ///< table/column/alias name (case preserved).
+  kInteger,
+  kFloat,
+  kString,      ///< single-quoted, quotes stripped, '' unescaped.
+  kOperator,    ///< punctuation: = != <> < <= > >= + - * / % ( ) , .
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenKind kind;
+  std::string text;
+  size_t position = 0;  ///< byte offset for error messages.
+};
+
+/// Tokenizes a SQL string. Keywords are recognised case-insensitively and
+/// normalised to upper case; anything word-like that is not a keyword is an
+/// identifier. Comments (`-- …\n`) are skipped.
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view input);
+
+/// True if `word` (upper-case) is a reserved SQL keyword of our subset.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace relational
+}  // namespace nimble
+
+#endif  // NIMBLE_RELATIONAL_SQL_LEXER_H_

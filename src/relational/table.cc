@@ -1,0 +1,124 @@
+#include "relational/table.h"
+
+namespace nimble {
+namespace relational {
+
+Status Table::Insert(Row row) {
+  schema_.CoerceRow(&row);
+  NIMBLE_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  if (schema_.primary_key().has_value()) {
+    size_t pk = *schema_.primary_key();
+    const Value& key = row[pk];
+    const OrderedIndex* pk_index = FindIndexOn(pk);
+    if (pk_index != nullptr) {
+      if (!pk_index->Lookup(key).empty()) {
+        return Status::AlreadyExists("duplicate primary key " + key.ToString() +
+                                     " in table '" + schema_.name() + "'");
+      }
+    } else {
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        if (!tombstones_[i] && rows_[i][pk] == key) {
+          return Status::AlreadyExists("duplicate primary key " +
+                                       key.ToString() + " in table '" +
+                                       schema_.name() + "'");
+        }
+      }
+    }
+  }
+  size_t row_id = rows_.size();
+  for (auto& index : indexes_) {
+    index->Insert(row[index->column()], row_id);
+  }
+  rows_.push_back(std::move(row));
+  tombstones_.push_back(false);
+  ++live_rows_;
+  ++version_;
+  return Status::OK();
+}
+
+void Table::Scan(const std::function<void(size_t, const Row&)>& fn) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstones_[i]) fn(i, rows_[i]);
+  }
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
+  size_t removed = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstones_[i] && predicate(rows_[i])) {
+      tombstones_[i] = true;
+      --live_rows_;
+      ++removed;
+    }
+  }
+  if (removed > 0) {
+    RebuildIndexes();
+    ++version_;
+  }
+  return removed;
+}
+
+Result<size_t> Table::UpdateWhere(
+    const std::function<bool(const Row&)>& predicate,
+    const std::function<void(Row*)>& mutate) {
+  size_t updated = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstones_[i] && predicate(rows_[i])) {
+      mutate(&rows_[i]);
+      schema_.CoerceRow(&rows_[i]);
+      Status status = schema_.ValidateRow(rows_[i]);
+      if (!status.ok()) return status;
+      ++updated;
+    }
+  }
+  if (updated > 0) {
+    RebuildIndexes();
+    ++version_;
+  }
+  return updated;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column) {
+  std::optional<size_t> col = schema_.ColumnIndex(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + column + "' in table '" +
+                            schema_.name() + "'");
+  }
+  for (const auto& index : indexes_) {
+    if (index->name() == index_name) {
+      return Status::AlreadyExists("index '" + index_name + "' exists");
+    }
+  }
+  auto index = std::make_unique<OrderedIndex>(index_name, *col);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstones_[i]) index->Insert(rows_[i][*col], i);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const OrderedIndex* Table::FindIndexOn(const std::string& column) const {
+  std::optional<size_t> col = schema_.ColumnIndex(column);
+  if (!col.has_value()) return nullptr;
+  return FindIndexOn(*col);
+}
+
+const OrderedIndex* Table::FindIndexOn(size_t column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+void Table::RebuildIndexes() {
+  for (auto& index : indexes_) {
+    index->Clear();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!tombstones_[i]) index->Insert(rows_[i][index->column()], i);
+    }
+  }
+}
+
+}  // namespace relational
+}  // namespace nimble

@@ -1,0 +1,78 @@
+#ifndef NIMBLE_RELATIONAL_TABLE_H_
+#define NIMBLE_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/index.h"
+#include "relational/schema.h"
+
+namespace nimble {
+namespace relational {
+
+/// An in-memory heap table with optional secondary indexes. Deleted rows
+/// are tombstoned (cheap deletes) and skipped by scans; indexes are rebuilt
+/// lazily after deletions.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Validates, coerces and appends `row`. Enforces primary-key uniqueness
+  /// when a primary key is declared. Updates indexes.
+  Status Insert(Row row);
+
+  /// Number of live rows.
+  size_t size() const { return live_rows_; }
+
+  /// Calls `fn(row_id, row)` for every live row.
+  void Scan(const std::function<void(size_t, const Row&)>& fn) const;
+
+  /// Access a row by id. The caller must know the id is live.
+  const Row& row(size_t row_id) const { return rows_[row_id]; }
+  bool IsLive(size_t row_id) const {
+    return row_id < rows_.size() && !tombstones_[row_id];
+  }
+
+  /// Deletes all rows matching `predicate`; returns the count removed.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& predicate);
+
+  /// Applies `mutate` to all rows matching `predicate`; returns the count.
+  /// Mutated rows are re-validated; on type failure the update aborts with
+  /// the offending status (already-updated rows keep their new values).
+  Result<size_t> UpdateWhere(const std::function<bool(const Row&)>& predicate,
+                             const std::function<void(Row*)>& mutate);
+
+  /// Creates an ordered secondary index named `index_name` over `column`.
+  Status CreateIndex(const std::string& index_name, const std::string& column);
+
+  /// The index over `column`, or nullptr.
+  const OrderedIndex* FindIndexOn(const std::string& column) const;
+  const OrderedIndex* FindIndexOn(size_t column) const;
+
+  const std::vector<std::unique_ptr<OrderedIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Monotone version counter, bumped by every mutation. Used by the
+  /// materialization layer to detect staleness.
+  uint64_t version() const { return version_; }
+
+ private:
+  void RebuildIndexes();
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> tombstones_;
+  size_t live_rows_ = 0;
+  std::vector<std::unique_ptr<OrderedIndex>> indexes_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace relational
+}  // namespace nimble
+
+#endif  // NIMBLE_RELATIONAL_TABLE_H_

@@ -1,0 +1,124 @@
+#ifndef NIMBLE_XML_NODE_H_
+#define NIMBLE_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xml/value.h"
+
+namespace nimble {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Node kinds in the Nimble tree model.
+enum class NodeKind {
+  kElement,  ///< Named element with attributes and ordered children.
+  kText,     ///< Leaf carrying a typed scalar Value (paper §3.1: the model
+             ///< is "slightly more structured" than pure XML — leaves are
+             ///< typed, so relational data keeps its types).
+};
+
+/// An ordered-tree node. Document order is the order of the `children()`
+/// vector — the paper stresses that XML documents are intrinsically ordered
+/// (§4), and all navigation preserves it.
+///
+/// Ownership: children are owned via shared_ptr; `parent()` is a non-owning
+/// back-pointer kept consistent by the mutation API, enabling the paper's
+/// "up, down and sideways" navigation.
+class Node : public std::enable_shared_from_this<Node> {
+ public:
+  /// Creates an element node.
+  static NodePtr Element(std::string name);
+  /// Creates a text node carrying `value`.
+  static NodePtr Text(Value value);
+  /// Creates a text node from raw text, inferring a scalar type.
+  static NodePtr TextFromRaw(const std::string& raw);
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Element name; empty for text nodes.
+  const std::string& name() const { return name_; }
+
+  /// Typed scalar payload; null for elements.
+  const Value& value() const { return value_; }
+
+  /// Non-owning parent pointer (nullptr for roots).
+  Node* parent() const { return parent_; }
+
+  const std::vector<NodePtr>& children() const { return children_; }
+  const std::vector<std::pair<std::string, Value>>& attributes() const {
+    return attributes_;
+  }
+
+  // ---- Mutation -----------------------------------------------------------
+
+  /// Appends `child`, setting its parent pointer. Returns `child` for
+  /// chaining. The child must not already have a parent.
+  NodePtr AddChild(NodePtr child);
+
+  /// Convenience: appends `<name>value</name>` and returns the new element.
+  NodePtr AddScalarChild(const std::string& name, Value value);
+
+  /// Sets (or replaces) an attribute.
+  void SetAttribute(const std::string& name, Value value);
+
+  /// Removes the child at `index`.
+  void RemoveChild(size_t index);
+
+  // ---- Read helpers -------------------------------------------------------
+
+  /// First child element named `name`, or nullptr.
+  NodePtr FindChild(const std::string& name) const;
+
+  /// All child elements named `name`, in document order.
+  std::vector<NodePtr> FindChildren(const std::string& name) const;
+
+  /// Attribute lookup; null Value if absent.
+  Value GetAttribute(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const;
+
+  /// Concatenation of all descendant text, in document order.
+  std::string TextContent() const;
+
+  /// The typed scalar for "simple content" elements: if this element's
+  /// children are exactly one text node, its Value; otherwise
+  /// Value::String(TextContent()).
+  Value ScalarValue() const;
+
+  /// Next/previous sibling in the parent's child list ("sideways"
+  /// navigation); nullptr at the ends or for roots.
+  NodePtr NextSibling() const;
+  NodePtr PrevSibling() const;
+
+  /// Number of nodes in this subtree (including this node).
+  size_t SubtreeSize() const;
+
+  /// Structural deep equality (names, attributes, values, child order).
+  bool DeepEquals(const Node& other) const;
+
+  /// Deep copy with fresh parent pointers.
+  NodePtr Clone() const;
+
+  /// Collects every descendant element (not including this node) in
+  /// document order into `out`.
+  void CollectDescendants(std::vector<NodePtr>* out) const;
+
+ private:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string name_;
+  Value value_;
+  Node* parent_ = nullptr;
+  std::vector<std::pair<std::string, Value>> attributes_;
+  std::vector<NodePtr> children_;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_XML_NODE_H_

@@ -1,0 +1,300 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace nimble {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<NodePtr> ParseDocument() {
+    SkipProlog();
+    NIMBLE_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') ++line;
+    }
+    return Status::ParseError("XML parse error at line " +
+                              std::to_string(line) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipProlog() {
+    SkipMisc();
+    if (LookingAt("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+    }
+    SkipMisc();
+    // DOCTYPE (no internal subset support beyond bracket matching).
+    if (LookingAt("<!DOCTYPE")) {
+      pos_ += 9;
+      int depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        ++pos_;
+        if (c == '<') ++depth;
+        if (c == '>') {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (c == '[') {
+          size_t close = input_.find(']', pos_);
+          pos_ = (close == std::string_view::npos) ? input_.size() : close + 1;
+        }
+      }
+    }
+    SkipMisc();
+  }
+
+  // Skips whitespace, comments and processing instructions.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    NIMBLE_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodePtr element = Node::Element(name);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unexpected end inside tag <" + name + ">");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      NIMBLE_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      NIMBLE_ASSIGN_OR_RETURN(
+          std::string raw, UnescapeXml(input_.substr(start, pos_ - start)));
+      ++pos_;
+      element->SetAttribute(attr_name, options_.infer_types
+                                           ? Value::Infer(raw)
+                                           : Value::String(raw));
+    }
+
+    if (LookingAt("/>")) {
+      pos_ += 2;
+      return element;
+    }
+    ++pos_;  // consume '>'
+
+    // Content.
+    while (true) {
+      if (AtEnd()) return Error("missing </" + name + ">");
+      if (LookingAt("</")) {
+        pos_ += 2;
+        NIMBLE_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        if (close_name != name) {
+          return Error("mismatched </" + close_name + ">, expected </" + name +
+                       ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>'");
+        ++pos_;
+        return element;
+      }
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t start = pos_ + 9;
+        size_t end = input_.find("]]>", start);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        std::string raw(input_.substr(start, end - start));
+        element->AddChild(Node::Text(Value::String(raw)));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated PI");
+        pos_ = end + 2;
+        continue;
+      }
+      if (Peek() == '<') {
+        NIMBLE_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      // Character data up to the next '<'.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      std::string_view raw = input_.substr(start, pos_ - start);
+      if (options_.strip_ignorable_whitespace && IsAllWhitespace(raw)) {
+        continue;
+      }
+      NIMBLE_ASSIGN_OR_RETURN(std::string text, UnescapeXml(raw));
+      element->AddChild(options_.infer_types ? Node::TextFromRaw(text)
+                                             : Node::Text(Value::String(text)));
+    }
+  }
+
+  std::string_view input_;
+  const XmlParseOptions& options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseXml(std::string_view input,
+                         const XmlParseOptions& options) {
+  Parser parser(input, options);
+  return parser.ParseDocument();
+}
+
+Result<std::string> UnescapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code;
+      std::string digits(entity.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, nullptr, 16);
+      } else {
+        code = std::strtol(digits.c_str(), nullptr, 10);
+      }
+      // Encode as UTF-8.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string EscapeXmlText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttribute(std::string_view text) {
+  std::string out = EscapeXmlText(text);
+  return ReplaceAll(out, "\"", "&quot;");
+}
+
+}  // namespace nimble

@@ -1,0 +1,41 @@
+#ifndef NIMBLE_XML_PARSER_H_
+#define NIMBLE_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace nimble {
+
+/// Options controlling document parsing.
+struct XmlParseOptions {
+  /// When true (default), text content is parsed into typed scalars via
+  /// Value::Infer — the Nimble model's structured ingestion. When false,
+  /// all text stays as strings (pure-XML mode; used by the E7/A3 ablation).
+  bool infer_types = true;
+  /// When true, whitespace-only text between elements is dropped.
+  bool strip_ignorable_whitespace = true;
+};
+
+/// Parses one well-formed XML document into a Node tree. Supports elements,
+/// attributes (single or double quoted), character data, the five predefined
+/// entities plus decimal/hex character references, comments, CDATA sections,
+/// processing instructions (skipped) and an optional XML declaration.
+/// Namespaces are treated literally (prefixes kept in names).
+Result<NodePtr> ParseXml(std::string_view input,
+                         const XmlParseOptions& options = {});
+
+/// Unescapes the predefined XML entities and character references in `text`.
+Result<std::string> UnescapeXml(std::string_view text);
+
+/// Escapes text content for embedding in XML ('&', '<', '>').
+std::string EscapeXmlText(std::string_view text);
+
+/// Escapes attribute values (adds '"' to the text escapes).
+std::string EscapeXmlAttribute(std::string_view text);
+
+}  // namespace nimble
+
+#endif  // NIMBLE_XML_PARSER_H_

@@ -1,0 +1,177 @@
+#include "xml/path.h"
+
+#include <unordered_set>
+
+namespace nimble {
+
+namespace {
+
+void CollectMatchingDescendants(const Node& node, const std::string& name,
+                                std::vector<NodePtr>* out) {
+  for (const NodePtr& child : node.children()) {
+    if (child->is_element()) {
+      if (name == "*" || child->name() == name) out->push_back(child);
+      CollectMatchingDescendants(*child, name, out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Path> Path::Parse(std::string_view text) {
+  Path path;
+  size_t i = 0;
+  if (text.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  while (i < text.size()) {
+    PathStep step;
+    if (text.substr(i, 2) == "//") {
+      step.axis = PathStep::Axis::kDescendant;
+      i += 2;
+    } else if (text[i] == '/') {
+      ++i;
+    }
+    if (i >= text.size()) {
+      return Status::InvalidArgument("path ends with '/': " +
+                                     std::string(text));
+    }
+    size_t end = text.find('/', i);
+    std::string_view token =
+        text.substr(i, end == std::string_view::npos ? end : end - i);
+    if (token.empty()) {
+      return Status::InvalidArgument("empty path step in: " +
+                                     std::string(text));
+    }
+    if (token == "..") {
+      step.axis = PathStep::Axis::kParent;
+    } else if (token[0] == '@') {
+      step.axis = PathStep::Axis::kAttribute;
+      step.name = std::string(token.substr(1));
+      if (step.name.empty()) {
+        return Status::InvalidArgument("'@' without attribute name");
+      }
+    } else if (token == "text()") {
+      step.axis = PathStep::Axis::kText;
+    } else {
+      step.name = std::string(token);
+    }
+    path.steps_.push_back(std::move(step));
+    i = (end == std::string_view::npos) ? text.size() : end;
+  }
+  // Attribute/text steps must be terminal.
+  for (size_t s = 0; s + 1 < path.steps_.size(); ++s) {
+    PathStep::Axis axis = path.steps_[s].axis;
+    if (axis == PathStep::Axis::kAttribute || axis == PathStep::Axis::kText) {
+      return Status::InvalidArgument(
+          "attribute/text() step must be the last step: " + std::string(text));
+    }
+  }
+  return path;
+}
+
+std::vector<NodePtr> Path::SelectNodes(const NodePtr& context) const {
+  std::vector<NodePtr> current = {context};
+  for (const PathStep& step : steps_) {
+    if (step.axis == PathStep::Axis::kAttribute ||
+        step.axis == PathStep::Axis::kText) {
+      break;  // Terminal value steps do not produce nodes.
+    }
+    std::vector<NodePtr> next;
+    std::unordered_set<const Node*> seen;
+    for (const NodePtr& node : current) {
+      std::vector<NodePtr> expanded;
+      switch (step.axis) {
+        case PathStep::Axis::kChild:
+          for (const NodePtr& child : node->children()) {
+            if (child->is_element() &&
+                (step.name == "*" || child->name() == step.name)) {
+              expanded.push_back(child);
+            }
+          }
+          break;
+        case PathStep::Axis::kDescendant:
+          CollectMatchingDescendants(*node, step.name, &expanded);
+          break;
+        case PathStep::Axis::kParent:
+          if (node->parent() != nullptr) {
+            // Parent pointers are non-owning; recover a shared_ptr.
+            expanded.push_back(node->parent()->shared_from_this());
+          }
+          break;
+        default:
+          break;
+      }
+      for (NodePtr& n : expanded) {
+        if (seen.insert(n.get()).second) next.push_back(std::move(n));
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<Value> Path::SelectValues(const NodePtr& context) const {
+  // Split off a terminal @attr / text() step if present.
+  const PathStep* terminal = nullptr;
+  if (!steps_.empty()) {
+    const PathStep& last = steps_.back();
+    if (last.axis == PathStep::Axis::kAttribute ||
+        last.axis == PathStep::Axis::kText) {
+      terminal = &last;
+    }
+  }
+  std::vector<NodePtr> nodes;
+  if (terminal != nullptr && steps_.size() == 1) {
+    nodes = {context};
+  } else {
+    nodes = SelectNodes(context);
+  }
+  std::vector<Value> out;
+  out.reserve(nodes.size());
+  for (const NodePtr& node : nodes) {
+    if (terminal == nullptr) {
+      out.push_back(node->ScalarValue());
+    } else if (terminal->axis == PathStep::Axis::kAttribute) {
+      if (node->HasAttribute(terminal->name)) {
+        out.push_back(node->GetAttribute(terminal->name));
+      }
+    } else {
+      out.push_back(node->ScalarValue());
+    }
+  }
+  return out;
+}
+
+Value Path::SelectFirstValue(const NodePtr& context) const {
+  std::vector<Value> values = SelectValues(context);
+  return values.empty() ? Value::Null() : values.front();
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const PathStep& step = steps_[i];
+    if (step.axis == PathStep::Axis::kDescendant) {
+      out += "//";
+    } else if (i > 0) {
+      out += "/";
+    }
+    switch (step.axis) {
+      case PathStep::Axis::kParent:
+        out += "..";
+        break;
+      case PathStep::Axis::kAttribute:
+        out += "@" + step.name;
+        break;
+      case PathStep::Axis::kText:
+        out += "text()";
+        break;
+      default:
+        out += step.name;
+    }
+  }
+  return out;
+}
+
+}  // namespace nimble

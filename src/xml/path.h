@@ -1,0 +1,58 @@
+#ifndef NIMBLE_XML_PATH_H_
+#define NIMBLE_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace nimble {
+
+/// One step of a navigation path.
+struct PathStep {
+  enum class Axis {
+    kChild,       ///< `name` or `*` — child elements.
+    kDescendant,  ///< `//name` — descendants at any depth.
+    kParent,      ///< `..` — up navigation.
+    kAttribute,   ///< `@name` — terminal, yields attribute values.
+    kText,        ///< `text()` — terminal, yields the typed scalar.
+  };
+  Axis axis = Axis::kChild;
+  std::string name;  ///< element/attribute name; "*" matches any element.
+};
+
+/// A parsed navigation path, e.g. "order/item/@sku" or "books//title".
+/// Covers the paper's "navigation-style access … up, down and sideways"
+/// (§4): child/descendant axes move down, `..` moves up, and the Node
+/// sibling API provides sideways movement.
+class Path {
+ public:
+  /// Parses a path; steps are separated by '/'; '//' selects descendants.
+  static Result<Path> Parse(std::string_view text);
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+  /// All element nodes reached from `context`, in document order without
+  /// duplicates. Attribute/text() terminal steps are ignored here.
+  std::vector<NodePtr> SelectNodes(const NodePtr& context) const;
+
+  /// Like SelectNodes but yields scalars: the attribute value / text value
+  /// for terminal `@attr` / `text()` steps, otherwise each reached
+  /// element's ScalarValue().
+  std::vector<Value> SelectValues(const NodePtr& context) const;
+
+  /// First selected value or null.
+  Value SelectFirstValue(const NodePtr& context) const;
+
+  /// Reconstructs the textual form.
+  std::string ToString() const;
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_XML_PATH_H_

@@ -1,0 +1,83 @@
+#include "xml/serializer.h"
+
+#include "xml/parser.h"
+
+namespace nimble {
+
+namespace {
+
+void WriteNode(const Node& node, const XmlWriteOptions& options, int depth,
+               std::string* out) {
+  auto indent = [&](int d) {
+    if (options.pretty) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+  auto newline = [&]() {
+    if (options.pretty) out->push_back('\n');
+  };
+
+  if (node.is_text()) {
+    indent(depth);
+    out->append(EscapeXmlText(node.value().ToString()));
+    newline();
+    return;
+  }
+
+  indent(depth);
+  out->push_back('<');
+  out->append(node.name());
+  for (const auto& [name, value] : node.attributes()) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(EscapeXmlAttribute(value.ToString()));
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    out->append("/>");
+    newline();
+    return;
+  }
+
+  // Simple content (single text child) stays on one line even when pretty.
+  if (node.children().size() == 1 && node.children()[0]->is_text()) {
+    out->push_back('>');
+    out->append(EscapeXmlText(node.children()[0]->value().ToString()));
+    out->append("</");
+    out->append(node.name());
+    out->push_back('>');
+    newline();
+    return;
+  }
+
+  out->push_back('>');
+  newline();
+  for (const NodePtr& child : node.children()) {
+    WriteNode(*child, options, depth + 1, out);
+  }
+  indent(depth);
+  out->append("</");
+  out->append(node.name());
+  out->push_back('>');
+  newline();
+}
+
+}  // namespace
+
+std::string ToXml(const Node& node, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\"?>";
+    if (options.pretty) out.push_back('\n');
+  }
+  WriteNode(node, options, 0, &out);
+  if (options.pretty && !out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string ToPrettyXml(const Node& node) {
+  XmlWriteOptions options;
+  options.pretty = true;
+  return ToXml(node, options);
+}
+
+}  // namespace nimble

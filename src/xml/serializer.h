@@ -1,0 +1,28 @@
+#ifndef NIMBLE_XML_SERIALIZER_H_
+#define NIMBLE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace nimble {
+
+/// Serialization options.
+struct XmlWriteOptions {
+  /// Pretty-print with two-space indentation and newlines.
+  bool pretty = false;
+  /// Emit `<?xml version="1.0"?>` before the root.
+  bool declaration = false;
+};
+
+/// Serializes `node` (and its subtree) to XML text. Attribute values and
+/// character data are escaped; typed scalars are rendered via
+/// Value::ToString so a parse → serialize → parse round-trip is stable.
+std::string ToXml(const Node& node, const XmlWriteOptions& options = {});
+
+/// Shorthand for ToXml with pretty-printing enabled.
+std::string ToPrettyXml(const Node& node);
+
+}  // namespace nimble
+
+#endif  // NIMBLE_XML_SERIALIZER_H_

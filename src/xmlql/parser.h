@@ -1,0 +1,24 @@
+#ifndef NIMBLE_XMLQL_PARSER_H_
+#define NIMBLE_XMLQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace xmlql {
+
+/// Parses an XML-QL query of the supported subset (see Query in ast.h).
+/// The parse validates variable usage: every variable used in a condition,
+/// the CONSTRUCT template, or ORDER BY must be bound by some WHERE pattern.
+/// Rejects UNION programs; use ParseProgram for those.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a full program: `query (UNION query)*`.
+Result<Program> ParseProgram(std::string_view text);
+
+}  // namespace xmlql
+}  // namespace nimble
+
+#endif  // NIMBLE_XMLQL_PARSER_H_

@@ -1,0 +1,627 @@
+#include <gtest/gtest.h>
+
+#include "cleaning/concordance.h"
+#include "cleaning/flow.h"
+#include "cleaning/lineage.h"
+#include "cleaning/matcher.h"
+#include "cleaning/merge_purge.h"
+#include "cleaning/normalize.h"
+#include "cleaning/profiler.h"
+#include "cleaning/similarity.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+
+#include <algorithm>
+
+namespace nimble {
+namespace cleaning {
+namespace {
+
+// ---- Similarity ----------------------------------------------------------------
+
+TEST(SimilarityTest, Levenshtein) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(SimilarityTest, LevenshteinSymmetric) {
+  for (auto [a, b] : std::vector<std::pair<const char*, const char*>>{
+           {"smith", "smyth"}, {"jon", "john"}, {"", "x"}}) {
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  }
+}
+
+TEST(SimilarityTest, JaroWinkler) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", ""), 0.0);
+  // MARTHA/MARHTA is the canonical example (~0.961).
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961, 0.001);
+  // Prefix boost: common prefix scores higher than common suffix.
+  EXPECT_GT(JaroWinklerSimilarity("prefixed", "prefixxx"),
+            JaroWinklerSimilarity("xxprefix", "yyprefix"));
+}
+
+TEST(SimilarityTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("a b c", "c b a"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("a b", "b c"), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("A B", "a b"), 1.0);  // case-fold
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("x", ""), 0.0);
+}
+
+TEST(SimilarityTest, Soundex) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("123"), "0000");
+  EXPECT_EQ(Soundex("Smith"), Soundex("Smyth"));
+}
+
+// ---- Normalizers ----------------------------------------------------------------
+
+TEST(NormalizeTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  a \t b\n c  "), "a b c");
+  EXPECT_EQ(CollapseWhitespace(""), "");
+}
+
+TEST(NormalizeTest, StripPunctuation) {
+  EXPECT_EQ(StripPunctuation("O'Brien & Sons, Inc."), "OBrien Sons Inc");
+}
+
+TEST(NormalizeTest, ExpandAbbreviations) {
+  EXPECT_EQ(ExpandAbbreviations("123 main st", AddressAbbreviations()),
+            "123 main street");
+  EXPECT_EQ(ExpandAbbreviations("45 N Oak Ave.", AddressAbbreviations()),
+            "45 north Oak avenue");
+}
+
+TEST(NormalizeTest, StandardizeName) {
+  EXPECT_EQ(StandardizeName("Lovelace, Ada"), "Ada Lovelace");
+  EXPECT_EQ(StandardizeName("Lovelace,  Ada  King"), "Ada King Lovelace");
+  EXPECT_EQ(StandardizeName("Ada Lovelace"), "Ada Lovelace");
+  EXPECT_EQ(StandardizeName("Lovelace,"), "Lovelace");
+}
+
+TEST(NormalizeTest, StandardizePhone) {
+  EXPECT_EQ(StandardizePhone("(206) 555-1234"), "206-555-1234");
+  EXPECT_EQ(StandardizePhone("1-206-555-1234"), "206-555-1234");
+  EXPECT_EQ(StandardizePhone("12345"), "12345");  // not 10 digits → digits
+}
+
+TEST(NormalizeTest, PipelineChainsAndDescribes) {
+  NormalizerPipeline pipeline = NormalizerPipeline::ForAddresses();
+  EXPECT_EQ(pipeline.Apply("  123  N. Main St., Apt 4 "),
+            "123 north main street apartment 4");
+  EXPECT_EQ(pipeline.StepNames().size(), 4u);
+}
+
+TEST(NormalizeTest, PipelineIdempotent) {
+  // Property: applying a standard pipeline twice equals applying it once.
+  NormalizerPipeline addresses = NormalizerPipeline::ForAddresses();
+  NormalizerPipeline names = NormalizerPipeline::ForNames();
+  for (const char* input :
+       {"123 N Main St", "Lovelace, Ada", "  x  y  ", "plain"}) {
+    std::string once_a = addresses.Apply(input);
+    EXPECT_EQ(addresses.Apply(once_a), once_a) << input;
+    std::string once_n = names.Apply(input);
+    EXPECT_EQ(names.Apply(once_n), once_n) << input;
+  }
+}
+
+// ---- Matcher ---------------------------------------------------------------------
+
+RecordMatcher MakeNameCityMatcher() {
+  std::vector<MatchRule> rules;
+  rules.push_back({"name", JaroWinklerSimilarity, 2.0, 0.5});
+  rules.push_back({"city",
+                   [](const std::string& a, const std::string& b) {
+                     return a == b ? 1.0 : 0.0;
+                   },
+                   1.0, 0.5});
+  return RecordMatcher(std::move(rules), 0.55, 0.85);
+}
+
+TEST(MatcherTest, ExactRecordsMatch) {
+  RecordMatcher matcher = MakeNameCityMatcher();
+  Record a{{"name", Value::String("Ada Lovelace")},
+           {"city", Value::String("Seattle")}};
+  EXPECT_EQ(matcher.Decide(a, a), MatchDecision::kMatch);
+  EXPECT_DOUBLE_EQ(matcher.Score(a, a), 1.0);
+}
+
+TEST(MatcherTest, DisjointRecordsDoNotMatch) {
+  RecordMatcher matcher = MakeNameCityMatcher();
+  Record a{{"name", Value::String("Ada Lovelace")},
+           {"city", Value::String("Seattle")}};
+  Record b{{"name", Value::String("Zzyzx Qwerty")},
+           {"city", Value::String("Miami")}};
+  EXPECT_EQ(matcher.Decide(a, b), MatchDecision::kNonMatch);
+}
+
+TEST(MatcherTest, NearRecordsArePossible) {
+  RecordMatcher matcher = MakeNameCityMatcher();
+  Record a{{"name", Value::String("Jon Smith")},
+           {"city", Value::String("Seattle")}};
+  Record b{{"name", Value::String("Johan Smidt")},
+           {"city", Value::String("Tacoma")}};
+  double score = matcher.Score(a, b);
+  EXPECT_GE(score, 0.55);
+  EXPECT_LT(score, 0.85);
+  EXPECT_EQ(matcher.DecideFromScore(score), MatchDecision::kPossible);
+}
+
+TEST(MatcherTest, MissingFieldUsesMissingScore) {
+  RecordMatcher matcher = MakeNameCityMatcher();
+  Record a{{"name", Value::String("Ada")}};
+  Record b{{"name", Value::String("Ada")},
+           {"city", Value::String("Seattle")}};
+  // name 1.0 * 2 + missing 0.5 * 1 over weight 3.
+  EXPECT_DOUBLE_EQ(matcher.Score(a, b), (2.0 + 0.5) / 3.0);
+}
+
+TEST(MatcherTest, CountsComparisons) {
+  RecordMatcher matcher = MakeNameCityMatcher();
+  Record a{{"name", Value::String("x")}};
+  matcher.Score(a, a);
+  matcher.Score(a, a);
+  EXPECT_EQ(matcher.comparisons(), 2u);
+}
+
+// ---- Concordance -----------------------------------------------------------------
+
+TEST(ConcordanceTest, LookupMissThenHit) {
+  ConcordanceDatabase db;
+  EXPECT_FALSE(db.Lookup("a", "b").has_value());
+  db.RecordAutomatic("a", "b", MatchDecision::kMatch, 0.9);
+  std::optional<ConcordanceEntry> entry = db.Lookup("b", "a");  // symmetric
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->decision, MatchDecision::kMatch);
+  EXPECT_EQ(db.hits(), 1u);
+  EXPECT_EQ(db.misses(), 1u);
+}
+
+TEST(ConcordanceTest, HumanDecisionWinsOverAutomatic) {
+  ConcordanceDatabase db;
+  db.RecordAutomatic("a", "b", MatchDecision::kMatch, 0.9);
+  ASSERT_TRUE(db.RecordHuman("a", "b", false).ok());
+  EXPECT_EQ(db.Lookup("a", "b")->decision, MatchDecision::kNonMatch);
+  // Later automatic decisions cannot override the human one.
+  db.RecordAutomatic("a", "b", MatchDecision::kMatch, 0.99);
+  EXPECT_EQ(db.Lookup("a", "b")->decision, MatchDecision::kNonMatch);
+  EXPECT_EQ(db.Lookup("a", "b")->source, DecisionSource::kHuman);
+}
+
+TEST(ConcordanceTest, ExceptionQueueLifecycle) {
+  ConcordanceDatabase db;
+  db.QueueException("a", "b", 0.7);
+  db.QueueException("a", "b", 0.7);  // dedup
+  db.QueueException("c", "d", 0.65);
+  EXPECT_EQ(db.pending_exception_count(), 2u);
+  Result<std::pair<std::string, std::string>> resolved =
+      db.ResolveNextException(true);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->first, "a");
+  EXPECT_EQ(db.pending_exception_count(), 1u);
+  EXPECT_EQ(db.Lookup("a", "b")->decision, MatchDecision::kMatch);
+  ASSERT_TRUE(db.ResolveNextException(false).ok());
+  EXPECT_EQ(db.ResolveNextException(true).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ConcordanceTest, SerializeRoundTrip) {
+  ConcordanceDatabase db;
+  db.RecordAutomatic("a", "b", MatchDecision::kMatch, 0.91);
+  ASSERT_TRUE(db.RecordHuman("c", "d", false).ok());
+  db.QueueException("e", "f", 0.7);
+
+  ConcordanceDatabase restored;
+  ASSERT_TRUE(restored.Deserialize(db.Serialize()).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.Lookup("b", "a")->decision, MatchDecision::kMatch);
+  EXPECT_EQ(restored.Lookup("c", "d")->source, DecisionSource::kHuman);
+  EXPECT_EQ(restored.pending_exception_count(), 1u);
+}
+
+TEST(ConcordanceTest, DeserializeMergePreservesHumanDecisions) {
+  ConcordanceDatabase incoming;
+  incoming.RecordAutomatic("a", "b", MatchDecision::kMatch, 0.9);
+  ConcordanceDatabase db;
+  ASSERT_TRUE(db.RecordHuman("a", "b", false).ok());
+  ASSERT_TRUE(db.Deserialize(incoming.Serialize()).ok());
+  // Existing human decision survives an incoming automatic one.
+  EXPECT_EQ(db.Lookup("a", "b")->decision, MatchDecision::kNonMatch);
+}
+
+TEST(ConcordanceTest, DeserializeRejectsGarbage) {
+  ConcordanceDatabase db;
+  EXPECT_FALSE(db.Deserialize("E\tonly\tthree\n").ok());
+  EXPECT_FALSE(db.Deserialize("Z\tx\ty\t1\n").ok());
+  EXPECT_TRUE(db.Deserialize("").ok());
+}
+
+TEST(ConcordanceTest, FileRoundTrip) {
+  ConcordanceDatabase db;
+  db.RecordAutomatic("a", "b", MatchDecision::kNonMatch, 0.1);
+  std::string path = ::testing::TempDir() + "/concordance.tsv";
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  ConcordanceDatabase restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.LoadFromFile("/nonexistent/x").code(),
+            StatusCode::kNotFound);
+}
+
+// ---- Profiler ---------------------------------------------------------------------
+
+TEST(ProfilerTest, LooksEncodedHeuristics) {
+  EXPECT_TRUE(LooksEncoded("ACCT-1234"));
+  EXPECT_TRUE(LooksEncoded("key=value"));
+  EXPECT_TRUE(LooksEncoded("a|b|c"));
+  EXPECT_TRUE(LooksEncoded("x;y"));
+  EXPECT_FALSE(LooksEncoded("Ada Lovelace"));
+  EXPECT_FALSE(LooksEncoded("catch-22 rules"));  // dash but not CODE-NNN
+  EXPECT_FALSE(LooksEncoded(""));
+}
+
+TEST(ProfilerTest, FieldStatsAndAnomalies) {
+  std::vector<KeyedRecord> records = {
+      {"1", {{"name", Value::String("Ada")}, {"age", Value::Int(36)}}},
+      {"2", {{"name", Value::String("ada")}, {"age", Value::Int(41)}}},
+      {"3", {{"name", Value::String("Bob")}, {"age", Value::String("41")}}},
+      {"4", {{"name", Value::Null()}, {"acct", Value::String("ACCT-99")}}},
+  };
+  BatchProfile profile = ProfileRecords(records);
+  EXPECT_EQ(profile.record_count, 4u);
+
+  const FieldProfile* name = profile.field("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->present, 3u);
+  EXPECT_EQ(name->nulls, 1u);
+  EXPECT_EQ(name->distinct, 3u);
+  EXPECT_FALSE(name->mixed_types);
+  EXPECT_EQ(name->near_duplicate_values, 2u);  // Ada/ada
+
+  const FieldProfile* age = profile.field("age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_TRUE(age->mixed_types);  // int and string
+
+  const FieldProfile* acct = profile.field("acct");
+  ASSERT_NE(acct, nullptr);
+  EXPECT_EQ(acct->suspected_encoded_values, 1u);
+  EXPECT_EQ(acct->nulls, 3u);
+
+  std::string text = profile.ToText();
+  EXPECT_NE(text.find("ANOMALY: mixed types"), std::string::npos);
+  EXPECT_NE(text.find("encoded legacy data"), std::string::npos);
+}
+
+TEST(ProfilerTest, TopValuesRanked) {
+  std::vector<KeyedRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back({"a" + std::to_string(i),
+                       {{"city", Value::String("seattle")}}});
+  }
+  records.push_back({"b", {{"city", Value::String("boise")}}});
+  BatchProfile profile = ProfileRecords(records);
+  const FieldProfile* city = profile.field("city");
+  ASSERT_NE(city, nullptr);
+  ASSERT_GE(city->top_values.size(), 2u);
+  EXPECT_EQ(city->top_values[0].first, "seattle");
+  EXPECT_EQ(city->top_values[0].second, 5u);
+}
+
+TEST(ProfilerTest, EmptyBatch) {
+  BatchProfile profile = ProfileRecords({});
+  EXPECT_EQ(profile.record_count, 0u);
+  EXPECT_TRUE(profile.fields.empty());
+}
+
+// ---- Merge/purge ------------------------------------------------------------------
+
+std::vector<KeyedRecord> DirtyCustomers() {
+  auto rec = [](const std::string& id, const std::string& name,
+                const std::string& city) {
+    return KeyedRecord{
+        id, {{"name", Value::String(name)}, {"city", Value::String(city)}}};
+  };
+  return {
+      rec("crm#1", "Ada Lovelace", "Seattle"),
+      rec("erp#1", "Ada Lovelace", "Seattle"),   // duplicate of crm#1
+      rec("crm#2", "Bob Barker", "Portland"),
+      rec("erp#2", "Bob Barkr", "Portland"),     // typo duplicate
+      rec("crm#3", "Cleo Patra", "Boise"),
+  };
+}
+
+RecordMatcher StrictMatcher() {
+  std::vector<MatchRule> rules;
+  rules.push_back({"name", JaroWinklerSimilarity, 2.0, 0.0});
+  rules.push_back({"city",
+                   [](const std::string& a, const std::string& b) {
+                     return a == b ? 1.0 : 0.0;
+                   },
+                   1.0, 0.0});
+  return RecordMatcher(std::move(rules), 0.80, 0.93);
+}
+
+TEST(MergePurgeTest, NaiveFindsBothDuplicatePairs) {
+  std::vector<KeyedRecord> records = DirtyCustomers();
+  RecordMatcher matcher = StrictMatcher();
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+  Result<MergePurgeResult> result = MergePurge(records, matcher, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 3u);
+  EXPECT_EQ(result->pairs_considered, 10u);  // C(5,2)
+}
+
+TEST(MergePurgeTest, SortedNeighbourhoodMatchesNaiveHere) {
+  std::vector<KeyedRecord> records = DirtyCustomers();
+  RecordMatcher matcher = StrictMatcher();
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kSortedNeighbourhood;
+  options.window = 3;
+  Result<MergePurgeResult> result = MergePurge(records, matcher, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 3u);
+  EXPECT_LT(result->pairs_considered, 10u);  // fewer than naive
+}
+
+TEST(MergePurgeTest, ConcordanceShortCircuitsSecondRun) {
+  std::vector<KeyedRecord> records = DirtyCustomers();
+  RecordMatcher matcher = StrictMatcher();
+  ConcordanceDatabase concordance;
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+  options.concordance = &concordance;
+
+  Result<MergePurgeResult> cold = MergePurge(records, matcher, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->concordance_hits, 0u);
+  size_t cold_scored = cold->pairs_scored;
+  EXPECT_GT(cold_scored, 0u);
+
+  Result<MergePurgeResult> warm = MergePurge(records, matcher, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->pairs_scored, 0u);  // everything answered from the store
+  EXPECT_EQ(warm->concordance_hits, warm->pairs_considered);
+  EXPECT_EQ(warm->clusters.size(), cold->clusters.size());
+}
+
+TEST(MergePurgeTest, HumanDecisionChangesClustering) {
+  std::vector<KeyedRecord> records = DirtyCustomers();
+  RecordMatcher matcher = StrictMatcher();
+  ConcordanceDatabase concordance;
+  // A human says crm#3 and crm#1 are actually the same entity.
+  ASSERT_TRUE(concordance.RecordHuman("crm#3", "crm#1", true).ok());
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+  options.concordance = &concordance;
+  Result<MergePurgeResult> result = MergePurge(records, matcher, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 2u);
+}
+
+TEST(MergePurgeTest, PossiblesQueueAsExceptions) {
+  auto rec = [](const std::string& id, const std::string& name) {
+    return KeyedRecord{id, {{"name", Value::String(name)}}};
+  };
+  std::vector<KeyedRecord> records = {rec("a", "Jon Smith"),
+                                      rec("b", "John Smith")};
+  std::vector<MatchRule> rules;
+  rules.push_back({"name", JaroWinklerSimilarity, 1.0, 0.0});
+  // Thresholds bracket the Jon/John similarity.
+  RecordMatcher matcher(std::move(rules), 0.80, 0.99);
+  ConcordanceDatabase concordance;
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+  options.concordance = &concordance;
+  Result<MergePurgeResult> result = MergePurge(records, matcher, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->exceptions_queued, 1u);
+  EXPECT_EQ(result->clusters.size(), 2u);  // not merged yet
+  // Human resolves: they are the same; rerun merges.
+  ASSERT_TRUE(concordance.ResolveNextException(true).ok());
+  Result<MergePurgeResult> rerun = MergePurge(records, matcher, options);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun->clusters.size(), 1u);
+}
+
+TEST(MergePurgeTest, MultiPassRecoversFlippedNames) {
+  // "Lovelace, Ada" standardized late / not at all sorts far from
+  // "Ada Lovelace" under a single name key; a reversed-token second key
+  // brings the pair into one window.
+  auto rec = [](const std::string& id, const std::string& name) {
+    return KeyedRecord{id, {{"name", Value::String(name)}}};
+  };
+  // Fillers sort *between* the two spellings so a window of 2 on the
+  // plain name key never compares them.
+  std::vector<KeyedRecord> records = {
+      rec("a1", "ada lovelace"), rec("m1", "bob xylo"),
+      rec("m2", "carl ypsi"),    rec("m3", "dave zeta"),
+      rec("m4", "ed aard"),      rec("z1", "lovelace ada"),
+  };
+  std::vector<MatchRule> rules;
+  rules.push_back({"name", TokenJaccardSimilarity, 1.0, 0.0});
+  RecordMatcher matcher(std::move(rules), 0.9, 0.95);
+
+  auto name_key = [](const KeyedRecord& r) {
+    return r.fields.at("name").ToString();
+  };
+  auto reversed_key = [](const KeyedRecord& r) {
+    std::vector<std::string> tokens =
+        SplitWhitespace(r.fields.at("name").ToString());
+    std::reverse(tokens.begin(), tokens.end());
+    return Join(tokens, " ");
+  };
+
+  MergePurgeOptions single;
+  single.strategy = MatchStrategy::kSortedNeighbourhood;
+  single.window = 2;
+  single.key_extractor = name_key;
+  Result<MergePurgeResult> one_pass = MergePurge(records, matcher, single);
+  ASSERT_TRUE(one_pass.ok());
+  EXPECT_EQ(one_pass->clusters.size(), 6u);  // misses the pair
+
+  MergePurgeOptions multi;
+  multi.strategy = MatchStrategy::kMultiPassSortedNeighbourhood;
+  multi.window = 2;
+  multi.key_extractors.push_back(name_key);
+  multi.key_extractors.push_back(reversed_key);
+  Result<MergePurgeResult> two_pass = MergePurge(records, matcher, multi);
+  ASSERT_TRUE(two_pass.ok());
+  EXPECT_EQ(two_pass->clusters.size(), 5u);  // a1 + z1 merged
+}
+
+TEST(MergePurgeTest, MultiPassSkipsAlreadyClusteredPairs) {
+  auto rec = [](const std::string& id, const std::string& name) {
+    return KeyedRecord{id, {{"name", Value::String(name)}}};
+  };
+  std::vector<KeyedRecord> records = {rec("a", "same"), rec("b", "same")};
+  std::vector<MatchRule> rules;
+  rules.push_back({"name", TokenJaccardSimilarity, 1.0, 0.0});
+  RecordMatcher matcher(std::move(rules), 0.5, 0.9);
+  MergePurgeOptions multi;
+  multi.strategy = MatchStrategy::kMultiPassSortedNeighbourhood;
+  multi.window = 2;
+  auto key = [](const KeyedRecord& r) {
+    return r.fields.at("name").ToString();
+  };
+  multi.key_extractors.assign(3, key);
+  Result<MergePurgeResult> result = MergePurge(records, matcher, multi);
+  ASSERT_TRUE(result.ok());
+  // The pair is scored once; later passes skip it as already clustered.
+  EXPECT_EQ(result->pairs_scored, 1u);
+  EXPECT_EQ(result->clusters.size(), 1u);
+}
+
+TEST(MergePurgeTest, WindowValidation) {
+  RecordMatcher matcher = StrictMatcher();
+  MergePurgeOptions options;
+  options.window = 1;
+  EXPECT_FALSE(MergePurge({}, matcher, options).ok());
+}
+
+TEST(MergePurgeTest, FuseClusterPrefersLongestValues) {
+  std::vector<KeyedRecord> records = {
+      {"a", {{"name", Value::String("Ada L.")}, {"phone", Value::Null()}}},
+      {"b",
+       {{"name", Value::String("Ada Lovelace")},
+        {"phone", Value::String("206-555-0000")}}},
+  };
+  Record fused = FuseCluster(records, {0, 1});
+  EXPECT_EQ(fused["name"], Value::String("Ada Lovelace"));
+  EXPECT_EQ(fused["phone"], Value::String("206-555-0000"));
+}
+
+TEST(UnionFindTest, Basics) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+  uf.Union(1, 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(4));
+}
+
+// ---- Lineage ----------------------------------------------------------------------
+
+TEST(LineageTest, RecordsAndRecallsOriginal) {
+  LineageLog log;
+  log.Record("r1", "name", "normalize", Value::String("Lovelace, Ada"),
+             Value::String("Ada Lovelace"));
+  log.Record("r1", "name", "casefold", Value::String("Ada Lovelace"),
+             Value::String("ada lovelace"));
+  EXPECT_EQ(log.ForRecord("r1").size(), 2u);
+  Result<Value> original = log.OriginalValue("r1", "name");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*original, Value::String("Lovelace, Ada"));
+  EXPECT_EQ(log.OriginalValue("r1", "phone").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- Flow -------------------------------------------------------------------------
+
+TEST(FlowTest, NormalizeThenDedup) {
+  std::vector<KeyedRecord> records = {
+      {"crm#1",
+       {{"name", Value::String("Lovelace, Ada")},
+        {"city", Value::String("Seattle")}}},
+      {"erp#1",
+       {{"name", Value::String("Ada   Lovelace")},
+        {"city", Value::String("Seattle")}}},
+      {"crm#2",
+       {{"name", Value::String("Barker, Bob")},
+        {"city", Value::String("Portland")}}},
+  };
+  auto matcher = std::make_shared<RecordMatcher>(
+      std::vector<MatchRule>{{"name", JaroWinklerSimilarity, 2.0, 0.0},
+                             {"city",
+                              [](const std::string& a, const std::string& b) {
+                                return a == b ? 1.0 : 0.0;
+                              },
+                              1.0, 0.0}},
+      0.8, 0.95);
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+
+  CleaningFlow flow("customers");
+  flow.NormalizeField("name", NormalizerPipeline::ForNames())
+      .Deduplicate(matcher, options);
+
+  LineageLog lineage;
+  Result<FlowOutput> output = flow.Run(records, &lineage);
+  ASSERT_TRUE(output.ok());
+  // "Lovelace, Ada" and "Ada   Lovelace" both normalize to "Ada Lovelace"
+  // and merge; Bob stays.
+  EXPECT_EQ(output->records.size(), 2u);
+  EXPECT_EQ(output->values_normalized, 3u);
+  EXPECT_GT(lineage.size(), 0u);
+  // Lineage can recover the pre-cleaning value.
+  EXPECT_EQ(*lineage.OriginalValue("crm#1", "name"),
+            Value::String("Lovelace, Ada"));
+}
+
+TEST(FlowTest, DescribeIsDeclarative) {
+  CleaningFlow flow("f");
+  flow.NormalizeField("name", NormalizerPipeline::ForNames());
+  std::string description = flow.Describe();
+  EXPECT_NE(description.find("normalize(name"), std::string::npos);
+  EXPECT_NE(description.find("standardize_name"), std::string::npos);
+}
+
+TEST(FlowTest, CleanXmlRecordsDynamic) {
+  // Simulates dynamic cleaning of an integration result document.
+  Result<NodePtr> doc = ParseXml(
+      "<results>"
+      "<customer><name>Lovelace, Ada</name><city>Seattle</city></customer>"
+      "<customer><name>Ada Lovelace</name><city>Seattle</city></customer>"
+      "<customer><name>Bob Barker</name><city>Portland</city></customer>"
+      "</results>");
+  ASSERT_TRUE(doc.ok());
+  auto matcher = std::make_shared<RecordMatcher>(
+      std::vector<MatchRule>{{"name", JaroWinklerSimilarity, 1.0, 0.0}}, 0.8,
+      0.95);
+  MergePurgeOptions options;
+  options.strategy = MatchStrategy::kNaivePairwise;
+  CleaningFlow flow("dyn");
+  flow.NormalizeField("name", NormalizerPipeline::ForNames())
+      .Deduplicate(matcher, options);
+  Result<NodePtr> cleaned = CleanXmlRecords(**doc, flow, "res");
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ((*cleaned)->name(), "results");
+  EXPECT_EQ((*cleaned)->children().size(), 2u);
+  EXPECT_EQ((*cleaned)->children()[0]->name(), "customer");
+}
+
+}  // namespace
+}  // namespace cleaning
+}  // namespace nimble

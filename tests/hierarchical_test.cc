@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "hierarchical/hstore.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace hierarchical {
+namespace {
+
+class HStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_
+                    .Put("/corp/eng/ada",
+                         {{"name", Value::String("Ada")},
+                          {"level", Value::Int(7)}})
+                    .ok());
+    ASSERT_TRUE(store_
+                    .Put("/corp/eng/bob",
+                         {{"name", Value::String("Bob")},
+                          {"level", Value::Int(4)}})
+                    .ok());
+    ASSERT_TRUE(store_
+                    .Put("/corp/sales/cleo",
+                         {{"name", Value::String("Cleo")},
+                          {"level", Value::Int(5)}})
+                    .ok());
+  }
+
+  HStore store_{"org"};
+};
+
+TEST_F(HStoreTest, PutAndGet) {
+  Result<AttributeMap> attrs = store_.Get("/corp/eng/ada");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ((*attrs)["name"], Value::String("Ada"));
+  EXPECT_EQ((*attrs)["level"], Value::Int(7));
+}
+
+TEST_F(HStoreTest, GetMissingIsNotFound) {
+  EXPECT_EQ(store_.Get("/corp/eng/zoe").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(HStoreTest, IntermediateEntriesNotMaterialized) {
+  // "/corp" exists structurally but was never Put.
+  EXPECT_FALSE(store_.Exists("/corp"));
+  EXPECT_EQ(store_.Get("/corp").status().code(), StatusCode::kNotFound);
+  // But it still lists children.
+  Result<std::vector<std::string>> children = store_.ListChildren("/corp");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"/corp/eng", "/corp/sales"}));
+}
+
+TEST_F(HStoreTest, PutAtIntermediateMaterializesIt) {
+  ASSERT_TRUE(store_.Put("/corp", {{"kind", Value::String("root")}}).ok());
+  EXPECT_TRUE(store_.Exists("/corp"));
+}
+
+TEST_F(HStoreTest, SizeCountsMaterializedOnly) { EXPECT_EQ(store_.size(), 3u); }
+
+TEST_F(HStoreTest, PathValidation) {
+  EXPECT_FALSE(store_.Put("no-slash", {}).ok());
+  EXPECT_FALSE(store_.Put("/a//b", {}).ok());
+  EXPECT_FALSE(store_.Put("/", {}).ok());
+}
+
+TEST_F(HStoreTest, PutReplacesAttributes) {
+  ASSERT_TRUE(
+      store_.Put("/corp/eng/ada", {{"name", Value::String("Ada L")}}).ok());
+  Result<AttributeMap> attrs = store_.Get("/corp/eng/ada");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 1u);
+  EXPECT_EQ((*attrs)["name"], Value::String("Ada L"));
+}
+
+TEST_F(HStoreTest, SearchWithConditions) {
+  std::vector<std::string> hits = store_.Search(
+      "/corp", {{"level", AttrCondition::Op::kGe, Value::Int(5)}});
+  EXPECT_EQ(hits,
+            (std::vector<std::string>{"/corp/eng/ada", "/corp/sales/cleo"}));
+}
+
+TEST_F(HStoreTest, SearchEqualityAndPresence) {
+  EXPECT_EQ(store_
+                .Search("/", {{"name", AttrCondition::Op::kEq,
+                               Value::String("Bob")}})
+                .size(),
+            1u);
+  EXPECT_EQ(
+      store_.Search("/", {{"level", AttrCondition::Op::kPresent, Value()}})
+          .size(),
+      3u);
+  EXPECT_EQ(
+      store_.Search("/", {{"nope", AttrCondition::Op::kPresent, Value()}})
+          .size(),
+      0u);
+}
+
+TEST_F(HStoreTest, SearchScopedToBase) {
+  EXPECT_EQ(store_.Search("/corp/eng", {}).size(), 2u);
+  EXPECT_EQ(store_.Search("/corp/sales", {}).size(), 1u);
+  EXPECT_EQ(store_.Search("/nowhere", {}).size(), 0u);
+}
+
+TEST_F(HStoreTest, DeleteSubtree) {
+  EXPECT_EQ(store_.DeleteSubtree("/corp/eng"), 2u);
+  EXPECT_EQ(store_.size(), 1u);
+  EXPECT_FALSE(store_.Exists("/corp/eng/ada"));
+  EXPECT_EQ(store_.DeleteSubtree("/corp/eng"), 0u);
+}
+
+TEST_F(HStoreTest, VersionBumpsOnMutation) {
+  uint64_t v0 = store_.version();
+  ASSERT_TRUE(store_.Put("/corp/eng/dan", {}).ok());
+  EXPECT_GT(store_.version(), v0);
+  uint64_t v1 = store_.version();
+  store_.DeleteSubtree("/corp/eng/dan");
+  EXPECT_GT(store_.version(), v1);
+}
+
+TEST_F(HStoreTest, ExportXmlShape) {
+  Result<NodePtr> xml = store_.ExportXml("/corp/eng");
+  ASSERT_TRUE(xml.ok());
+  // Root is the store name; the subtree nests entries.
+  EXPECT_EQ((*xml)->name(), "org");
+  NodePtr eng = (*xml)->FindChild("entry");
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->GetAttribute("path"), Value::String("/corp/eng"));
+  EXPECT_EQ(eng->FindChildren("entry").size(), 2u);
+  NodePtr ada = eng->FindChildren("entry")[0];
+  EXPECT_EQ(ada->FindChild("name")->ScalarValue(), Value::String("Ada"));
+}
+
+TEST_F(HStoreTest, AttrConditionOps) {
+  AttributeMap attrs{{"x", Value::Int(5)}};
+  using Op = AttrCondition::Op;
+  EXPECT_TRUE((AttrCondition{"x", Op::kEq, Value::Int(5)}).Matches(attrs));
+  EXPECT_TRUE((AttrCondition{"x", Op::kNe, Value::Int(4)}).Matches(attrs));
+  EXPECT_TRUE((AttrCondition{"x", Op::kLt, Value::Int(6)}).Matches(attrs));
+  EXPECT_TRUE((AttrCondition{"x", Op::kLe, Value::Int(5)}).Matches(attrs));
+  EXPECT_TRUE((AttrCondition{"x", Op::kGt, Value::Int(4)}).Matches(attrs));
+  EXPECT_TRUE((AttrCondition{"x", Op::kGe, Value::Int(5)}).Matches(attrs));
+  EXPECT_FALSE((AttrCondition{"y", Op::kEq, Value::Int(5)}).Matches(attrs));
+}
+
+}  // namespace
+}  // namespace hierarchical
+}  // namespace nimble

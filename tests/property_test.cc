@@ -1,0 +1,222 @@
+// Randomized (seeded, deterministic) property sweeps across modules:
+// invariants that must hold for *any* input, exercised on generated data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cleaning/merge_purge.h"
+#include "cleaning/similarity.h"
+#include "common/rng.h"
+#include "relational/database.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace {
+
+// ---- XML: random trees round-trip through serialize/parse ---------------------
+
+NodePtr RandomTree(Rng* rng, int depth) {
+  NodePtr node = Node::Element("e" + rng->RandomWord(3));
+  size_t attrs = rng->Uniform(3);
+  for (size_t a = 0; a < attrs; ++a) {
+    node->SetAttribute("a" + std::to_string(a),
+                       rng->Bernoulli(0.5)
+                           ? Value::Int(rng->UniformInt(-100, 100))
+                           : Value::String(rng->RandomWord(5)));
+  }
+  size_t children = depth > 0 ? rng->Uniform(4) : 0;
+  bool last_was_text = false;
+  for (size_t c = 0; c < children; ++c) {
+    // Adjacent text nodes coalesce on reparse (XML has no boundary between
+    // them), so never generate two in a row.
+    if (!last_was_text && rng->Bernoulli(0.3)) {
+      node->AddChild(Node::Text(Value::String(rng->RandomWord(6))));
+      last_was_text = true;
+    } else {
+      node->AddChild(RandomTree(rng, depth - 1));
+      last_was_text = false;
+    }
+  }
+  return node;
+}
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTripProperty, SerializeParseIsIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  NodePtr original = RandomTree(&rng, 4);
+  std::string xml = ToXml(*original);
+  Result<NodePtr> reparsed = ParseXml(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << xml;
+  EXPECT_TRUE(original->DeepEquals(**reparsed)) << xml;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Range(1, 21));
+
+// ---- SQL: indexed and unindexed execution agree --------------------------------
+
+class IndexEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalenceProperty, SameAnswerWithAndWithoutIndex) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  auto build = [&](bool with_index) {
+    auto db = std::make_unique<relational::Database>("p");
+    (void)db->Execute("CREATE TABLE t (k INT, v INT)");
+    relational::Table* table = db->GetTable("t");
+    Rng data_rng(seed);  // same data either way
+    for (int i = 0; i < 300; ++i) {
+      (void)table->Insert({Value::Int(data_rng.UniformInt(0, 40)),
+                           Value::Int(data_rng.UniformInt(-50, 50))});
+    }
+    if (with_index) (void)table->CreateIndex("idx_k", "k");
+    return db;
+  };
+  auto indexed = build(true);
+  auto plain = build(false);
+
+  // Random conjunctive predicates over k.
+  for (int q = 0; q < 10; ++q) {
+    int64_t a = rng.UniformInt(0, 40);
+    int64_t b = rng.UniformInt(0, 40);
+    const char* shapes[] = {
+        "SELECT v FROM t WHERE k = %lld ORDER BY v",
+        "SELECT v FROM t WHERE k >= %lld AND k < %lld ORDER BY v",
+        "SELECT v FROM t WHERE k IN (%lld, %lld) ORDER BY v",
+    };
+    char sql[256];
+    int shape = static_cast<int>(rng.Uniform(3));
+    if (shape == 0) {
+      std::snprintf(sql, sizeof(sql), shapes[0], static_cast<long long>(a));
+    } else {
+      std::snprintf(sql, sizeof(sql), shapes[shape],
+                    static_cast<long long>(std::min(a, b)),
+                    static_cast<long long>(std::max(a, b) + 1));
+    }
+    Result<relational::ResultSet> with = indexed->Execute(sql);
+    Result<relational::ResultSet> without = plain->Execute(sql);
+    ASSERT_TRUE(with.ok()) << sql << ": " << with.status().ToString();
+    ASSERT_TRUE(without.ok()) << sql;
+    ASSERT_EQ(with->rows.size(), without->rows.size()) << sql;
+    for (size_t r = 0; r < with->rows.size(); ++r) {
+      EXPECT_EQ(with->rows[r][0], without->rows[r][0]) << sql;
+    }
+    if (shape != 1 || true) {
+      // Index usage is an implementation detail, but when an index exists
+      // on the probed column, the executor should use it.
+      EXPECT_TRUE(with->stats.used_index) << sql;
+      EXPECT_FALSE(without->stats.used_index) << sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalenceProperty,
+                         ::testing::Range(1, 11));
+
+// ---- Merge/purge: clusters partition the input ----------------------------------
+
+class ClusterPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterPartitionProperty, EveryRecordInExactlyOneCluster) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  std::vector<cleaning::KeyedRecord> records;
+  for (int i = 0; i < 120; ++i) {
+    cleaning::KeyedRecord r;
+    r.id = "r" + std::to_string(i);
+    // Small name universe → plenty of matches and near-matches.
+    r.fields["name"] =
+        Value::String(rng.RandomWord(1 + rng.Uniform(3)));
+    records.push_back(std::move(r));
+  }
+  std::vector<cleaning::MatchRule> rules;
+  rules.push_back({"name", cleaning::LevenshteinSimilarity, 1.0, 0.0});
+  cleaning::RecordMatcher matcher(std::move(rules), 0.5, 0.8);
+
+  for (cleaning::MatchStrategy strategy :
+       {cleaning::MatchStrategy::kNaivePairwise,
+        cleaning::MatchStrategy::kSortedNeighbourhood,
+        cleaning::MatchStrategy::kMultiPassSortedNeighbourhood}) {
+    cleaning::MergePurgeOptions options;
+    options.strategy = strategy;
+    options.window = 4;
+    options.trap_exceptions = false;
+    Result<cleaning::MergePurgeResult> result =
+        cleaning::MergePurge(records, matcher, options);
+    ASSERT_TRUE(result.ok());
+    std::set<size_t> seen;
+    for (const auto& cluster : result->clusters) {
+      EXPECT_FALSE(cluster.empty());
+      for (size_t index : cluster) {
+        EXPECT_TRUE(seen.insert(index).second)
+            << "record " << index << " appears in two clusters";
+      }
+    }
+    EXPECT_EQ(seen.size(), records.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPartitionProperty,
+                         ::testing::Range(1, 9));
+
+// ---- Similarity: metric sanity ---------------------------------------------------
+
+class SimilarityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityProperty, BoundsSymmetryIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    std::string a = rng.RandomWord(rng.Uniform(12));
+    std::string b = rng.RandomWord(rng.Uniform(12));
+    for (auto fn : {cleaning::LevenshteinSimilarity,
+                    cleaning::JaroWinklerSimilarity,
+                    cleaning::TokenJaccardSimilarity}) {
+      double ab = fn(a, b);
+      double ba = fn(b, a);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      EXPECT_DOUBLE_EQ(ab, ba) << a << " / " << b;
+      EXPECT_DOUBLE_EQ(fn(a, a), 1.0) << a;
+    }
+    // Soundex is deterministic and 4 chars.
+    EXPECT_EQ(cleaning::Soundex(a).size(), a.empty() ? 4u : 4u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperty, ::testing::Range(1, 6));
+
+// ---- Values: Infer/ToString round-trip -------------------------------------------
+
+class ValueRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueRoundTripProperty, InferToStringStable) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    Value v;
+    switch (rng.Uniform(4)) {
+      case 0:
+        v = Value::Int(rng.UniformInt(-1000000, 1000000));
+        break;
+      case 1:
+        v = Value::Double(static_cast<double>(rng.UniformInt(-1000, 1000)) +
+                          0.25);
+        break;
+      case 2:
+        v = Value::Bool(rng.Bernoulli(0.5));
+        break;
+      default:
+        v = Value::String(rng.RandomWord(1 + rng.Uniform(10)));
+        break;
+    }
+    EXPECT_EQ(Value::Infer(v.ToString()), v) << v.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueRoundTripProperty,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/executor.h"
+#include "relational/sql_parser.h"
+
+namespace nimble {
+namespace relational {
+namespace {
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, city TEXT, "
+         "balance DOUBLE)");
+    Exec("CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, "
+         "total DOUBLE, status TEXT)");
+    Exec("INSERT INTO customers VALUES (1, 'Ada', 'Seattle', 120.5), "
+         "(2, 'Bob', 'Portland', 0.0), (3, 'Cleo', 'Seattle', 999.0), "
+         "(4, 'Dan', 'Boise', 15.25)");
+    Exec("INSERT INTO orders VALUES (10, 1, 99.0, 'shipped'), "
+         "(11, 1, 1.5, 'open'), (12, 3, 200.0, 'shipped'), "
+         "(13, 9, 5.0, 'open')");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    Result<ResultSet> r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : ResultSet{};
+  }
+
+  Status ExecError(const std::string& sql) {
+    Result<ResultSet> r = db_.Execute(sql);
+    EXPECT_FALSE(r.ok()) << sql << " unexpectedly succeeded";
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  Database db_{"testdb"};
+};
+
+TEST_F(RelationalTest, SelectStar) {
+  ResultSet rs = Exec("SELECT * FROM customers");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"id", "name", "city", "balance"}));
+  EXPECT_EQ(rs.rows.size(), 4u);
+}
+
+TEST_F(RelationalTest, Projection) {
+  ResultSet rs = Exec("SELECT name, city FROM customers WHERE id = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("Ada"));
+  EXPECT_EQ(rs.rows[0][1], Value::String("Seattle"));
+}
+
+TEST_F(RelationalTest, ProjectionWithAliasAndExpression) {
+  ResultSet rs =
+      Exec("SELECT name, balance * 2 AS double_balance FROM customers "
+           "WHERE id = 4");
+  EXPECT_EQ(rs.columns[1], "double_balance");
+  EXPECT_EQ(rs.rows[0][1], Value::Double(30.5));
+}
+
+TEST_F(RelationalTest, WhereComparisons) {
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE balance > 100").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE balance >= 120.5").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city != 'Seattle'").rows.size(),
+            2u);
+  EXPECT_EQ(
+      Exec("SELECT * FROM customers WHERE city = 'Seattle' AND balance < 500")
+          .rows.size(),
+      1u);
+  EXPECT_EQ(
+      Exec("SELECT * FROM customers WHERE city = 'Boise' OR city = 'Portland'")
+          .rows.size(),
+      2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE NOT city = 'Seattle'")
+                .rows.size(),
+            2u);
+}
+
+TEST_F(RelationalTest, LikePatterns) {
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE name LIKE 'A%'").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE name LIKE '%o%'").rows.size(),
+            2u);  // Bob, Cleo
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE name LIKE '_ob'").rows.size(),
+            1u);
+}
+
+TEST_F(RelationalTest, OrderByAscDesc) {
+  ResultSet rs = Exec("SELECT name, balance FROM customers ORDER BY balance");
+  EXPECT_EQ(rs.rows.front()[0], Value::String("Bob"));
+  EXPECT_EQ(rs.rows.back()[0], Value::String("Cleo"));
+  rs = Exec("SELECT name, balance FROM customers ORDER BY balance DESC");
+  EXPECT_EQ(rs.rows.front()[0], Value::String("Cleo"));
+}
+
+TEST_F(RelationalTest, OrderByAliasAndMultiKey) {
+  ResultSet rs = Exec(
+      "SELECT city, name FROM customers ORDER BY city ASC, name DESC");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("Boise"));
+  EXPECT_EQ(rs.rows[2][1], Value::String("Cleo"));  // Seattle: Cleo before Ada
+  EXPECT_EQ(rs.rows[3][1], Value::String("Ada"));
+}
+
+TEST_F(RelationalTest, Limit) {
+  EXPECT_EQ(Exec("SELECT * FROM customers LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT * FROM customers LIMIT 99").rows.size(), 4u);
+}
+
+TEST_F(RelationalTest, Distinct) {
+  ResultSet rs = Exec("SELECT DISTINCT city FROM customers");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(RelationalTest, HashJoin) {
+  ResultSet rs = Exec(
+      "SELECT c.name, o.total FROM customers c JOIN orders o "
+      "ON c.id = o.customer_id ORDER BY o.total");
+  ASSERT_EQ(rs.rows.size(), 3u);  // order 13 has no matching customer
+  EXPECT_EQ(rs.rows[0][0], Value::String("Ada"));
+  EXPECT_EQ(rs.rows[2][1], Value::Double(200.0));
+}
+
+TEST_F(RelationalTest, JoinWithResidualPredicate) {
+  ResultSet rs = Exec(
+      "SELECT c.name FROM customers c JOIN orders o "
+      "ON c.id = o.customer_id AND o.total > 50");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(RelationalTest, NestedLoopJoinForNonEqui) {
+  ResultSet rs = Exec(
+      "SELECT c.name, o.order_id FROM customers c JOIN orders o "
+      "ON c.balance > o.total");
+  // pairs where balance > total
+  EXPECT_GT(rs.rows.size(), 0u);
+  for (const Row& row : rs.rows) {
+    EXPECT_FALSE(row[0].is_null());
+  }
+}
+
+TEST_F(RelationalTest, Aggregates) {
+  ResultSet rs = Exec("SELECT COUNT(*), SUM(total), MIN(total), MAX(total), "
+                      "AVG(total) FROM orders");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(4));
+  EXPECT_EQ(rs.rows[0][1], Value::Double(305.5));
+  EXPECT_EQ(rs.rows[0][2], Value::Double(1.5));
+  EXPECT_EQ(rs.rows[0][3], Value::Double(200.0));
+  EXPECT_EQ(rs.rows[0][4], Value::Double(305.5 / 4));
+}
+
+TEST_F(RelationalTest, GroupBy) {
+  ResultSet rs = Exec(
+      "SELECT city, COUNT(*) AS n FROM customers GROUP BY city ORDER BY n "
+      "DESC, city");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("Seattle"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+}
+
+TEST_F(RelationalTest, GroupByHaving) {
+  ResultSet rs = Exec(
+      "SELECT city, COUNT(*) AS n FROM customers GROUP BY city "
+      "HAVING COUNT(*) > 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("Seattle"));
+}
+
+TEST_F(RelationalTest, AggregateOverEmptyInput) {
+  ResultSet rs =
+      Exec("SELECT COUNT(*), SUM(total) FROM orders WHERE total > 10000");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(RelationalTest, ScalarFunctions) {
+  ResultSet rs = Exec(
+      "SELECT UPPER(name), LOWER(city), LENGTH(name), ABS(0 - balance) "
+      "FROM customers WHERE id = 1");
+  EXPECT_EQ(rs.rows[0][0], Value::String("ADA"));
+  EXPECT_EQ(rs.rows[0][1], Value::String("seattle"));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(3));
+  EXPECT_EQ(rs.rows[0][3], Value::Double(120.5));
+}
+
+TEST_F(RelationalTest, NullSemantics) {
+  Exec("INSERT INTO customers (id, name) VALUES (5, 'Eve')");
+  // NULL never satisfies comparisons.
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city = 'Seattle'").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city != 'Seattle'").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city IS NULL").rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city IS NOT NULL").rows.size(),
+            4u);
+  // COUNT(col) skips nulls; COUNT(*) does not.
+  ResultSet rs = Exec("SELECT COUNT(*), COUNT(city) FROM customers");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(5));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(4));
+}
+
+TEST_F(RelationalTest, PrimaryKeyUniqueness) {
+  Status s = ExecError("INSERT INTO customers VALUES (1, 'Dup', 'X', 0.0)");
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(RelationalTest, TypeChecking) {
+  Status s = ExecError("INSERT INTO customers VALUES ('oops', 'N', 'C', 0.0)");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(RelationalTest, IntWidensToDoubleColumn) {
+  Exec("INSERT INTO customers VALUES (6, 'Fay', 'Reno', 10)");
+  ResultSet rs = Exec("SELECT balance FROM customers WHERE id = 6");
+  EXPECT_EQ(rs.rows[0][0], Value::Double(10.0));
+}
+
+TEST_F(RelationalTest, DeleteWhere) {
+  ResultSet rs = Exec("DELETE FROM orders WHERE status = 'open'");
+  EXPECT_EQ(rs.stats.rows_returned, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM orders").rows.size(), 2u);
+}
+
+TEST_F(RelationalTest, DeleteAll) {
+  Exec("DELETE FROM orders");
+  EXPECT_EQ(Exec("SELECT * FROM orders").rows.size(), 0u);
+}
+
+TEST_F(RelationalTest, UpdateWithExpression) {
+  Exec("UPDATE customers SET balance = balance + 100 WHERE city = 'Seattle'");
+  ResultSet rs =
+      Exec("SELECT balance FROM customers WHERE id = 1");
+  EXPECT_EQ(rs.rows[0][0], Value::Double(220.5));
+  rs = Exec("SELECT balance FROM customers WHERE id = 2");
+  EXPECT_EQ(rs.rows[0][0], Value::Double(0.0));
+}
+
+TEST_F(RelationalTest, UpdateSeesOldValues) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, 2)");
+  Exec("UPDATE t SET a = b, b = a");
+  ResultSet rs = Exec("SELECT a, b FROM t");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(1));
+}
+
+TEST_F(RelationalTest, IndexUsedForEquality) {
+  Exec("CREATE INDEX idx_city ON customers (city)");
+  ResultSet rs = Exec("SELECT * FROM customers WHERE city = 'Seattle'");
+  EXPECT_TRUE(rs.stats.used_index);
+  EXPECT_EQ(rs.stats.index_name, "idx_city");
+  EXPECT_EQ(rs.stats.rows_scanned, 2u);  // only the matching rows
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(RelationalTest, IndexUsedForRange) {
+  Exec("CREATE INDEX idx_bal ON customers (balance)");
+  ResultSet rs =
+      Exec("SELECT * FROM customers WHERE balance > 10 AND balance < 500");
+  EXPECT_TRUE(rs.stats.used_index);
+  EXPECT_EQ(rs.rows.size(), 2u);  // 120.5, 15.25
+}
+
+TEST_F(RelationalTest, NoIndexMeansFullScan) {
+  ResultSet rs = Exec("SELECT * FROM customers WHERE city = 'Seattle'");
+  EXPECT_FALSE(rs.stats.used_index);
+  EXPECT_EQ(rs.stats.rows_scanned, 4u);
+}
+
+TEST_F(RelationalTest, PrimaryKeyIndexAutoCreated) {
+  ResultSet rs = Exec("SELECT * FROM customers WHERE id = 3");
+  EXPECT_TRUE(rs.stats.used_index);
+  EXPECT_EQ(rs.stats.rows_scanned, 1u);
+}
+
+TEST_F(RelationalTest, IndexConsistentAfterDelete) {
+  Exec("DELETE FROM customers WHERE id = 1");
+  ResultSet rs = Exec("SELECT * FROM customers WHERE id = 1");
+  EXPECT_EQ(rs.rows.size(), 0u);
+  rs = Exec("SELECT * FROM customers WHERE id = 3");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(RelationalTest, IndexedAndScanResultsAgree) {
+  // Property: the same query with and without an index returns identical
+  // row multisets.
+  ResultSet before =
+      Exec("SELECT name FROM customers WHERE city = 'Seattle' ORDER BY name");
+  Exec("CREATE INDEX idx_city ON customers (city)");
+  ResultSet after =
+      Exec("SELECT name FROM customers WHERE city = 'Seattle' ORDER BY name");
+  EXPECT_FALSE(before.stats.used_index);
+  EXPECT_TRUE(after.stats.used_index);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i][0], after.rows[i][0]);
+  }
+}
+
+TEST_F(RelationalTest, ErrorUnknownTable) {
+  EXPECT_EQ(ExecError("SELECT * FROM nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(RelationalTest, ErrorUnknownColumn) {
+  EXPECT_EQ(ExecError("SELECT nope FROM customers").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RelationalTest, ErrorAmbiguousColumn) {
+  Status s = ExecError(
+      "SELECT id FROM customers c JOIN customers d ON c.id = d.id");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RelationalTest, ErrorSyntax) {
+  EXPECT_EQ(ExecError("SELEKT * FROM customers").code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ExecError("SELECT * FROM").code(), StatusCode::kParseError);
+  EXPECT_EQ(ExecError("SELECT * FROM t WHERE").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(RelationalTest, SelfJoinWithAliases) {
+  ResultSet rs = Exec(
+      "SELECT a.name, b.name FROM customers a JOIN customers b "
+      "ON a.city = b.city AND a.id < b.id");
+  // Seattle pair (Ada, Cleo) only.
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("Ada"));
+  EXPECT_EQ(rs.rows[0][1], Value::String("Cleo"));
+}
+
+TEST_F(RelationalTest, ThreeWayJoin) {
+  Exec("CREATE TABLE items (order_id INT, sku TEXT)");
+  Exec("INSERT INTO items VALUES (10, 'widget'), (10, 'gadget'), "
+       "(12, 'widget')");
+  ResultSet rs = Exec(
+      "SELECT c.name, i.sku FROM customers c "
+      "JOIN orders o ON c.id = o.customer_id "
+      "JOIN items i ON o.order_id = i.order_id "
+      "ORDER BY i.sku, c.name");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][1], Value::String("gadget"));
+}
+
+// ---- SQL text round-trip property -------------------------------------------
+
+class SqlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqlRoundTrip, ParseToSqlReparseIsStable) {
+  Result<SqlStatement> first = ParseSql(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto* select = std::get_if<SelectStmt>(&*first);
+  ASSERT_NE(select, nullptr);
+  std::string sql = select->ToSql();
+  Result<SqlStatement> second = ParseSql(sql);
+  ASSERT_TRUE(second.ok()) << sql << " -> " << second.status().ToString();
+  EXPECT_EQ(std::get<SelectStmt>(*second).ToSql(), sql);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, SqlRoundTrip,
+    ::testing::Values(
+        "SELECT * FROM t",
+        "SELECT a, b AS c FROM t WHERE a = 1 AND b < 'x'",
+        "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+        "SELECT a FROM t ORDER BY a DESC LIMIT 5",
+        "SELECT t.a, u.b FROM t JOIN u ON t.a = u.a WHERE t.a LIKE 'x%'",
+        "SELECT DISTINCT a FROM t WHERE a IS NOT NULL",
+        "SELECT a + b * 2 FROM t WHERE NOT (a = 1 OR b = 2)"));
+
+TEST_F(RelationalTest, LeftOuterJoinPadsUnmatched) {
+  ResultSet rs = Exec(
+      "SELECT c.name, o.total FROM customers c LEFT JOIN orders o "
+      "ON c.id = o.customer_id ORDER BY c.name");
+  // Ada has 2 orders; Bob, Cleo 1 each... Cleo has order 12, Bob none?
+  // orders: cust 1 (x2), 3, 9 → Bob(2) and Dan(4) unmatched.
+  ASSERT_EQ(rs.rows.size(), 5u);
+  // Bob's row survives with a null total.
+  bool bob_padded = false;
+  for (const Row& row : rs.rows) {
+    if (row[0] == Value::String("Bob") && row[1].is_null()) bob_padded = true;
+  }
+  EXPECT_TRUE(bob_padded);
+}
+
+TEST_F(RelationalTest, LeftOuterKeywordVariants) {
+  ResultSet a = Exec(
+      "SELECT c.id FROM customers c LEFT JOIN orders o "
+      "ON c.id = o.customer_id");
+  ResultSet b = Exec(
+      "SELECT c.id FROM customers c LEFT OUTER JOIN orders o "
+      "ON c.id = o.customer_id");
+  EXPECT_EQ(a.rows.size(), b.rows.size());
+}
+
+TEST_F(RelationalTest, LeftOuterJoinWithResidual) {
+  // Residual ON conjunct failing → left row still survives padded.
+  ResultSet rs = Exec(
+      "SELECT c.name, o.order_id FROM customers c LEFT JOIN orders o "
+      "ON c.id = o.customer_id AND o.total > 5000");
+  ASSERT_EQ(rs.rows.size(), 4u);  // every customer once, all padded
+  for (const Row& row : rs.rows) EXPECT_TRUE(row[1].is_null());
+}
+
+TEST_F(RelationalTest, LeftOuterJoinNonEquiCondition) {
+  ResultSet rs = Exec(
+      "SELECT c.name, o.order_id FROM customers c LEFT JOIN orders o "
+      "ON c.balance < o.total AND c.id = o.customer_id");
+  // Nested-loop path (non-equi first conjunct still extracts equi? the
+  // equi conjunct is extractable, so hash path; just assert row coverage).
+  EXPECT_GE(rs.rows.size(), 4u);
+}
+
+TEST_F(RelationalTest, CountOverLeftJoinCountsNullsCorrectly) {
+  ResultSet rs = Exec(
+      "SELECT c.name, COUNT(o.order_id) AS n FROM customers c "
+      "LEFT JOIN orders o ON c.id = o.customer_id "
+      "GROUP BY c.name ORDER BY c.name");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  // Ada: 2 orders; Bob: 0 (COUNT skips the null pad).
+  EXPECT_EQ(rs.rows[0][0], Value::String("Ada"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_EQ(rs.rows[1][0], Value::String("Bob"));
+  EXPECT_EQ(rs.rows[1][1], Value::Int(0));
+}
+
+TEST_F(RelationalTest, InList) {
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE id IN (1, 3)").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE city IN ('Seattle')")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE id IN (99)").rows.size(), 0u);
+  // Duplicated IN values must not duplicate rows.
+  EXPECT_EQ(Exec("SELECT * FROM customers WHERE id IN (1, 1, 1)").rows.size(),
+            1u);
+  // NULL probe never matches.
+  Exec("INSERT INTO customers (id, name) VALUES (5, 'Eve')");
+  EXPECT_EQ(
+      Exec("SELECT * FROM customers WHERE city IN ('Seattle', 'Boise')")
+          .rows.size(),
+      3u);
+}
+
+TEST_F(RelationalTest, InListUsesIndex) {
+  ResultSet rs = Exec("SELECT * FROM customers WHERE id IN (1, 3, 4)");
+  EXPECT_TRUE(rs.stats.used_index);  // pk index, unioned lookups
+  EXPECT_EQ(rs.stats.rows_scanned, 3u);
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(RelationalTest, InListCombinesWithOtherPredicates) {
+  ResultSet rs = Exec(
+      "SELECT name FROM customers WHERE id IN (1, 2, 3) AND balance > 50");
+  EXPECT_EQ(rs.rows.size(), 2u);  // Ada, Cleo
+}
+
+TEST(LikeMatchTest, Patterns) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llo!"));
+  EXPECT_FALSE(LikeMatch("hello", "H%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace nimble

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+
+namespace nimble {
+namespace {
+
+NodePtr MakeBook(const std::string& title, const std::string& author,
+                 int64_t year) {
+  NodePtr book = Node::Element("book");
+  book->AddScalarChild("title", Value::String(title));
+  book->AddScalarChild("author", Value::String(author));
+  book->AddScalarChild("year", Value::Int(year));
+  return book;
+}
+
+TEST(NodeTest, ElementBasics) {
+  NodePtr n = Node::Element("root");
+  EXPECT_TRUE(n->is_element());
+  EXPECT_EQ(n->name(), "root");
+  EXPECT_EQ(n->parent(), nullptr);
+  EXPECT_TRUE(n->children().empty());
+}
+
+TEST(NodeTest, TextCarriesTypedValue) {
+  NodePtr t = Node::Text(Value::Int(42));
+  EXPECT_TRUE(t->is_text());
+  EXPECT_EQ(t->value(), Value::Int(42));
+  EXPECT_EQ(t->TextContent(), "42");
+}
+
+TEST(NodeTest, TextFromRawInfers) {
+  EXPECT_EQ(Node::TextFromRaw("3.5")->value(), Value::Double(3.5));
+  EXPECT_EQ(Node::TextFromRaw("abc")->value(), Value::String("abc"));
+}
+
+TEST(NodeTest, AddChildSetsParent) {
+  NodePtr root = Node::Element("root");
+  NodePtr child = Node::Element("child");
+  root->AddChild(child);
+  EXPECT_EQ(child->parent(), root.get());
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(NodeTest, AttributesSetAndGet) {
+  NodePtr n = Node::Element("e");
+  n->SetAttribute("id", Value::Int(7));
+  EXPECT_TRUE(n->HasAttribute("id"));
+  EXPECT_EQ(n->GetAttribute("id"), Value::Int(7));
+  EXPECT_FALSE(n->HasAttribute("missing"));
+  EXPECT_TRUE(n->GetAttribute("missing").is_null());
+  // Overwrite keeps one entry.
+  n->SetAttribute("id", Value::Int(8));
+  EXPECT_EQ(n->attributes().size(), 1u);
+  EXPECT_EQ(n->GetAttribute("id"), Value::Int(8));
+}
+
+TEST(NodeTest, FindChildAndChildren) {
+  NodePtr lib = Node::Element("library");
+  lib->AddChild(MakeBook("A", "X", 2000));
+  lib->AddChild(MakeBook("B", "Y", 2001));
+  NodePtr first = lib->FindChild("book");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->FindChild("title")->ScalarValue(), Value::String("A"));
+  EXPECT_EQ(lib->FindChildren("book").size(), 2u);
+  EXPECT_EQ(lib->FindChild("missing"), nullptr);
+}
+
+TEST(NodeTest, ScalarValueForSimpleContent) {
+  NodePtr e = Node::Element("year");
+  e->AddChild(Node::Text(Value::Int(1999)));
+  EXPECT_EQ(e->ScalarValue(), Value::Int(1999));
+}
+
+TEST(NodeTest, ScalarValueForEmptyElementIsNull) {
+  EXPECT_TRUE(Node::Element("e")->ScalarValue().is_null());
+}
+
+TEST(NodeTest, ScalarValueForMixedContentConcatenates) {
+  NodePtr e = Node::Element("p");
+  e->AddChild(Node::Text(Value::String("a")));
+  e->AddChild(Node::Element("b"))->AddChild(Node::Text(Value::String("c")));
+  e->AddChild(Node::Text(Value::String("d")));
+  EXPECT_EQ(e->ScalarValue(), Value::String("acd"));
+}
+
+TEST(NodeTest, TextContentRecurses) {
+  NodePtr book = MakeBook("T", "A", 2020);
+  EXPECT_EQ(book->TextContent(), "TA2020");
+}
+
+TEST(NodeTest, SiblingNavigation) {
+  NodePtr root = Node::Element("r");
+  NodePtr a = root->AddChild(Node::Element("a"));
+  NodePtr b = root->AddChild(Node::Element("b"));
+  NodePtr c = root->AddChild(Node::Element("c"));
+  EXPECT_EQ(a->NextSibling(), b);
+  EXPECT_EQ(b->NextSibling(), c);
+  EXPECT_EQ(c->NextSibling(), nullptr);
+  EXPECT_EQ(c->PrevSibling(), b);
+  EXPECT_EQ(a->PrevSibling(), nullptr);
+  EXPECT_EQ(root->NextSibling(), nullptr);
+}
+
+TEST(NodeTest, RemoveChildClearsParent) {
+  NodePtr root = Node::Element("r");
+  NodePtr a = root->AddChild(Node::Element("a"));
+  root->RemoveChild(0);
+  EXPECT_TRUE(root->children().empty());
+  EXPECT_EQ(a->parent(), nullptr);
+}
+
+TEST(NodeTest, SubtreeSize) {
+  NodePtr book = MakeBook("T", "A", 2020);
+  // book + 3 elements + 3 text nodes = 7
+  EXPECT_EQ(book->SubtreeSize(), 7u);
+}
+
+TEST(NodeTest, DeepEqualsAndClone) {
+  NodePtr a = MakeBook("T", "A", 2020);
+  a->SetAttribute("id", Value::Int(1));
+  NodePtr b = a->Clone();
+  EXPECT_TRUE(a->DeepEquals(*b));
+  EXPECT_EQ(b->parent(), nullptr);
+  EXPECT_EQ(b->FindChild("title")->parent(), b.get());
+  // Mutating the clone does not affect the original.
+  b->SetAttribute("id", Value::Int(2));
+  EXPECT_FALSE(a->DeepEquals(*b));
+  EXPECT_EQ(a->GetAttribute("id"), Value::Int(1));
+}
+
+TEST(NodeTest, DeepEqualsDetectsOrderDifference) {
+  NodePtr a = Node::Element("r");
+  a->AddChild(Node::Element("x"));
+  a->AddChild(Node::Element("y"));
+  NodePtr b = Node::Element("r");
+  b->AddChild(Node::Element("y"));
+  b->AddChild(Node::Element("x"));
+  EXPECT_FALSE(a->DeepEquals(*b));  // XML is intrinsically ordered (§4).
+}
+
+TEST(NodeTest, CollectDescendants) {
+  NodePtr lib = Node::Element("library");
+  lib->AddChild(MakeBook("A", "X", 2000));
+  lib->AddChild(MakeBook("B", "Y", 2001));
+  std::vector<NodePtr> all;
+  lib->CollectDescendants(&all);
+  // 2 books × (book + title + author + year) = 8 elements.
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0]->name(), "book");
+  EXPECT_EQ(all[1]->name(), "title");
+}
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace {
+
+NodePtr MustParse(const std::string& xml, const XmlParseOptions& opts = {}) {
+  Result<NodePtr> r = ParseXml(xml, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << xml;
+  if (!r.ok()) std::abort();
+  return *r;
+}
+
+TEST(XmlParserTest, SimpleElement) {
+  NodePtr root = MustParse("<a/>");
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_TRUE(root->children().empty());
+}
+
+TEST(XmlParserTest, NestedElements) {
+  NodePtr root = MustParse("<a><b><c/></b></a>");
+  EXPECT_EQ(root->FindChild("b")->FindChild("c")->name(), "c");
+}
+
+TEST(XmlParserTest, TextContentInferredTyped) {
+  NodePtr root = MustParse("<n>42</n>");
+  EXPECT_EQ(root->ScalarValue(), Value::Int(42));
+}
+
+TEST(XmlParserTest, PureXmlModeKeepsStrings) {
+  XmlParseOptions opts;
+  opts.infer_types = false;
+  NodePtr root = MustParse("<n>42</n>", opts);
+  EXPECT_EQ(root->ScalarValue(), Value::String("42"));
+}
+
+TEST(XmlParserTest, Attributes) {
+  NodePtr root = MustParse("<a id=\"7\" name='x y'/>");
+  EXPECT_EQ(root->GetAttribute("id"), Value::Int(7));
+  EXPECT_EQ(root->GetAttribute("name"), Value::String("x y"));
+}
+
+TEST(XmlParserTest, EntitiesUnescaped) {
+  NodePtr root = MustParse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>");
+  EXPECT_EQ(root->ScalarValue(), Value::String("<x> & \"y\" 'z'"));
+}
+
+TEST(XmlParserTest, CharacterReferences) {
+  NodePtr root = MustParse("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(root->ScalarValue(), Value::String("AB"));
+}
+
+TEST(XmlParserTest, CommentsSkipped) {
+  NodePtr root = MustParse("<a><!-- hi --><b/><!-- bye --></a>");
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  NodePtr root = MustParse("<a><![CDATA[<raw> & text]]></a>");
+  EXPECT_EQ(root->ScalarValue(), Value::String("<raw> & text"));
+}
+
+TEST(XmlParserTest, DeclarationAndDoctypeSkipped) {
+  NodePtr root = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE note>\n"
+      "<note/>");
+  EXPECT_EQ(root->name(), "note");
+}
+
+TEST(XmlParserTest, WhitespaceBetweenElementsStripped) {
+  NodePtr root = MustParse("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(root->children().size(), 2u);
+}
+
+TEST(XmlParserTest, MixedContentKept) {
+  NodePtr root = MustParse("<p>hello <b>bold</b> world</p>");
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_TRUE(root->children()[0]->is_text());
+  EXPECT_TRUE(root->children()[1]->is_element());
+  EXPECT_TRUE(root->children()[2]->is_text());
+}
+
+TEST(XmlParserTest, DocumentOrderPreserved) {
+  NodePtr root = MustParse("<r><z/><a/><m/></r>");
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->name(), "z");
+  EXPECT_EQ(root->children()[1]->name(), "a");
+  EXPECT_EQ(root->children()[2]->name(), "m");
+}
+
+TEST(XmlParserTest, ParentPointersWired) {
+  NodePtr root = MustParse("<a><b><c/></b></a>");
+  NodePtr c = root->FindChild("b")->FindChild("c");
+  EXPECT_EQ(c->parent()->name(), "b");
+  EXPECT_EQ(c->parent()->parent()->name(), "a");
+}
+
+// ---- Error cases -----------------------------------------------------------
+
+TEST(XmlParserTest, ErrorMismatchedTags) {
+  Result<NodePtr> r = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, ErrorUnclosedTag) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(XmlParserTest, ErrorTrailingContent) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, ErrorBadEntity) {
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorUnquotedAttribute) {
+  EXPECT_FALSE(ParseXml("<a id=7/>").ok());
+}
+
+TEST(XmlParserTest, ErrorReportsLineNumber) {
+  Result<NodePtr> r = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+// ---- Serializer ------------------------------------------------------------
+
+TEST(XmlSerializerTest, CompactOutput) {
+  NodePtr root = Node::Element("a");
+  root->SetAttribute("id", Value::Int(1));
+  root->AddScalarChild("b", Value::String("x"));
+  EXPECT_EQ(ToXml(*root), "<a id=\"1\"><b>x</b></a>");
+}
+
+TEST(XmlSerializerTest, SelfClosingForEmpty) {
+  EXPECT_EQ(ToXml(*Node::Element("e")), "<e/>");
+}
+
+TEST(XmlSerializerTest, EscapesSpecials) {
+  NodePtr root = Node::Element("a");
+  root->SetAttribute("q", Value::String("say \"hi\""));
+  root->AddChild(Node::Text(Value::String("1 < 2 & 3 > 2")));
+  std::string xml = ToXml(*root);
+  EXPECT_EQ(xml,
+            "<a q=\"say &quot;hi&quot;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(XmlSerializerTest, PrettyPrintIndents) {
+  NodePtr root = Node::Element("a");
+  root->AddScalarChild("b", Value::Int(1));
+  root->AddScalarChild("c", Value::Int(2));
+  EXPECT_EQ(ToPrettyXml(*root), "<a>\n  <b>1</b>\n  <c>2</c>\n</a>");
+}
+
+TEST(XmlSerializerTest, DeclarationOption) {
+  XmlWriteOptions opts;
+  opts.declaration = true;
+  EXPECT_EQ(ToXml(*Node::Element("a"), opts), "<?xml version=\"1.0\"?><a/>");
+}
+
+// ---- Round-trip property ----------------------------------------------------
+
+class XmlRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTrip, ParseSerializeParseIsStable) {
+  NodePtr first = MustParse(GetParam());
+  ASSERT_NE(first, nullptr);
+  std::string serialized = ToXml(*first);
+  NodePtr second = MustParse(serialized);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(first->DeepEquals(*second))
+      << "original: " << GetParam() << "\nserialized: " << serialized;
+  // Serialization is a fixpoint after one round.
+  EXPECT_EQ(ToXml(*second), serialized);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, XmlRoundTrip,
+    ::testing::Values(
+        "<a/>", "<a b=\"1\"/>", "<a>42</a>", "<a>3.5</a>", "<a>text</a>",
+        "<a><b/><c/><b/></a>",
+        "<library><book year=\"2001\"><title>Data on the Web</title>"
+        "<author>Abiteboul</author></book></library>",
+        "<r><x>1 &lt; 2</x><y attr=\"&amp;\">z</y></r>",
+        "<o><item sku=\"a-1\" qty=\"3\"/><item sku=\"b-2\" qty=\"1\"/></o>"));
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/path.h"
+
+namespace nimble {
+namespace {
+
+NodePtr Doc() {
+  static const char* kXml =
+      "<library>"
+      "  <shelf id=\"s1\">"
+      "    <book year=\"2000\"><title>A</title><author>X</author></book>"
+      "    <book year=\"2001\"><title>B</title><author>Y</author></book>"
+      "  </shelf>"
+      "  <shelf id=\"s2\">"
+      "    <book year=\"2002\"><title>C</title><author>X</author></book>"
+      "  </shelf>"
+      "</library>";
+  Result<NodePtr> r = ParseXml(kXml);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+Path MustPath(const std::string& text) {
+  Result<Path> p = Path::Parse(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(PathTest, ChildStep) {
+  NodePtr doc = Doc();
+  EXPECT_EQ(MustPath("shelf").SelectNodes(doc).size(), 2u);
+  EXPECT_EQ(MustPath("shelf/book").SelectNodes(doc).size(), 3u);
+}
+
+TEST(PathTest, WildcardStep) {
+  NodePtr doc = Doc();
+  EXPECT_EQ(MustPath("*").SelectNodes(doc).size(), 2u);
+  EXPECT_EQ(MustPath("*/*").SelectNodes(doc).size(), 3u);
+}
+
+TEST(PathTest, DescendantStep) {
+  NodePtr doc = Doc();
+  EXPECT_EQ(MustPath("//book").SelectNodes(doc).size(), 3u);
+  EXPECT_EQ(MustPath("//title").SelectNodes(doc).size(), 3u);
+  EXPECT_EQ(MustPath("shelf//title").SelectNodes(doc).size(), 3u);
+}
+
+TEST(PathTest, DocumentOrderPreserved) {
+  NodePtr doc = Doc();
+  std::vector<Value> titles = MustPath("//book/title").SelectValues(doc);
+  ASSERT_EQ(titles.size(), 3u);
+  EXPECT_EQ(titles[0], Value::String("A"));
+  EXPECT_EQ(titles[1], Value::String("B"));
+  EXPECT_EQ(titles[2], Value::String("C"));
+}
+
+TEST(PathTest, AttributeTerminal) {
+  NodePtr doc = Doc();
+  std::vector<Value> years = MustPath("//book/@year").SelectValues(doc);
+  ASSERT_EQ(years.size(), 3u);
+  EXPECT_EQ(years[0], Value::Int(2000));
+  // Missing attributes are skipped, not nulled.
+  EXPECT_TRUE(MustPath("//title/@nope").SelectValues(doc).empty());
+}
+
+TEST(PathTest, TextTerminal) {
+  NodePtr doc = Doc();
+  std::vector<Value> v = MustPath("shelf/book/title/text()").SelectValues(doc);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], Value::String("A"));
+}
+
+TEST(PathTest, ParentStep) {
+  NodePtr doc = Doc();
+  // book/.. climbs back to shelves, deduplicated.
+  std::vector<NodePtr> shelves = MustPath("shelf/book/..").SelectNodes(doc);
+  EXPECT_EQ(shelves.size(), 2u);
+  EXPECT_EQ(shelves[0]->name(), "shelf");
+}
+
+TEST(PathTest, SelectFirstValue) {
+  NodePtr doc = Doc();
+  EXPECT_EQ(MustPath("//title").SelectFirstValue(doc), Value::String("A"));
+  EXPECT_TRUE(MustPath("//nothing").SelectFirstValue(doc).is_null());
+}
+
+TEST(PathTest, AttributeOnContext) {
+  NodePtr doc = Doc();
+  NodePtr shelf = doc->FindChild("shelf");
+  EXPECT_EQ(MustPath("@id").SelectFirstValue(shelf), Value::String("s1"));
+}
+
+TEST(PathTest, NoDuplicatesFromDescendant) {
+  NodePtr doc = Doc();
+  std::vector<NodePtr> nodes = MustPath("//shelf//book").SelectNodes(doc);
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(PathTest, ToStringRoundTrip) {
+  for (const char* text :
+       {"a/b/c", "//a", "a//b", "@id", "a/@id", "a/text()", "a/../b", "*"}) {
+    Path p = MustPath(text);
+    EXPECT_EQ(p.ToString(), text);
+  }
+}
+
+TEST(PathTest, ParseErrors) {
+  EXPECT_FALSE(Path::Parse("").ok());
+  EXPECT_FALSE(Path::Parse("a/").ok());
+  EXPECT_FALSE(Path::Parse("@").ok());
+  EXPECT_FALSE(Path::Parse("@id/b").ok());       // attribute not terminal
+  EXPECT_FALSE(Path::Parse("text()/b").ok());    // text() not terminal
+}
+
+TEST(PathTest, EmptyResultOnMissingPath) {
+  NodePtr doc = Doc();
+  EXPECT_TRUE(MustPath("nope/nothing").SelectNodes(doc).empty());
+}
+
+}  // namespace
+}  // namespace nimble
