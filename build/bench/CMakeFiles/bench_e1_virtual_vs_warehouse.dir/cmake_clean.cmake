@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_virtual_vs_warehouse.dir/bench_e1_virtual_vs_warehouse.cc.o"
+  "CMakeFiles/bench_e1_virtual_vs_warehouse.dir/bench_e1_virtual_vs_warehouse.cc.o.d"
+  "bench_e1_virtual_vs_warehouse"
+  "bench_e1_virtual_vs_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_virtual_vs_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

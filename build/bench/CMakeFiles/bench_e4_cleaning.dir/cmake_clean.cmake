@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_cleaning.dir/bench_e4_cleaning.cc.o"
+  "CMakeFiles/bench_e4_cleaning.dir/bench_e4_cleaning.cc.o.d"
+  "bench_e4_cleaning"
+  "bench_e4_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

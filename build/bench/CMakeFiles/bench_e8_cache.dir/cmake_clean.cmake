@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_cache.dir/bench_e8_cache.cc.o"
+  "CMakeFiles/bench_e8_cache.dir/bench_e8_cache.cc.o.d"
+  "bench_e8_cache"
+  "bench_e8_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_360.dir/customer_360.cc.o"
+  "CMakeFiles/customer_360.dir/customer_360.cc.o.d"
+  "customer_360"
+  "customer_360.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_360.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

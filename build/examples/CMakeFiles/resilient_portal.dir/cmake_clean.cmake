@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_portal.dir/resilient_portal.cc.o"
+  "CMakeFiles/resilient_portal.dir/resilient_portal.cc.o.d"
+  "resilient_portal"
+  "resilient_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

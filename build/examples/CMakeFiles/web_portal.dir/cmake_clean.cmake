@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_portal.dir/web_portal.cc.o"
+  "CMakeFiles/web_portal.dir/web_portal.cc.o.d"
+  "web_portal"
+  "web_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admin/monitor.cc" "src/CMakeFiles/nimble.dir/admin/monitor.cc.o" "gcc" "src/CMakeFiles/nimble.dir/admin/monitor.cc.o.d"
+  "/root/repo/src/admin/replication.cc" "src/CMakeFiles/nimble.dir/admin/replication.cc.o" "gcc" "src/CMakeFiles/nimble.dir/admin/replication.cc.o.d"
+  "/root/repo/src/algebra/construct.cc" "src/CMakeFiles/nimble.dir/algebra/construct.cc.o" "gcc" "src/CMakeFiles/nimble.dir/algebra/construct.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/CMakeFiles/nimble.dir/algebra/operators.cc.o" "gcc" "src/CMakeFiles/nimble.dir/algebra/operators.cc.o.d"
+  "/root/repo/src/algebra/pattern_match.cc" "src/CMakeFiles/nimble.dir/algebra/pattern_match.cc.o" "gcc" "src/CMakeFiles/nimble.dir/algebra/pattern_match.cc.o.d"
+  "/root/repo/src/algebra/tuple.cc" "src/CMakeFiles/nimble.dir/algebra/tuple.cc.o" "gcc" "src/CMakeFiles/nimble.dir/algebra/tuple.cc.o.d"
+  "/root/repo/src/cleaning/concordance.cc" "src/CMakeFiles/nimble.dir/cleaning/concordance.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/concordance.cc.o.d"
+  "/root/repo/src/cleaning/flow.cc" "src/CMakeFiles/nimble.dir/cleaning/flow.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/flow.cc.o.d"
+  "/root/repo/src/cleaning/lineage.cc" "src/CMakeFiles/nimble.dir/cleaning/lineage.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/lineage.cc.o.d"
+  "/root/repo/src/cleaning/matcher.cc" "src/CMakeFiles/nimble.dir/cleaning/matcher.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/matcher.cc.o.d"
+  "/root/repo/src/cleaning/merge_purge.cc" "src/CMakeFiles/nimble.dir/cleaning/merge_purge.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/merge_purge.cc.o.d"
+  "/root/repo/src/cleaning/normalize.cc" "src/CMakeFiles/nimble.dir/cleaning/normalize.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/normalize.cc.o.d"
+  "/root/repo/src/cleaning/profiler.cc" "src/CMakeFiles/nimble.dir/cleaning/profiler.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/profiler.cc.o.d"
+  "/root/repo/src/cleaning/record.cc" "src/CMakeFiles/nimble.dir/cleaning/record.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/record.cc.o.d"
+  "/root/repo/src/cleaning/similarity.cc" "src/CMakeFiles/nimble.dir/cleaning/similarity.cc.o" "gcc" "src/CMakeFiles/nimble.dir/cleaning/similarity.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/nimble.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/nimble.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/nimble.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/nimble.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/nimble.dir/common/status.cc.o" "gcc" "src/CMakeFiles/nimble.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/nimble.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/nimble.dir/common/strings.cc.o.d"
+  "/root/repo/src/connector/connector.cc" "src/CMakeFiles/nimble.dir/connector/connector.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/connector.cc.o.d"
+  "/root/repo/src/connector/csv_connector.cc" "src/CMakeFiles/nimble.dir/connector/csv_connector.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/csv_connector.cc.o.d"
+  "/root/repo/src/connector/hierarchical_connector.cc" "src/CMakeFiles/nimble.dir/connector/hierarchical_connector.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/hierarchical_connector.cc.o.d"
+  "/root/repo/src/connector/relational_connector.cc" "src/CMakeFiles/nimble.dir/connector/relational_connector.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/relational_connector.cc.o.d"
+  "/root/repo/src/connector/simulated_source.cc" "src/CMakeFiles/nimble.dir/connector/simulated_source.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/simulated_source.cc.o.d"
+  "/root/repo/src/connector/xml_connector.cc" "src/CMakeFiles/nimble.dir/connector/xml_connector.cc.o" "gcc" "src/CMakeFiles/nimble.dir/connector/xml_connector.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/nimble.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/nimble.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/fragmenter.cc" "src/CMakeFiles/nimble.dir/core/fragmenter.cc.o" "gcc" "src/CMakeFiles/nimble.dir/core/fragmenter.cc.o.d"
+  "/root/repo/src/core/partial_results.cc" "src/CMakeFiles/nimble.dir/core/partial_results.cc.o" "gcc" "src/CMakeFiles/nimble.dir/core/partial_results.cc.o.d"
+  "/root/repo/src/core/sql_generator.cc" "src/CMakeFiles/nimble.dir/core/sql_generator.cc.o" "gcc" "src/CMakeFiles/nimble.dir/core/sql_generator.cc.o.d"
+  "/root/repo/src/frontend/auth.cc" "src/CMakeFiles/nimble.dir/frontend/auth.cc.o" "gcc" "src/CMakeFiles/nimble.dir/frontend/auth.cc.o.d"
+  "/root/repo/src/frontend/formatter.cc" "src/CMakeFiles/nimble.dir/frontend/formatter.cc.o" "gcc" "src/CMakeFiles/nimble.dir/frontend/formatter.cc.o.d"
+  "/root/repo/src/frontend/lens.cc" "src/CMakeFiles/nimble.dir/frontend/lens.cc.o" "gcc" "src/CMakeFiles/nimble.dir/frontend/lens.cc.o.d"
+  "/root/repo/src/frontend/load_balancer.cc" "src/CMakeFiles/nimble.dir/frontend/load_balancer.cc.o" "gcc" "src/CMakeFiles/nimble.dir/frontend/load_balancer.cc.o.d"
+  "/root/repo/src/hierarchical/hstore.cc" "src/CMakeFiles/nimble.dir/hierarchical/hstore.cc.o" "gcc" "src/CMakeFiles/nimble.dir/hierarchical/hstore.cc.o.d"
+  "/root/repo/src/materialize/result_cache.cc" "src/CMakeFiles/nimble.dir/materialize/result_cache.cc.o" "gcc" "src/CMakeFiles/nimble.dir/materialize/result_cache.cc.o.d"
+  "/root/repo/src/materialize/view_selection.cc" "src/CMakeFiles/nimble.dir/materialize/view_selection.cc.o" "gcc" "src/CMakeFiles/nimble.dir/materialize/view_selection.cc.o.d"
+  "/root/repo/src/materialize/view_store.cc" "src/CMakeFiles/nimble.dir/materialize/view_store.cc.o" "gcc" "src/CMakeFiles/nimble.dir/materialize/view_store.cc.o.d"
+  "/root/repo/src/metadata/catalog.cc" "src/CMakeFiles/nimble.dir/metadata/catalog.cc.o" "gcc" "src/CMakeFiles/nimble.dir/metadata/catalog.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/nimble.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/executor.cc" "src/CMakeFiles/nimble.dir/relational/executor.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/executor.cc.o.d"
+  "/root/repo/src/relational/index.cc" "src/CMakeFiles/nimble.dir/relational/index.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/index.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/nimble.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/sql_ast.cc" "src/CMakeFiles/nimble.dir/relational/sql_ast.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/sql_ast.cc.o.d"
+  "/root/repo/src/relational/sql_lexer.cc" "src/CMakeFiles/nimble.dir/relational/sql_lexer.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/sql_lexer.cc.o.d"
+  "/root/repo/src/relational/sql_parser.cc" "src/CMakeFiles/nimble.dir/relational/sql_parser.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/sql_parser.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/nimble.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/nimble.dir/relational/table.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/nimble.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/nimble.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/CMakeFiles/nimble.dir/xml/path.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xml/path.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/nimble.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/value.cc" "src/CMakeFiles/nimble.dir/xml/value.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xml/value.cc.o.d"
+  "/root/repo/src/xmlql/ast.cc" "src/CMakeFiles/nimble.dir/xmlql/ast.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xmlql/ast.cc.o.d"
+  "/root/repo/src/xmlql/parser.cc" "src/CMakeFiles/nimble.dir/xmlql/parser.cc.o" "gcc" "src/CMakeFiles/nimble.dir/xmlql/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_test.dir/hierarchical_test.cc.o"
+  "CMakeFiles/hierarchical_test.dir/hierarchical_test.cc.o.d"
+  "hierarchical_test"
+  "hierarchical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

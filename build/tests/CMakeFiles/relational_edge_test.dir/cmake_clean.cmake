@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_edge_test.dir/relational_edge_test.cc.o"
+  "CMakeFiles/relational_edge_test.dir/relational_edge_test.cc.o.d"
+  "relational_edge_test"
+  "relational_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_value_test.dir/xml_value_test.cc.o"
+  "CMakeFiles/xml_value_test.dir/xml_value_test.cc.o.d"
+  "xml_value_test"
+  "xml_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

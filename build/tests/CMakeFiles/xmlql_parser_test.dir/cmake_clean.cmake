@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlql_parser_test.dir/xmlql_parser_test.cc.o"
+  "CMakeFiles/xmlql_parser_test.dir/xmlql_parser_test.cc.o.d"
+  "xmlql_parser_test"
+  "xmlql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
