@@ -13,6 +13,8 @@
 // source; (b) makespan ≈ total/k for k engines, with least-loaded beating
 // round-robin when query costs are skewed.
 
+#include <chrono>
+
 #include "bench/workload.h"
 #include "core/engine.h"
 #include "frontend/load_balancer.h"
@@ -124,9 +126,55 @@ int main() {
                        Fmt(baseline / makespan, 2) + "x"});
     }
   }
+  // (c) The overlap is real, not an accounting artifact: on a RealClock the
+  // simulated sources genuinely sleep out their RTT, so concurrent fragment
+  // fetches must overlap their sleeps in wall-clock time.
+  std::printf("\nE6(c): wall-clock fan-out on a RealClock "
+              "(4 sources x 10 ms RTT)\n\n");
+  RealClock real_clock;
+  FanOutWorld wall_world;
+  std::string wall_union;
+  for (size_t s = 0; s < 4; ++s) {
+    std::string name = "wsrc" + std::to_string(s);
+    auto inner = std::make_unique<connector::XmlConnector>(name);
+    (void)inner->PutDocumentText("data", "<data><r><v>1</v></r></data>");
+    connector::SimulationConfig config;
+    config.fixed_latency_micros = 10000;
+    (void)wall_world.catalog.RegisterSource(
+        std::make_unique<connector::SimulatedSource>(std::move(inner), config,
+                                                     &real_clock));
+    if (s > 0) wall_union += " UNION ";
+    wall_union += "WHERE <data><r><v>$v</v></r></data> IN \"" + name +
+                  ":data\" CONSTRUCT <out>$v</out>";
+  }
+  bench::PrintRow({"mode", "wall_ms"});
+  bench::PrintRule(2);
+  double wall_ms[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    core::EngineOptions options;
+    options.parallel_fetch = (mode == 1);
+    options.worker_threads = 4;
+    core::IntegrationEngine engine(&wall_world.catalog, options);
+    auto start = std::chrono::steady_clock::now();
+    Result<core::QueryResult> result = engine.ExecuteText(wall_union);
+    auto stop = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    wall_ms[mode] =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    bench::PrintRow({mode == 0 ? "serial" : "parallel", Fmt(wall_ms[mode], 1)});
+  }
+  double speedup = wall_ms[0] / wall_ms[1];
+  std::printf("\nparallel speedup: %.2fx %s\n", speedup,
+              speedup >= 2.0 ? "(PASS: >= 2x)" : "(FAIL: expected >= 2x)");
+  if (speedup < 2.0) return 1;
+
   std::printf(
       "\nShape check: serial fan-out grows ~linearly while parallel tracks\n"
       "the slowest source; makespan scales ~1/k with pool size, and\n"
-      "least-loaded beats round-robin under a skewed mix.\n");
+      "least-loaded beats round-robin under a skewed mix; the RealClock run\n"
+      "shows the overlap as genuine wall-clock time.\n");
   return 0;
 }

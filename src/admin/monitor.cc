@@ -21,7 +21,7 @@ NodePtr SystemMonitor::StatusDocument() const {
         "indexes", Value::Int(static_cast<int64_t>(caps.indexed_columns.size())));
     elem->AddScalarChild("data_version",
                          Value::Int(static_cast<int64_t>(source->DataVersion())));
-    const connector::FetchStats& stats = source->stats();
+    connector::FetchStats stats = source->stats();
     elem->AddScalarChild("calls", Value::Int(static_cast<int64_t>(stats.calls)));
     elem->AddScalarChild("rows_shipped",
                          Value::Int(static_cast<int64_t>(stats.rows_shipped)));

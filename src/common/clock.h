@@ -1,6 +1,7 @@
 #ifndef NIMBLE_COMMON_CLOCK_H_
 #define NIMBLE_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -29,17 +30,24 @@ class RealClock : public Clock {
   void AdvanceMicros(int64_t micros) override;
 };
 
-/// Deterministic virtual clock; starts at zero.
+/// Deterministic virtual clock; starts at zero. Thread-safe: concurrent
+/// fragment fetches all charge the same counter, so under simulated
+/// parallelism virtual time is the *total* work done — wall-clock overlap
+/// only shows up on a RealClock (see bench E6(c)).
 class VirtualClock : public Clock {
  public:
-  int64_t NowMicros() const override { return now_; }
-  void AdvanceMicros(int64_t micros) override { now_ += micros; }
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
   /// Resets virtual time to zero (between benchmark trials).
-  void Reset() { now_ = 0; }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t now_ = 0;
+  std::atomic<int64_t> now_{0};
 };
 
 }  // namespace nimble

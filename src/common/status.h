@@ -19,7 +19,8 @@ enum class StatusCode {
   kTypeError,        ///< Value/type mismatch during evaluation.
   kPermissionDenied, ///< Lens authentication failure.
   kUnsupported,      ///< Operation outside a source's capabilities.
-  kTimeout,
+  kTimeout,          ///< Query deadline exceeded.
+  kCancelled,        ///< Query cooperatively cancelled mid-flight.
   kInternal,
 };
 
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));

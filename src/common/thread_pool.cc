@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace nimble {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunParallel(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+
+  // The batch is shared with helper jobs that may outlive this call (a
+  // helper enqueued behind a long task can start after the batch is done;
+  // it then finds no work and exits).
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t completed = 0;  // guarded by mutex
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  const size_t total = batch->tasks.size();
+
+  auto drain = [batch, total] {
+    while (true) {
+      size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      batch->tasks[i]();
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      if (++batch->completed == total) batch->done_cv.notify_all();
+    }
+  };
+
+  // One helper per task beyond the one the caller will run itself, capped
+  // at the pool width; excess helpers would only find an empty batch.
+  size_t helpers = std::min(workers_.size(), total - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();  // the caller participates — progress even with zero free workers
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->completed == total; });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(std::thread::hardware_concurrency());
+  return pool;
+}
+
+}  // namespace nimble

@@ -1,0 +1,60 @@
+#ifndef NIMBLE_COMMON_THREAD_POOL_H_
+#define NIMBLE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nimble {
+
+/// A fixed-size worker pool with a FIFO task queue — the substrate for the
+/// engine's concurrent fragment fetches and the load balancer's batch
+/// dispatch. Tasks must not throw.
+///
+/// Nested fork/join is explicitly supported: `RunParallel` lets the calling
+/// thread drain its own batch, so a task running *on* the pool can itself
+/// call `RunParallel` without deadlocking even when every worker is busy
+/// (the call degrades to inline execution instead of blocking forever).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues fire-and-forget work.
+  void Submit(std::function<void()> task);
+
+  /// Runs every task in `tasks` to completion before returning. Pool
+  /// workers and the calling thread all pull from the batch; completion
+  /// order is unspecified, so tasks must synchronise their own outputs
+  /// (the engine writes each result into a caller-preallocated slot).
+  void RunParallel(std::vector<std::function<void()>> tasks);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  /// Shared by every engine instance that does not request a private pool.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_COMMON_THREAD_POOL_H_

@@ -3,8 +3,10 @@
 namespace nimble {
 namespace connector {
 
-Result<relational::ResultSet> Connector::ExecuteSql(const std::string& sql) {
+Result<relational::ResultSet> Connector::ExecuteSql(const std::string& sql,
+                                                    const RequestContext& ctx) {
   (void)sql;
+  (void)ctx;
   return Status::Unsupported("source '" + name() + "' does not accept SQL");
 }
 

@@ -1,10 +1,13 @@
 #ifndef NIMBLE_CONNECTOR_CONNECTOR_H_
 #define NIMBLE_CONNECTOR_CONNECTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "relational/executor.h"
 #include "xml/node.h"
@@ -49,9 +52,34 @@ struct FetchStats {
   void Reset() { *this = FetchStats{}; }
 };
 
+/// Per-request execution context, threaded from the engine's
+/// ExecutionContext down into every source call. Connectors check the
+/// deadline and cancellation flag before doing work (cooperative
+/// cancellation) and report the cost of *this call alone* through
+/// `call_stats` — the cumulative per-connector counters cannot attribute
+/// cost to a fragment once fetches run concurrently.
+struct RequestContext {
+  /// Cooperative cancellation flag owned by the query's ExecutionContext.
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Absolute deadline on `clock` (0 = none).
+  int64_t deadline_micros = 0;
+  const Clock* clock = nullptr;
+  /// When set, the connector adds this call's own cost here (thread-safe:
+  /// the engine hands each fragment its own instance).
+  FetchStats* call_stats = nullptr;
+};
+
 /// Abstract wrapper around one data source. All sources can serve their
 /// collections as XML record trees (the unifying model, paper §1); SQL-
 /// capable sources additionally accept pushed-down SELECT statements.
+///
+/// Thread-safety contract: `FetchCollection`, `ExecuteSql`, `Ping`,
+/// `Collections`, `stats` and `ResetStats` may be called from any number of
+/// threads concurrently (the engine fans fragments out over a pool).
+/// Mutating registration/administration calls on concrete connectors
+/// (PutDocument, PutCsv, MapCollection, direct Database/HStore writes) must
+/// not race with in-flight queries unless the connector documents
+/// otherwise.
 class Connector {
  public:
   virtual ~Connector() = default;
@@ -68,20 +96,59 @@ class Connector {
 
   /// Fetches the entire collection as an XML tree whose children are the
   /// records. The caller owns the returned tree (sources return clones).
-  virtual Result<NodePtr> FetchCollection(const std::string& collection) = 0;
+  virtual Result<NodePtr> FetchCollection(const std::string& collection,
+                                          const RequestContext& ctx) = 0;
+  Result<NodePtr> FetchCollection(const std::string& collection) {
+    return FetchCollection(collection, RequestContext{});
+  }
 
   /// Executes pushed-down SQL. Default: unsupported.
-  virtual Result<relational::ResultSet> ExecuteSql(const std::string& sql);
+  virtual Result<relational::ResultSet> ExecuteSql(const std::string& sql,
+                                                   const RequestContext& ctx);
+  Result<relational::ResultSet> ExecuteSql(const std::string& sql) {
+    return ExecuteSql(sql, RequestContext{});
+  }
 
   /// Monotone data-version cookie for cache/materialization staleness.
   virtual uint64_t DataVersion() = 0;
 
-  /// Cumulative transfer statistics since the last ResetStats().
-  virtual const FetchStats& stats() const { return stats_; }
-  virtual void ResetStats() { stats_.Reset(); }
+  /// Snapshot of cumulative transfer statistics since the last ResetStats().
+  virtual FetchStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
+  virtual void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.Reset();
+  }
 
  protected:
-  FetchStats stats_;
+  /// Pre-flight check shared by all connectors: trips on cooperative
+  /// cancellation or an expired deadline before any source work is done.
+  static Status Admit(const RequestContext& ctx) {
+    if (ctx.cancelled != nullptr &&
+        ctx.cancelled->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled before source call");
+    }
+    if (ctx.deadline_micros > 0 && ctx.clock != nullptr &&
+        ctx.clock->NowMicros() >= ctx.deadline_micros) {
+      return Status::Timeout("query deadline exceeded before source call");
+    }
+    return Status::OK();
+  }
+
+  /// Thread-safe accumulation into the cumulative counters and, when the
+  /// caller asked for per-call attribution, into `ctx.call_stats`.
+  void AddStats(const RequestContext& ctx, const FetchStats& delta) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.Add(delta);
+    }
+    if (ctx.call_stats != nullptr) ctx.call_stats->Add(delta);
+  }
+
+  mutable std::mutex stats_mutex_;
+  FetchStats stats_;  ///< guarded by stats_mutex_.
 };
 
 }  // namespace connector

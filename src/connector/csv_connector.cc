@@ -59,12 +59,14 @@ Status CsvConnector::PutCsv(const std::string& collection_name,
     }
     root->AddChild(std::move(row));
   }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   collections_[collection_name] = std::move(root);
   ++version_;
   return Status::OK();
 }
 
 std::vector<std::string> CsvConnector::Collections() {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [collection, doc] : collections_) {
@@ -73,15 +75,24 @@ std::vector<std::string> CsvConnector::Collections() {
   return names;
 }
 
-Result<NodePtr> CsvConnector::FetchCollection(const std::string& collection) {
-  auto it = collections_.find(collection);
-  if (it == collections_.end()) {
-    return Status::NotFound("source '" + name_ + "' has no collection '" +
-                            collection + "'");
+Result<NodePtr> CsvConnector::FetchCollection(const std::string& collection,
+                                              const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  NodePtr clone;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = collections_.find(collection);
+    if (it == collections_.end()) {
+      return Status::NotFound("source '" + name_ + "' has no collection '" +
+                              collection + "'");
+    }
+    clone = it->second->Clone();
   }
-  ++stats_.calls;
-  stats_.rows_shipped += it->second->children().size();
-  return it->second->Clone();
+  FetchStats delta;
+  delta.calls = 1;
+  delta.rows_shipped = clone->children().size();
+  AddStats(ctx, delta);
+  return clone;
 }
 
 }  // namespace connector

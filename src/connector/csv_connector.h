@@ -2,6 +2,7 @@
 #define NIMBLE_CONNECTOR_CSV_CONNECTOR_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,13 @@ class CsvConnector : public Connector {
     return SourceCapabilities{};
   }
   std::vector<std::string> Collections() override;
-  Result<NodePtr> FetchCollection(const std::string& collection) override;
-  uint64_t DataVersion() override { return version_; }
+  using Connector::FetchCollection;
+  Result<NodePtr> FetchCollection(const std::string& collection,
+                                  const RequestContext& ctx) override;
+  uint64_t DataVersion() override {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return version_;
+  }
 
   /// Parses `csv_text` (header row + data rows) and registers it as
   /// `collection_name`. Each row becomes `<row><header>value</header>…</row>`.
@@ -33,6 +39,7 @@ class CsvConnector : public Connector {
 
  private:
   std::string name_;
+  mutable std::shared_mutex mutex_;  ///< reads shared, PutCsv exclusive.
   std::map<std::string, NodePtr> collections_;
   uint64_t version_ = 0;
 };

@@ -4,6 +4,7 @@ namespace nimble {
 namespace connector {
 
 std::vector<std::string> HierarchicalConnector::Collections() {
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
   std::vector<std::string> names;
   names.reserve(collection_paths_.size());
   for (const auto& [collection, path] : collection_paths_) {
@@ -13,20 +14,29 @@ std::vector<std::string> HierarchicalConnector::Collections() {
 }
 
 Result<NodePtr> HierarchicalConnector::FetchCollection(
-    const std::string& collection) {
-  auto it = collection_paths_.find(collection);
-  if (it == collection_paths_.end()) {
-    return Status::NotFound("source '" + name_ + "' has no collection '" +
-                            collection + "'");
+    const std::string& collection, const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  std::string base_path;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    auto it = collection_paths_.find(collection);
+    if (it == collection_paths_.end()) {
+      return Status::NotFound("source '" + name_ + "' has no collection '" +
+                              collection + "'");
+    }
+    base_path = it->second;
   }
-  NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, store_->ExportXml(it->second));
-  ++stats_.calls;
-  stats_.rows_shipped += tree->SubtreeSize();
+  NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, store_->ExportXml(base_path));
+  FetchStats delta;
+  delta.calls = 1;
+  delta.rows_shipped = tree->SubtreeSize();
+  AddStats(ctx, delta);
   return tree;
 }
 
 void HierarchicalConnector::MapCollection(const std::string& collection_name,
                                           const std::string& base_path) {
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
   collection_paths_[collection_name] = base_path;
 }
 

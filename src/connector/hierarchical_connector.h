@@ -2,6 +2,7 @@
 #define NIMBLE_CONNECTOR_HIERARCHICAL_CONNECTOR_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,10 @@ namespace connector {
 /// Wraps a hierarchical::HStore. Collections are named exported subtrees:
 /// register "staff" -> "/corp/people" and the mediator sees one XML tree
 /// per mapping (the paper's directory-style legacy sources).
+///
+/// Fetches take a shared lock (concurrent queries export concurrently);
+/// MapCollection takes an exclusive lock. Direct HStore writes must not
+/// race with in-flight queries.
 class HierarchicalConnector : public Connector {
  public:
   /// `store` must outlive the connector.
@@ -27,7 +32,9 @@ class HierarchicalConnector : public Connector {
     return caps;
   }
   std::vector<std::string> Collections() override;
-  Result<NodePtr> FetchCollection(const std::string& collection) override;
+  using Connector::FetchCollection;
+  Result<NodePtr> FetchCollection(const std::string& collection,
+                                  const RequestContext& ctx) override;
   uint64_t DataVersion() override { return store_->version(); }
 
   /// Maps `collection_name` to the subtree rooted at `base_path`.
@@ -39,6 +46,7 @@ class HierarchicalConnector : public Connector {
  private:
   std::string name_;
   hierarchical::HStore* store_;
+  mutable std::shared_mutex map_mutex_;
   std::map<std::string, std::string> collection_paths_;
 };
 

@@ -38,21 +38,57 @@ NodePtr RelationalConnector::ResultSetToXml(const relational::ResultSet& rs,
 }
 
 Result<NodePtr> RelationalConnector::FetchCollection(
-    const std::string& collection) {
+    const std::string& collection, const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
   relational::SelectStmt all;
   all.select_star = true;
   all.from.table = collection;
-  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->Query(all));
-  ++stats_.calls;
-  stats_.rows_shipped += rs.rows.size();
+  relational::ResultSet rs;
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    NIMBLE_ASSIGN_OR_RETURN(rs, db_->Query(all));
+  }
+  FetchStats delta;
+  delta.calls = 1;
+  delta.rows_shipped = rs.rows.size();
+  AddStats(ctx, delta);
   return ResultSetToXml(rs, collection, "row");
 }
 
+namespace {
+
+/// True when `sql` is a plain read (leading keyword SELECT) and can run
+/// under a shared lock; everything else gets the exclusive lock.
+bool IsSelect(const std::string& sql) {
+  size_t i = sql.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  static constexpr char kSelect[] = "select";
+  for (size_t k = 0; k < 6; ++k) {
+    if (i + k >= sql.size()) return false;
+    char c = sql[i + k];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != kSelect[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<relational::ResultSet> RelationalConnector::ExecuteSql(
-    const std::string& sql) {
-  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, db_->Execute(sql));
-  ++stats_.calls;
-  stats_.rows_shipped += rs.rows.size();
+    const std::string& sql, const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  relational::ResultSet rs;
+  if (IsSelect(sql)) {
+    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    NIMBLE_ASSIGN_OR_RETURN(rs, db_->Execute(sql));
+  } else {
+    std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    NIMBLE_ASSIGN_OR_RETURN(rs, db_->Execute(sql));
+  }
+  FetchStats delta;
+  delta.calls = 1;
+  delta.rows_shipped = rs.rows.size();
+  AddStats(ctx, delta);
   return rs;
 }
 

@@ -2,6 +2,7 @@
 #define NIMBLE_CONNECTOR_RELATIONAL_CONNECTOR_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,11 @@ namespace connector {
 /// connector parses and executes it in the source engine (so pushdown runs
 /// the source's own planner and indexes — the real code path, per
 /// DESIGN.md's substitution table).
+///
+/// Pushed-down SELECTs take a shared lock (concurrent reads); any other
+/// statement (DDL/DML) takes an exclusive lock, so mutations through
+/// ExecuteSql serialise against in-flight queries. Writes that bypass the
+/// connector (direct Database access) must not race with queries.
 class RelationalConnector : public Connector {
  public:
   /// `db` must outlive the connector.
@@ -25,8 +31,12 @@ class RelationalConnector : public Connector {
   const std::string& name() const override { return name_; }
   SourceCapabilities capabilities() const override;
   std::vector<std::string> Collections() override;
-  Result<NodePtr> FetchCollection(const std::string& collection) override;
-  Result<relational::ResultSet> ExecuteSql(const std::string& sql) override;
+  using Connector::FetchCollection;
+  using Connector::ExecuteSql;
+  Result<NodePtr> FetchCollection(const std::string& collection,
+                                  const RequestContext& ctx) override;
+  Result<relational::ResultSet> ExecuteSql(const std::string& sql,
+                                           const RequestContext& ctx) override;
   uint64_t DataVersion() override { return db_->Version(); }
 
   relational::Database* database() { return db_; }
@@ -40,6 +50,7 @@ class RelationalConnector : public Connector {
  private:
   std::string name_;
   relational::Database* db_;
+  mutable std::shared_mutex db_mutex_;
 };
 
 }  // namespace connector

@@ -3,25 +3,35 @@
 namespace nimble {
 namespace connector {
 
-Status SimulatedSource::AdmitRequest() {
+Result<int64_t> SimulatedSource::AdmitRequest() {
+  std::lock_guard<std::mutex> lock(sim_mutex_);
+  if (fail_next_ > 0) {
+    --fail_next_;
+    return Status::Unavailable("source '" + name() + "' is offline");
+  }
   bool up = forced_ ? online_ : rng_.Bernoulli(config_.availability);
   if (!up) {
     return Status::Unavailable("source '" + name() + "' is offline");
   }
-  clock_->AdvanceMicros(config_.fixed_latency_micros);
-  stats_.latency_micros += config_.fixed_latency_micros;
-  ++stats_.calls;
-  return Status::OK();
+  return config_.fixed_latency_micros;
 }
 
-void SimulatedSource::ChargeRows(size_t rows) {
-  int64_t cost = static_cast<int64_t>(rows) * config_.per_row_latency_micros;
+void SimulatedSource::ChargeRows(const RequestContext& ctx, size_t rows) {
+  int64_t per_row;
+  {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    per_row = config_.per_row_latency_micros;
+  }
+  int64_t cost = static_cast<int64_t>(rows) * per_row;
   clock_->AdvanceMicros(cost);
-  stats_.latency_micros += cost;
-  stats_.rows_shipped += rows;
+  FetchStats delta;
+  delta.rows_shipped = rows;
+  delta.latency_micros = cost;
+  AddStats(ctx, delta);
 }
 
 Status SimulatedSource::Ping() {
+  std::lock_guard<std::mutex> lock(sim_mutex_);
   bool up = forced_ ? online_ : rng_.Bernoulli(config_.availability);
   if (!up) {
     return Status::Unavailable("source '" + name() + "' is offline");
@@ -29,19 +39,33 @@ Status SimulatedSource::Ping() {
   return Status::OK();
 }
 
-Result<NodePtr> SimulatedSource::FetchCollection(
-    const std::string& collection) {
-  NIMBLE_RETURN_IF_ERROR(AdmitRequest());
-  NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, inner_->FetchCollection(collection));
-  ChargeRows(tree->children().size());
+Result<NodePtr> SimulatedSource::FetchCollection(const std::string& collection,
+                                                 const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  NIMBLE_ASSIGN_OR_RETURN(int64_t admit_cost, AdmitRequest());
+  clock_->AdvanceMicros(admit_cost);
+  FetchStats delta;
+  delta.calls = 1;
+  delta.latency_micros = admit_cost;
+  AddStats(ctx, delta);
+  NIMBLE_ASSIGN_OR_RETURN(
+      NodePtr tree, inner_->FetchCollection(collection, InnerContext(ctx)));
+  ChargeRows(ctx, tree->children().size());
   return tree;
 }
 
 Result<relational::ResultSet> SimulatedSource::ExecuteSql(
-    const std::string& sql) {
-  NIMBLE_RETURN_IF_ERROR(AdmitRequest());
-  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs, inner_->ExecuteSql(sql));
-  ChargeRows(rs.rows.size());
+    const std::string& sql, const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  NIMBLE_ASSIGN_OR_RETURN(int64_t admit_cost, AdmitRequest());
+  clock_->AdvanceMicros(admit_cost);
+  FetchStats delta;
+  delta.calls = 1;
+  delta.latency_micros = admit_cost;
+  AddStats(ctx, delta);
+  NIMBLE_ASSIGN_OR_RETURN(relational::ResultSet rs,
+                          inner_->ExecuteSql(sql, InnerContext(ctx)));
+  ChargeRows(ctx, rs.rows.size());
   return rs;
 }
 

@@ -2,6 +2,7 @@
 #define NIMBLE_CONNECTOR_SIMULATED_SOURCE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,9 +24,16 @@ struct SimulationConfig {
 
 /// Decorator that makes any connector behave like a remote, possibly
 /// unavailable source. Latency is charged to a Clock (a VirtualClock in
-/// benchmarks, so runs are fast and deterministic; a RealClock in demos).
-/// Availability can be driven probabilistically (per request) or forced
-/// with SetOnline for scripted outages.
+/// benchmarks, so runs are fast and deterministic; a RealClock in demos —
+/// with a RealClock, concurrent fragment fetches genuinely overlap their
+/// sleeps, which is what bench E6(c) measures). Availability can be driven
+/// probabilistically (per request), forced with SetOnline for scripted
+/// outages, or scripted per-request with FailNextRequests for
+/// deterministic retry tests.
+///
+/// Thread-safe: the availability draw, scripted-outage counters and stats
+/// are mutex-guarded; the clock charge happens outside any lock so a
+/// RealClock sleep never serialises concurrent fetches.
 class SimulatedSource : public Connector {
  public:
   /// `inner` is owned; `clock` must outlive the connector.
@@ -45,39 +53,71 @@ class SimulatedSource : public Connector {
   std::vector<std::string> Collections() override {
     return inner_->Collections();
   }
-  Result<NodePtr> FetchCollection(const std::string& collection) override;
-  Result<relational::ResultSet> ExecuteSql(const std::string& sql) override;
+  using Connector::FetchCollection;
+  using Connector::ExecuteSql;
+  Result<NodePtr> FetchCollection(const std::string& collection,
+                                  const RequestContext& ctx) override;
+  Result<relational::ResultSet> ExecuteSql(const std::string& sql,
+                                           const RequestContext& ctx) override;
   uint64_t DataVersion() override { return inner_->DataVersion(); }
 
-  const FetchStats& stats() const override { return stats_; }
   void ResetStats() override {
-    stats_.Reset();
+    Connector::ResetStats();
     inner_->ResetStats();
   }
 
   /// Forces the source on/offline, overriding the availability probability
   /// until ClearForcedState().
   void SetOnline(bool online) {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
     forced_ = true;
     online_ = online;
   }
-  void ClearForcedState() { forced_ = false; }
+  void ClearForcedState() {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    forced_ = false;
+  }
+
+  /// Scripted outage: the next `n` requests fail with Unavailable, then
+  /// normal behaviour resumes. Deterministic — the backbone of the
+  /// retry/backoff tests.
+  void FailNextRequests(size_t n) {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    fail_next_ = n;
+  }
 
   Connector* inner() { return inner_.get(); }
-  const SimulationConfig& config() const { return config_; }
-  void set_config(const SimulationConfig& config) { config_ = config; }
+  SimulationConfig config() const {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    return config_;
+  }
+  void set_config(const SimulationConfig& config) {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    config_ = config;
+  }
 
  private:
-  /// Draws availability and charges fixed latency; Unavailable on failure.
-  Status AdmitRequest();
-  void ChargeRows(size_t rows);
+  /// Draws availability; Unavailable on failure. On success returns the
+  /// fixed-latency cost to charge (charged by the caller outside the lock).
+  Result<int64_t> AdmitRequest();
+  void ChargeRows(const RequestContext& ctx, size_t rows);
+  /// Builds the context forwarded to the wrapped connector: same deadline
+  /// and cancellation flag, but no call_stats — the simulated wire charge,
+  /// not the inner connector's bookkeeping, is this call's cost.
+  static RequestContext InnerContext(const RequestContext& ctx) {
+    RequestContext inner_ctx = ctx;
+    inner_ctx.call_stats = nullptr;
+    return inner_ctx;
+  }
 
   std::unique_ptr<Connector> inner_;
+  mutable std::mutex sim_mutex_;  ///< guards config_, rng_, forced state.
   SimulationConfig config_;
   Clock* clock_;
   Rng rng_;
   bool forced_ = false;
   bool online_ = true;
+  size_t fail_next_ = 0;
 };
 
 }  // namespace connector

@@ -6,25 +6,35 @@ namespace nimble {
 namespace connector {
 
 std::vector<std::string> XmlConnector::Collections() {
+  std::shared_lock<std::shared_mutex> lock(doc_mutex_);
   std::vector<std::string> names;
   names.reserve(documents_.size());
   for (const auto& [doc_name, doc] : documents_) names.push_back(doc_name);
   return names;
 }
 
-Result<NodePtr> XmlConnector::FetchCollection(const std::string& collection) {
-  auto it = documents_.find(collection);
-  if (it == documents_.end()) {
-    return Status::NotFound("source '" + name_ + "' has no document '" +
-                            collection + "'");
+Result<NodePtr> XmlConnector::FetchCollection(const std::string& collection,
+                                              const RequestContext& ctx) {
+  NIMBLE_RETURN_IF_ERROR(Admit(ctx));
+  NodePtr clone;
+  {
+    std::shared_lock<std::shared_mutex> lock(doc_mutex_);
+    auto it = documents_.find(collection);
+    if (it == documents_.end()) {
+      return Status::NotFound("source '" + name_ + "' has no document '" +
+                              collection + "'");
+    }
+    clone = it->second->Clone();
   }
-  ++stats_.calls;
-  NodePtr clone = it->second->Clone();
-  stats_.rows_shipped += clone->children().size();
+  FetchStats delta;
+  delta.calls = 1;
+  delta.rows_shipped = clone->children().size();
+  AddStats(ctx, delta);
   return clone;
 }
 
 void XmlConnector::PutDocument(const std::string& doc_name, NodePtr document) {
+  std::unique_lock<std::shared_mutex> lock(doc_mutex_);
   documents_[doc_name] = std::move(document);
   ++version_;
 }
@@ -37,6 +47,7 @@ Status XmlConnector::PutDocumentText(const std::string& doc_name,
 }
 
 NodePtr XmlConnector::MutableDocument(const std::string& doc_name) {
+  std::unique_lock<std::shared_mutex> lock(doc_mutex_);
   auto it = documents_.find(doc_name);
   if (it == documents_.end()) return nullptr;
   ++version_;

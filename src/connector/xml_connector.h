@@ -2,6 +2,7 @@
 #define NIMBLE_CONNECTOR_XML_CONNECTOR_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,10 @@ namespace connector {
 /// Serves a set of named XML documents — the "native XML" source class the
 /// paper's market (data interchange via XML, §1) centres on. Documents are
 /// registered programmatically or parsed from text.
+///
+/// Reads (Collections/FetchCollection) take a shared lock and may run
+/// concurrently; Put* take an exclusive lock. MutableDocument hands out a
+/// live tree — mutating it is NOT safe while queries are in flight.
 class XmlConnector : public Connector {
  public:
   explicit XmlConnector(std::string source_name)
@@ -23,8 +28,13 @@ class XmlConnector : public Connector {
     return SourceCapabilities{};  // bare document server; mediator does all work
   }
   std::vector<std::string> Collections() override;
-  Result<NodePtr> FetchCollection(const std::string& collection) override;
-  uint64_t DataVersion() override { return version_; }
+  using Connector::FetchCollection;
+  Result<NodePtr> FetchCollection(const std::string& collection,
+                                  const RequestContext& ctx) override;
+  uint64_t DataVersion() override {
+    std::shared_lock<std::shared_mutex> lock(doc_mutex_);
+    return version_;
+  }
 
   /// Registers (or replaces) a document under `doc_name`.
   void PutDocument(const std::string& doc_name, NodePtr document);
@@ -38,6 +48,7 @@ class XmlConnector : public Connector {
 
  private:
   std::string name_;
+  mutable std::shared_mutex doc_mutex_;
   std::map<std::string, NodePtr> documents_;
   uint64_t version_ = 0;
 };

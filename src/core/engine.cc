@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 
 #include "algebra/construct.h"
@@ -55,8 +56,35 @@ std::string ExecutionReport::Summary() const {
                     std::to_string(source_latency_micros) + "us source time, " +
                     std::to_string(fragments_pushed_down) + " pushed / " +
                     std::to_string(fragments_fetched) + " fetched";
+  if (retries > 0) out += ", " + std::to_string(retries) + " retries";
   out += "; " + completeness.ToString();
   return out;
+}
+
+void IntegrationEngine::set_options(const EngineOptions& options) {
+  options_ = options;
+  if (options_.worker_threads == 0) {
+    owned_pool_.reset();
+  } else if (owned_pool_ == nullptr ||
+             owned_pool_->size() != options_.worker_threads) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+ThreadPool* IntegrationEngine::pool() {
+  if (options_.worker_threads == 0) return ThreadPool::Shared();
+  // Engines configured at construction time never pass through
+  // set_options; create the private pool on the constructor thread here.
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+  return owned_pool_.get();
+}
+
+Clock* IntegrationEngine::clock() {
+  if (options_.clock != nullptr) return options_.clock;
+  static RealClock real_clock;
+  return &real_clock;
 }
 
 Result<QueryResult> IntegrationEngine::ExecuteText(
@@ -68,13 +96,24 @@ Result<QueryResult> IntegrationEngine::ExecuteText(
 
 Result<QueryResult> IntegrationEngine::Execute(
     const xmlql::Program& program, const QueryOptions& query_options) {
-  ++queries_served_;
-  return ExecuteInternal(program, query_options, 0);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  RetryPolicy retry;
+  retry.max_retries = options_.fetch_retries;
+  retry.initial_backoff_micros = options_.retry_backoff_micros;
+  retry.backoff_multiplier = options_.retry_backoff_multiplier;
+  retry.max_backoff_micros = options_.retry_backoff_max_micros;
+  retry.jitter = options_.retry_jitter;
+  retry.jitter_seed = options_.retry_jitter_seed;
+  ExecutionContext ctx(clock(), pool(), options_.query_deadline_micros, retry,
+                       options_.parallel_fetch, query_options.cancel);
+  Result<QueryResult> result = ExecuteInternal(program, query_options, 0, ctx);
+  if (result.ok()) ctx.FillReport(&result->report);
+  return result;
 }
 
 Result<QueryResult> IntegrationEngine::ExecuteInternal(
     const xmlql::Program& program, const QueryOptions& query_options,
-    int view_depth) {
+    int view_depth, ExecutionContext& ctx) {
   if (view_depth > options_.max_view_depth) {
     return Status::InvalidArgument("mediated view nesting exceeds depth " +
                                    std::to_string(options_.max_view_depth));
@@ -86,29 +125,62 @@ Result<QueryResult> IntegrationEngine::ExecuteInternal(
   result.document = Node::Element("results");
   ExecutionReport& report = result.report;
 
-  for (size_t branch = 0; branch < program.branches.size(); ++branch) {
-    ExecutionReport branch_report;
-    Status status = ExecuteBranch(program.branches[branch], query_options,
-                                  view_depth, result.document.get(),
-                                  &branch_report);
-    // Merge accounting even for failed branches (work was done).
-    report.rows_shipped += branch_report.rows_shipped;
-    report.fragments_pushed_down += branch_report.fragments_pushed_down;
-    report.fragments_fetched += branch_report.fragments_fetched;
-    report.fragments_bind_joined += branch_report.fragments_bind_joined;
-    report.pushdown_hit_index |= branch_report.pushdown_hit_index;
-    if (options_.parallel_fetch) {
-      report.source_latency_micros = std::max(
-          report.source_latency_micros, branch_report.source_latency_micros);
-    } else {
-      report.source_latency_micros += branch_report.source_latency_micros;
+  // Every branch executes into its own root with its own ordered report;
+  // branches run concurrently under parallel_fetch and the outputs are
+  // merged in branch order below, so the result document is deterministic.
+  const size_t num_branches = program.branches.size();
+  std::vector<ExecutionReport> branch_reports(num_branches);
+  std::vector<NodePtr> branch_roots(num_branches);
+  std::vector<Status> branch_status(num_branches, Status::OK());
+  for (size_t i = 0; i < num_branches; ++i) {
+    branch_roots[i] = Node::Element("results");
+  }
+
+  auto run_branch = [&](size_t i) {
+    branch_status[i] =
+        ExecuteBranch(program.branches[i], query_options, view_depth,
+                      branch_roots[i].get(), &branch_reports[i], ctx);
+  };
+  if (options_.parallel_fetch && num_branches > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_branches);
+    for (size_t i = 0; i < num_branches; ++i) {
+      tasks.push_back([&run_branch, i] { run_branch(i); });
     }
+    ctx.pool()->RunParallel(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < num_branches; ++i) run_branch(i);
+  }
+
+  for (size_t branch = 0; branch < num_branches; ++branch) {
+    const ExecutionReport& branch_report = branch_reports[branch];
+    // Merge ordered bookkeeping even for failed branches (work was done).
     for (const std::string& src : branch_report.sources_contacted) {
       AddUnique(&report.sources_contacted, src);
     }
-    if (!branch_report.plan.empty()) report.plan = branch_report.plan;
+    if (!branch_report.plan.empty()) {
+      if (!report.plan.empty()) report.plan += "\n";
+      if (num_branches > 1) {
+        report.plan += "-- branch " + std::to_string(branch) + " --\n";
+      }
+      report.plan += branch_report.plan;
+    }
 
-    if (status.ok()) continue;
+    const Status& status = branch_status[branch];
+    if (status.ok()) {
+      // Nested mediated-view incompleteness taints this query too.
+      if (!branch_report.completeness.complete) {
+        report.completeness.complete = false;
+        for (const std::string& src :
+             branch_report.completeness.unavailable_sources) {
+          AddUnique(&report.completeness.unavailable_sources, src);
+        }
+      }
+      for (NodePtr& child : branch_roots[branch]->TakeChildren()) {
+        result.document->AddChild(std::move(child));
+      }
+      continue;
+    }
     if (status.code() != StatusCode::kUnavailable) return status;
 
     // An unavailable source. Who?
@@ -146,31 +218,63 @@ Result<QueryResult> IntegrationEngine::ExecuteInternal(
   return result;
 }
 
+void IntegrationEngine::HarvestBindValues(
+    const FragmentResult& fr,
+    std::map<std::string, std::vector<Value>>* bind_values) const {
+  // Distinct values for future bind joins (scalar bindings only; node
+  // bindings join by deep equality, which IN cannot express).
+  for (const std::string& var : fr.schema.variables()) {
+    if (bind_values->count(var) > 0) continue;
+    size_t slot = *fr.schema.SlotOf(var);
+    std::set<std::string> seen;
+    std::vector<Value> distinct;
+    bool usable = true;
+    for (const algebra::Tuple& tuple : fr.tuples) {
+      const algebra::Binding& binding = tuple[slot];
+      if (binding.is_node()) {
+        usable = false;
+        break;
+      }
+      Value v = binding.AsScalar();
+      std::string key =
+          std::string(ValueTypeName(v.type())) + "\x1f" + v.ToString();
+      if (seen.insert(key).second) distinct.push_back(std::move(v));
+      if (distinct.size() > options_.bind_join_limit) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable) (*bind_values)[var] = std::move(distinct);
+  }
+}
+
 Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
                                         const QueryOptions& query_options,
                                         int view_depth, Node* out_root,
-                                        ExecutionReport* report) {
+                                        ExecutionReport* report,
+                                        ExecutionContext& ctx) {
   Fragmentation fragmentation = FragmentQuery(query);
+  const size_t num_fragments = fragmentation.fragments.size();
 
-  // Evaluation order: non-SQL fragments first so their join-key values are
-  // available for bind-join pushdown into the SQL fragments that follow.
-  std::vector<size_t> order;
+  // Dependency-aware waves: fragments that can *consume* bind-join values
+  // (SQL-capable sources, when pushdown and bind joins are both on) form a
+  // sequential chain evaluated after the independent wave, so every chain
+  // fragment sees the join-key sets of everything before it — the same
+  // dataflow the old serial loop produced. Everything else is independent
+  // and fetched concurrently under parallel_fetch.
+  std::vector<size_t> independent;
+  std::vector<size_t> chained;
   if (options_.enable_bind_join && options_.enable_pushdown) {
-    std::vector<size_t> sql_fragments;
-    for (size_t i = 0; i < fragmentation.fragments.size(); ++i) {
-      const xmlql::SourceRef& ref =
-          fragmentation.fragments[i].pattern->source;
+    for (size_t i = 0; i < num_fragments; ++i) {
+      const xmlql::SourceRef& ref = fragmentation.fragments[i].pattern->source;
       connector::Connector* source =
           ref.is_view() ? nullptr : catalog_->source(ref.source);
       bool sql_capable =
           source != nullptr && source->capabilities().supports_sql;
-      (sql_capable ? sql_fragments : order).push_back(i);
+      (sql_capable ? chained : independent).push_back(i);
     }
-    order.insert(order.end(), sql_fragments.begin(), sql_fragments.end());
   } else {
-    for (size_t i = 0; i < fragmentation.fragments.size(); ++i) {
-      order.push_back(i);
-    }
+    for (size_t i = 0; i < num_fragments; ++i) independent.push_back(i);
   }
 
   // Complete distinct join-key sets from already-evaluated fragments.
@@ -181,61 +285,95 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
   TopLevelPushdown top;
   top.order_by = &query.order_by;
   top.limit = query.limit;
-  bool top_eligible = fragmentation.fragments.size() == 1 &&
+  bool top_eligible = num_fragments == 1 &&
                       fragmentation.cross_conditions.empty() &&
                       !query.IsAggregation();
 
-  std::vector<FragmentResult> fragment_results;
-  fragment_results.reserve(fragmentation.fragments.size());
-  for (size_t index : order) {
-    const Fragment& fragment = fragmentation.fragments[index];
+  std::vector<std::optional<FragmentResult>> slots(num_fragments);
+  std::vector<ExecutionReport> fragment_reports(num_fragments);
+  std::vector<Status> fragment_status(num_fragments, Status::OK());
+
+  auto evaluate = [&](size_t index,
+                      const std::map<std::string, std::vector<Value>>* bind) {
     Result<FragmentResult> fr = EvaluateFragment(
-        fragment, query_options, view_depth,
-        options_.enable_bind_join ? &bind_values : nullptr,
-        top_eligible ? &top : nullptr, report);
-    if (!fr.ok()) return fr.status();
-    if (fr->bind_joined) ++report->fragments_bind_joined;
-    // Harvest distinct values for future bind joins (scalar bindings only;
-    // node bindings join by deep equality, which IN cannot express).
-    if (options_.enable_bind_join) {
-      for (const std::string& var : fr->schema.variables()) {
-        if (bind_values.count(var) > 0) continue;
-        size_t slot = *fr->schema.SlotOf(var);
-        std::set<std::string> seen;
-        std::vector<Value> distinct;
-        bool usable = true;
-        for (const algebra::Tuple& tuple : fr->tuples) {
-          const algebra::Binding& binding = tuple[slot];
-          if (binding.is_node()) {
-            usable = false;
-            break;
-          }
-          Value v = binding.AsScalar();
-          std::string key =
-              std::string(ValueTypeName(v.type())) + "\x1f" + v.ToString();
-          if (seen.insert(key).second) distinct.push_back(std::move(v));
-          if (distinct.size() > options_.bind_join_limit) {
-            usable = false;
-            break;
-          }
-        }
-        if (usable) bind_values[var] = std::move(distinct);
+        fragmentation.fragments[index], query_options, view_depth, bind,
+        top_eligible ? &top : nullptr, &fragment_reports[index], ctx);
+    if (fr.ok()) {
+      slots[index] = std::move(*fr);
+    } else {
+      fragment_status[index] = fr.status();
+    }
+  };
+
+  // Wave 1: independent fragments, concurrently when enabled. They consume
+  // no bind values (none exist yet), so evaluation order cannot matter.
+  if (options_.parallel_fetch && independent.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(independent.size());
+    for (size_t index : independent) {
+      tasks.push_back([&evaluate, index] { evaluate(index, nullptr); });
+    }
+    ctx.pool()->RunParallel(std::move(tasks));
+  } else {
+    for (size_t index : independent) {
+      evaluate(index, options_.enable_bind_join ? &bind_values : nullptr);
+    }
+  }
+  // Harvest in index order so the bind-value sets (and therefore the SQL
+  // the chain generates) are deterministic under concurrency.
+  if (options_.enable_bind_join) {
+    for (size_t index : independent) {
+      if (slots[index].has_value()) {
+        HarvestBindValues(*slots[index], &bind_values);
       }
     }
-    if (options_.parallel_fetch) {
-      report->source_latency_micros =
-          std::max(report->source_latency_micros, fr->latency_micros);
-    } else {
-      report->source_latency_micros += fr->latency_micros;
+  }
+
+  bool wave_failed = false;
+  for (size_t index : independent) {
+    if (!fragment_status[index].ok()) {
+      wave_failed = true;
+      break;
     }
-    report->rows_shipped += fr->rows_shipped;
-    if (fr->pushed_down) {
-      ++report->fragments_pushed_down;
-      report->pushdown_hit_index |= fr->hit_index;
-    } else {
-      ++report->fragments_fetched;
+  }
+
+  // Wave 2: the bind-join chain, sequential by construction.
+  if (!wave_failed) {
+    for (size_t index : chained) {
+      evaluate(index, options_.enable_bind_join ? &bind_values : nullptr);
+      if (!fragment_status[index].ok()) break;
+      if (options_.enable_bind_join) {
+        HarvestBindValues(*slots[index], &bind_values);
+      }
     }
-    fragment_results.push_back(std::move(*fr));
+  }
+
+  // Merge fragment-local ordered bookkeeping (sources contacted, nested
+  // completeness) in evaluation order — including failed fragments, whose
+  // unavailable-source lists drive the availability policy upstream.
+  std::vector<size_t> order = independent;
+  order.insert(order.end(), chained.begin(), chained.end());
+  for (size_t index : order) {
+    const ExecutionReport& fragment_report = fragment_reports[index];
+    for (const std::string& src : fragment_report.sources_contacted) {
+      AddUnique(&report->sources_contacted, src);
+    }
+    if (!fragment_report.completeness.complete) {
+      report->completeness.complete = false;
+    }
+    for (const std::string& src :
+         fragment_report.completeness.unavailable_sources) {
+      AddUnique(&report->completeness.unavailable_sources, src);
+    }
+  }
+  for (size_t index : order) {
+    if (!fragment_status[index].ok()) return fragment_status[index];
+  }
+
+  std::vector<FragmentResult> fragment_results;
+  fragment_results.reserve(num_fragments);
+  for (size_t index : order) {
+    fragment_results.push_back(std::move(*slots[index]));
   }
 
   Result<std::unique_ptr<algebra::Operator>> plan = BuildPlan(
@@ -262,13 +400,21 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
     const Fragment& fragment, const QueryOptions& query_options,
     int view_depth,
     const std::map<std::string, std::vector<Value>>* bind_values,
-    const TopLevelPushdown* top_pushdown, ExecutionReport* report) {
+    const TopLevelPushdown* top_pushdown, ExecutionReport* report,
+    ExecutionContext& ctx) {
+  // External cancellation and deadlines are authoritative here; the
+  // connector-level Admit check is a best-effort second line.
+  NIMBLE_RETURN_IF_ERROR(ctx.Check());
+
   FragmentResult out;
   const xmlql::SourceRef& source_ref = fragment.pattern->source;
 
   if (source_ref.is_view()) {
     // Mediated-view reference: execute the view's program recursively and
-    // match this pattern against its result document (GAV expansion).
+    // match this pattern against its result document (GAV expansion). The
+    // child context shares the deadline, cancellation flag and pool but
+    // accumulates its own counters, which this fragment then reports as
+    // its cost — the view behaves like one (fetched) fragment upstream.
     const metadata::MediatedView* view = catalog_->view(source_ref.collection);
     if (view == nullptr) {
       return Status::NotFound("no view or source named '" +
@@ -276,8 +422,11 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
     }
     NIMBLE_ASSIGN_OR_RETURN(xmlql::Program view_program,
                             xmlql::ParseProgram(view->query_text));
+    ExecutionContext view_ctx(ctx);
     Result<QueryResult> view_result =
-        ExecuteInternal(view_program, query_options, view_depth + 1);
+        ExecuteInternal(view_program, query_options, view_depth + 1, view_ctx);
+    ExecutionReport nested;
+    view_ctx.FillReport(&nested);
     if (!view_result.ok()) {
       if (view_result.status().code() == StatusCode::kUnavailable) {
         // Propagate which sources were down.
@@ -295,11 +444,16 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
         AddUnique(&report->completeness.unavailable_sources, src);
       }
     }
-    report->rows_shipped += view_result->report.rows_shipped;
-    out.latency_micros = view_result->report.source_latency_micros;
     for (const std::string& src : view_result->report.sources_contacted) {
       AddUnique(&report->sources_contacted, src);
     }
+    ctx.AddRowsShipped(nested.rows_shipped);
+    ctx.AddLatency(nested.source_latency_micros);
+    ctx.AddRetries(nested.retries);
+    ctx.AddFragment(/*pushed_down=*/false, /*hit_index=*/false,
+                    /*bind_joined=*/false);
+    out.latency_micros = nested.source_latency_micros;
+    out.rows_shipped = nested.rows_shipped;
     out.schema = fragment.schema;
     NIMBLE_ASSIGN_OR_RETURN(
         out.tuples, algebra::MatchPattern(fragment.pattern->root,
@@ -317,7 +471,28 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
   }
   AddUnique(&report->sources_contacted, source_ref.source);
 
-  connector::FetchStats before = source->stats();
+  // This fragment's own wire cost, attributed by the connector per call
+  // (cumulative connector counters cannot be diffed once fetches overlap).
+  connector::FetchStats call_stats;
+  connector::RequestContext request = ctx.MakeRequest(&call_stats);
+
+  // Transparent retries on transient unavailability: exponential backoff
+  // with jitter, never past the deadline (§3.4 — mask blips before the
+  // availability policy has to get involved).
+  auto with_retries = [&](auto call) {
+    auto result = call();
+    for (size_t attempt = 0; !result.ok() &&
+                             result.status().code() == StatusCode::kUnavailable &&
+                             attempt < ctx.retry().max_retries;
+         ++attempt) {
+      if (!ctx.Check().ok()) break;
+      int64_t backoff = ctx.NextBackoffMicros(attempt);
+      if (backoff < 0) break;  // the delay cannot fit before the deadline
+      ctx.SleepForRetry(backoff);
+      result = call();
+    }
+    return result;
+  };
 
   // Try SQL pushdown first.
   if (options_.enable_pushdown) {
@@ -325,13 +500,8 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
         fragment, source->capabilities(),
         /*push_predicates=*/true, bind_values, top_pushdown);
     if (translation.ok()) {
-      Result<relational::ResultSet> rs = source->ExecuteSql(translation->sql);
-      for (size_t attempt = 0;
-           !rs.ok() && rs.status().code() == StatusCode::kUnavailable &&
-           attempt < options_.fetch_retries;
-           ++attempt) {
-        rs = source->ExecuteSql(translation->sql);
-      }
+      Result<relational::ResultSet> rs = with_retries(
+          [&] { return source->ExecuteSql(translation->sql, request); });
       if (!rs.ok()) {
         if (rs.status().code() == StatusCode::kUnavailable) {
           AddUnique(&report->completeness.unavailable_sources,
@@ -363,29 +533,26 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
       NIMBLE_RETURN_IF_ERROR(
           FilterTuples(residual, schema, &tuples).status());
 
-      connector::FetchStats after = source->stats();
       out.schema = std::move(schema);
       out.tuples = std::move(tuples);
-      out.rows_shipped = after.rows_shipped - before.rows_shipped;
-      out.latency_micros = after.latency_micros - before.latency_micros;
+      out.rows_shipped = call_stats.rows_shipped;
+      out.latency_micros = call_stats.latency_micros;
       out.pushed_down = true;
       out.hit_index = translation->predicate_hits_index;
       out.bind_joined = !translation->bound_variables.empty();
       out.label = (out.bind_joined ? "sql+bind:" : "sql:") +
                   source_ref.ToString();
+      ctx.AddRowsShipped(out.rows_shipped);
+      ctx.AddLatency(out.latency_micros);
+      ctx.AddFragment(out.pushed_down, out.hit_index, out.bind_joined);
       return out;
     }
     // Unsupported shapes fall back to fetch+match below; real errors too —
     // the fetch path will surface them.
   }
 
-  Result<NodePtr> tree = source->FetchCollection(source_ref.collection);
-  for (size_t attempt = 0;
-       !tree.ok() && tree.status().code() == StatusCode::kUnavailable &&
-       attempt < options_.fetch_retries;
-       ++attempt) {
-    tree = source->FetchCollection(source_ref.collection);
-  }
+  Result<NodePtr> tree = with_retries(
+      [&] { return source->FetchCollection(source_ref.collection, request); });
   if (!tree.ok()) {
     if (tree.status().code() == StatusCode::kUnavailable) {
       AddUnique(&report->completeness.unavailable_sources, source_ref.source);
@@ -399,10 +566,12 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
   NIMBLE_RETURN_IF_ERROR(
       FilterTuples(fragment.local_conditions, out.schema, &out.tuples)
           .status());
-  connector::FetchStats after = source->stats();
-  out.rows_shipped = after.rows_shipped - before.rows_shipped;
-  out.latency_micros = after.latency_micros - before.latency_micros;
+  out.rows_shipped = call_stats.rows_shipped;
+  out.latency_micros = call_stats.latency_micros;
   out.label = "fetch:" + source_ref.ToString();
+  ctx.AddRowsShipped(out.rows_shipped);
+  ctx.AddLatency(out.latency_micros);
+  ctx.AddFragment(out.pushed_down, out.hit_index, out.bind_joined);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef NIMBLE_CORE_ENGINE_H_
 #define NIMBLE_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,8 @@
 
 #include "algebra/operators.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/exec_context.h"
 #include "core/fragmenter.h"
 #include "core/partial_results.h"
 #include "core/sql_generator.h"
@@ -29,14 +32,35 @@ struct EngineOptions {
   /// semijoin filters into SQL fragments (Adali et al., paper ref [1]).
   bool enable_bind_join = true;
   size_t bind_join_limit = 500;
-  /// Model fragment fetches as concurrent: the report's source latency is
-  /// the max over fragments instead of the sum.
+  /// Fetch independent fragments (and UNION branches) concurrently on a
+  /// worker pool. The report's source latency is then the max over
+  /// fragments (the critical path) instead of the sum; with a RealClock
+  /// the overlap is genuine wall-clock time (bench E6).
   bool parallel_fetch = true;
+  /// Worker threads for this engine's fragment scheduling. 0 = share the
+  /// process-wide pool (sized to the hardware) with every other engine.
+  size_t worker_threads = 0;
+  /// Per-query wall budget on `clock` (0 = none). Fetches, retries and
+  /// backoff all stop once the deadline passes; the query fails with
+  /// Timeout.
+  int64_t query_deadline_micros = 0;
+  /// Clock for deadlines and retry backoff (not owned; nullptr = process
+  /// RealClock). Benchmarks pass their VirtualClock so backoff is charged
+  /// to virtual time.
+  Clock* clock = nullptr;
   /// Default availability behaviour (overridable per query).
   AvailabilityPolicy availability = AvailabilityPolicy::kFailFast;
   /// Transparent retries per fragment on transient source unavailability
   /// before the availability policy kicks in (0 = fail immediately).
   size_t fetch_retries = 0;
+  /// Exponential backoff between retries: initial delay, growth factor,
+  /// cap, and jitter (uniform in [0.5, 1.0) of the delay). All bounded by
+  /// the query deadline.
+  int64_t retry_backoff_micros = 1000;
+  double retry_backoff_multiplier = 2.0;
+  int64_t retry_backoff_max_micros = 256000;
+  bool retry_jitter = true;
+  uint64_t retry_jitter_seed = 17;
   /// Maximum depth of mediated-view expansion (cycle guard).
   int max_view_depth = 16;
 };
@@ -49,6 +73,10 @@ struct QueryOptions {
   /// down the query fails (paper §3.4: "whether and how to allow the query
   /// to specify behavior when data sources are unavailable").
   std::vector<std::string> required_sources;
+  /// Cooperative cancellation: set the pointee to true (from any thread)
+  /// and in-flight fetches stop at the next check; the query fails with
+  /// Cancelled. Must outlive the Execute call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// What happened while executing a query: the evidence stream for the
@@ -60,10 +88,13 @@ struct ExecutionReport {
   size_t fragments_pushed_down = 0;   ///< fragments answered via SQL.
   size_t fragments_fetched = 0;       ///< fragments answered fetch+match.
   size_t fragments_bind_joined = 0;   ///< SQL fragments with pushed IN keys.
+  size_t retries = 0;                 ///< transparent fetch retries taken.
   bool pushdown_hit_index = false;
   std::vector<std::string> sources_contacted;
   CompletenessInfo completeness;
-  std::string plan;  ///< physical plan rendering of the last branch.
+  /// Physical plan rendering; UNION programs concatenate every branch's
+  /// plan under "-- branch N --" headers.
+  std::string plan;
 
   std::string Summary() const;
 };
@@ -77,6 +108,10 @@ struct QueryResult {
 /// The Nimble integration engine (paper §2.1, Figure 1): parses XML-QL,
 /// fragments it by source, compiles relational fragments to SQL, runs the
 /// physical-algebra plan in the mediator, and constructs XML results.
+///
+/// Execute/ExecuteText are safe to call from many threads at once (the
+/// load balancer and the stress tests do); set_options is not — reconfigure
+/// only while no queries are in flight.
 class IntegrationEngine {
  public:
   /// `catalog` must outlive the engine.
@@ -96,11 +131,13 @@ class IntegrationEngine {
                               const QueryOptions& query_options = {});
 
   const EngineOptions& options() const { return options_; }
-  void set_options(const EngineOptions& options) { options_ = options; }
+  void set_options(const EngineOptions& options);
   metadata::Catalog* catalog() { return catalog_; }
 
   /// Number of queries served (load-balancer bookkeeping).
-  uint64_t queries_served() const { return queries_served_; }
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// The tuples produced for one fragment plus accounting.
@@ -116,24 +153,39 @@ class IntegrationEngine {
     std::string label;
   };
 
+  /// The worker pool fragment waves are scheduled on.
+  ThreadPool* pool();
+  /// The clock deadlines/backoff run on.
+  Clock* clock();
+
   Result<QueryResult> ExecuteInternal(const xmlql::Program& program,
                                       const QueryOptions& query_options,
-                                      int view_depth);
+                                      int view_depth, ExecutionContext& ctx);
 
-  /// Executes one branch into `out_root`; updates `report`.
+  /// Executes one branch into `out_root`; fills the branch-local `report`
+  /// (ordered fields only — numeric counters go through `ctx`).
   Status ExecuteBranch(const xmlql::Query& query,
                        const QueryOptions& query_options, int view_depth,
-                       Node* out_root, ExecutionReport* report);
+                       Node* out_root, ExecutionReport* report,
+                       ExecutionContext& ctx);
 
   /// `bind_values` (nullable) carries complete distinct join-key sets from
   /// already-evaluated fragments for semijoin pushdown. `top_pushdown`
   /// (nullable) carries query-level ORDER BY/LIMIT when this fragment is
-  /// the entire query.
+  /// the entire query. `report` is fragment- or branch-local; safe to call
+  /// concurrently for independent fragments with distinct reports.
   Result<FragmentResult> EvaluateFragment(
       const Fragment& fragment, const QueryOptions& query_options,
       int view_depth,
       const std::map<std::string, std::vector<Value>>* bind_values,
-      const TopLevelPushdown* top_pushdown, ExecutionReport* report);
+      const TopLevelPushdown* top_pushdown, ExecutionReport* report,
+      ExecutionContext& ctx);
+
+  /// Harvests complete distinct join-key sets from `fr` for later bind
+  /// joins (scalar bindings only).
+  void HarvestBindValues(const FragmentResult& fr,
+                         std::map<std::string, std::vector<Value>>* bind_values)
+      const;
 
   /// Builds the join tree over materialized fragments, applying cross
   /// conditions as soon as their variables are covered. Greedy smallest-
@@ -146,7 +198,8 @@ class IntegrationEngine {
 
   metadata::Catalog* catalog_;
   EngineOptions options_;
-  uint64_t queries_served_ = 0;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< when worker_threads > 0.
+  std::atomic<uint64_t> queries_served_{0};
 };
 
 }  // namespace core

@@ -1,0 +1,140 @@
+#include "core/exec_context.h"
+
+#include <algorithm>
+
+#include "core/engine.h"
+
+namespace nimble {
+namespace core {
+
+ExecutionContext::ExecutionContext(Clock* clock, ThreadPool* pool,
+                                   int64_t relative_deadline_micros,
+                                   RetryPolicy retry, bool parallel_latency,
+                                   const std::atomic<bool>* external_cancel)
+    : clock_(clock),
+      pool_(pool),
+      retry_(retry),
+      parallel_(parallel_latency),
+      external_cancel_(external_cancel),
+      jitter_state_(retry.jitter_seed) {
+  if (relative_deadline_micros > 0) {
+    deadline_micros_ = clock_->NowMicros() + relative_deadline_micros;
+  }
+}
+
+ExecutionContext::ExecutionContext(ExecutionContext& parent)
+    : clock_(parent.clock_),
+      pool_(parent.pool_),
+      retry_(parent.retry_),
+      parallel_(parent.parallel_),
+      deadline_micros_(parent.deadline_micros_),
+      parent_(&parent),
+      external_cancel_(parent.external_cancel_),
+      jitter_state_(parent.retry_.jitter_seed) {}
+
+bool ExecutionContext::cancelled() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  if (parent_ != nullptr && parent_->cancelled()) return true;
+  return external_cancel_ != nullptr &&
+         external_cancel_->load(std::memory_order_relaxed);
+}
+
+Status ExecutionContext::Check() const {
+  if (cancelled()) return Status::Cancelled("query cancelled");
+  if (deadline_micros_ > 0 && clock_->NowMicros() >= deadline_micros_) {
+    return Status::Timeout("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+connector::RequestContext ExecutionContext::MakeRequest(
+    connector::FetchStats* call_stats) const {
+  connector::RequestContext request;
+  request.cancelled = &cancelled_;
+  request.deadline_micros = deadline_micros_;
+  request.clock = clock_;
+  request.call_stats = call_stats;
+  return request;
+}
+
+int64_t ExecutionContext::NextBackoffMicros(size_t attempt) {
+  double delay = static_cast<double>(retry_.initial_backoff_micros);
+  for (size_t i = 0; i < attempt; ++i) delay *= retry_.backoff_multiplier;
+  delay = std::min(delay, static_cast<double>(retry_.max_backoff_micros));
+  int64_t micros = static_cast<int64_t>(delay);
+  if (retry_.jitter) {
+    // splitmix64 step over a shared atomic state: lock-free and
+    // deterministic per (seed, draw index), though the thread that gets a
+    // given draw varies under concurrency.
+    uint64_t z = jitter_state_.fetch_add(0x9E3779B97F4A7C15ULL,
+                                         std::memory_order_relaxed) +
+                 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    double scale = 0.5 + 0.5 * (static_cast<double>(z >> 11) *
+                                (1.0 / 9007199254740992.0));
+    micros = static_cast<int64_t>(static_cast<double>(micros) * scale);
+  }
+  if (micros < 1) micros = 1;
+  if (deadline_micros_ > 0 && clock_->NowMicros() + micros >= deadline_micros_) {
+    return -1;
+  }
+  return micros;
+}
+
+void ExecutionContext::SleepForRetry(int64_t micros) {
+  clock_->AdvanceMicros(micros);
+  retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ExecutionContext::AddRetries(size_t n) {
+  if (n > 0) retries_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ExecutionContext::AddRowsShipped(size_t rows) {
+  rows_shipped_.fetch_add(rows, std::memory_order_relaxed);
+}
+
+void ExecutionContext::AddLatency(int64_t micros) {
+  if (parallel_) {
+    // Lock-free max: report the critical-path fragment, not the sum.
+    int64_t seen = latency_micros_.load(std::memory_order_relaxed);
+    while (micros > seen && !latency_micros_.compare_exchange_weak(
+                                seen, micros, std::memory_order_relaxed)) {
+    }
+  } else {
+    latency_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+}
+
+void ExecutionContext::AddFragment(bool pushed_down, bool hit_index,
+                                   bool bind_joined) {
+  if (pushed_down) {
+    fragments_pushed_down_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_index) pushdown_hit_index_.store(true, std::memory_order_relaxed);
+  } else {
+    fragments_fetched_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (bind_joined) {
+    fragments_bind_joined_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ExecutionContext::FillReport(ExecutionReport* report) const {
+  report->rows_shipped = rows_shipped_.load(std::memory_order_relaxed);
+  report->source_latency_micros =
+      latency_micros_.load(std::memory_order_relaxed);
+  report->fragments_pushed_down =
+      fragments_pushed_down_.load(std::memory_order_relaxed);
+  report->fragments_fetched =
+      fragments_fetched_.load(std::memory_order_relaxed);
+  report->fragments_bind_joined =
+      fragments_bind_joined_.load(std::memory_order_relaxed);
+  report->pushdown_hit_index =
+      pushdown_hit_index_.load(std::memory_order_relaxed);
+  report->retries = retries_.load(std::memory_order_relaxed);
+}
+
+}  // namespace core
+}  // namespace nimble

@@ -1,0 +1,124 @@
+#ifndef NIMBLE_CORE_EXEC_CONTEXT_H_
+#define NIMBLE_CORE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "connector/connector.h"
+
+namespace nimble {
+namespace core {
+
+struct ExecutionReport;
+
+/// Transparent-retry behaviour for transient source unavailability:
+/// exponential backoff with optional jitter, always capped by the query
+/// deadline (a retry that cannot finish before the deadline is not taken).
+struct RetryPolicy {
+  size_t max_retries = 0;              ///< extra attempts after the first.
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 256000;
+  /// Scale each delay by a uniform factor in [0.5, 1.0) so synchronized
+  /// retry storms against a recovering source spread out.
+  bool jitter = true;
+  uint64_t jitter_seed = 17;
+};
+
+/// Per-query execution state shared by every thread working on the query:
+/// the deadline, the cooperative cancellation flag, the retry policy, the
+/// worker pool, and thread-safe accounting (atomic counters replacing the
+/// old single-threaded ExecutionReport merging). One context is created per
+/// top-level query and threaded through branch/fragment evaluation and —
+/// as a connector::RequestContext — into every source call; mediated-view
+/// expansion shares the parent context, so a nested view's fetches count
+/// against the same deadline and the same totals.
+///
+/// Ordered, presentation-level report fields (sources_contacted, plan,
+/// completeness) stay out of the context: they are collected per branch and
+/// merged in branch order so results are deterministic under concurrency.
+class ExecutionContext {
+ public:
+  /// `clock` drives deadlines/backoff (a VirtualClock in tests and
+  /// benchmarks); `pool` runs parallel fragment waves. Both must outlive
+  /// the context. `relative_deadline_micros` of 0 means no deadline;
+  /// `parallel_latency` selects max-over-fragments (true) vs sum (false)
+  /// latency accounting, mirroring EngineOptions::parallel_fetch.
+  ExecutionContext(Clock* clock, ThreadPool* pool,
+                   int64_t relative_deadline_micros, RetryPolicy retry,
+                   bool parallel_latency,
+                   const std::atomic<bool>* external_cancel = nullptr);
+
+  /// Child context for mediated-view expansion: shares the clock, pool,
+  /// retry policy, parallel flag, absolute deadline and cancellation state
+  /// with `parent` but accumulates fresh counters, so a view's internal
+  /// fragment counts can be folded into the parent as a single fragment
+  /// while its deadline and cancellation stay query-wide.
+  explicit ExecutionContext(ExecutionContext& parent);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  Clock* clock() { return clock_; }
+  ThreadPool* pool() { return pool_; }
+  const RetryPolicy& retry() const { return retry_; }
+  bool parallel() const { return parallel_; }
+
+  /// Cooperative cancellation: flips the flag every in-flight fetch checks.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const;
+
+  /// OK while the query may keep running; Cancelled or Timeout otherwise.
+  Status Check() const;
+
+  /// The context every connector call receives; `call_stats` (fragment-
+  /// local, owned by the caller) receives that call's own cost.
+  connector::RequestContext MakeRequest(
+      connector::FetchStats* call_stats) const;
+
+  /// Backoff before retry `attempt` (0-based): exponential, clamped,
+  /// jittered. Returns -1 when the delay cannot fit before the deadline —
+  /// the caller should stop retrying and surface the last error.
+  int64_t NextBackoffMicros(size_t attempt);
+
+  /// Waits out a backoff delay (a RealClock sleeps; a VirtualClock charges)
+  /// and counts the retry.
+  void SleepForRetry(int64_t micros);
+
+  // --- thread-safe accounting -------------------------------------------
+  void AddRowsShipped(size_t rows);
+  void AddLatency(int64_t micros);  ///< max (parallel) or sum (serial).
+  void AddFragment(bool pushed_down, bool hit_index, bool bind_joined);
+  void AddRetries(size_t n);  ///< folds a child context's retries back in.
+
+  /// Copies the accumulated counters into `report` (called once, after all
+  /// workers for the query have finished).
+  void FillReport(ExecutionReport* report) const;
+
+ private:
+  Clock* clock_;
+  ThreadPool* pool_;
+  RetryPolicy retry_;
+  bool parallel_;
+  int64_t deadline_micros_ = 0;  ///< absolute on clock_; 0 = none.
+  const ExecutionContext* parent_ = nullptr;  ///< cancellation chains up.
+  const std::atomic<bool>* external_cancel_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> jitter_state_;
+
+  std::atomic<size_t> rows_shipped_{0};
+  std::atomic<int64_t> latency_micros_{0};
+  std::atomic<size_t> fragments_pushed_down_{0};
+  std::atomic<size_t> fragments_fetched_{0};
+  std::atomic<size_t> fragments_bind_joined_{0};
+  std::atomic<bool> pushdown_hit_index_{false};
+  std::atomic<size_t> retries_{0};
+};
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_EXEC_CONTEXT_H_

@@ -1,6 +1,7 @@
 #include "frontend/load_balancer.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace nimble {
 namespace frontend {
@@ -11,6 +12,7 @@ void LoadBalancer::AddEngine(std::unique_ptr<core::IntegrationEngine> engine) {
 }
 
 size_t LoadBalancer::PickEngine() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (policy_ == BalancePolicy::kRoundRobin) {
     size_t pick = next_round_robin_;
     next_round_robin_ = (next_round_robin_ + 1) % engines_.size();
@@ -32,9 +34,39 @@ Result<core::QueryResult> LoadBalancer::Execute(
   Result<core::QueryResult> result =
       engines_[pick]->ExecuteText(xmlql_text, options);
   if (result.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
     busy_micros_[pick] += result->report.source_latency_micros;
   }
   return result;
+}
+
+std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
+    const std::vector<std::string>& queries, const core::QueryOptions& options,
+    ThreadPool* pool) {
+  std::vector<Result<core::QueryResult>> results(
+      queries.size(), Result<core::QueryResult>(Status::Internal("not run")));
+  if (engines_.empty()) {
+    for (auto& slot : results) {
+      slot = Status::Internal("load balancer has no engine instances");
+    }
+    return results;
+  }
+  if (pool == nullptr) pool = ThreadPool::Shared();
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    tasks.push_back(
+        [this, &queries, &options, &results, i] {
+          results[i] = Execute(queries[i], options);
+        });
+  }
+  pool->RunParallel(std::move(tasks));
+  return results;
+}
+
+std::vector<int64_t> LoadBalancer::BusyMicrosPerEngine() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_micros_;
 }
 
 std::vector<uint64_t> LoadBalancer::QueriesPerEngine() const {
@@ -45,6 +77,7 @@ std::vector<uint64_t> LoadBalancer::QueriesPerEngine() const {
 }
 
 int64_t LoadBalancer::MakespanMicros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int64_t makespan = 0;
   for (int64_t busy : busy_micros_) makespan = std::max(makespan, busy);
   return makespan;

@@ -2,10 +2,12 @@
 #define NIMBLE_FRONTEND_LOAD_BALANCER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 
 namespace nimble {
@@ -22,6 +24,9 @@ enum class BalancePolicy {
 /// engine can be run simultaneously on one or more servers"). Engines
 /// share the catalog; the balancer tracks per-instance load so E6 can
 /// measure scaling and policy quality.
+///
+/// Execute/ExecuteBatch are safe to call from many threads at once;
+/// AddEngine/set_policy are not — configure the pool before serving.
 class LoadBalancer {
  public:
   explicit LoadBalancer(BalancePolicy policy = BalancePolicy::kRoundRobin)
@@ -41,9 +46,16 @@ class LoadBalancer {
   Result<core::QueryResult> Execute(std::string_view xmlql_text,
                                     const core::QueryOptions& options = {});
 
+  /// Serves a batch of queries concurrently from the worker pool (the
+  /// process-wide one unless `pool` is given), each dispatched through the
+  /// balancing policy. Results line up with `queries` by index.
+  std::vector<Result<core::QueryResult>> ExecuteBatch(
+      const std::vector<std::string>& queries,
+      const core::QueryOptions& options = {}, ThreadPool* pool = nullptr);
+
   /// Per-instance cumulative busy time (source latency charged to the
   /// instance that served each query) — the load distribution evidence.
-  std::vector<int64_t> BusyMicrosPerEngine() const { return busy_micros_; }
+  std::vector<int64_t> BusyMicrosPerEngine() const;
   std::vector<uint64_t> QueriesPerEngine() const;
 
   /// Makespan under the recorded assignment: the busiest instance's total.
@@ -54,6 +66,7 @@ class LoadBalancer {
 
   BalancePolicy policy_;
   std::vector<std::unique_ptr<core::IntegrationEngine>> engines_;
+  mutable std::mutex mutex_;  ///< guards busy_micros_ and next_round_robin_.
   std::vector<int64_t> busy_micros_;
   size_t next_round_robin_ = 0;
 };

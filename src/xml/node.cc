@@ -50,6 +50,13 @@ void Node::RemoveChild(size_t index) {
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
 }
 
+std::vector<NodePtr> Node::TakeChildren() {
+  for (const NodePtr& child : children_) child->parent_ = nullptr;
+  std::vector<NodePtr> out;
+  out.swap(children_);
+  return out;
+}
+
 NodePtr Node::FindChild(const std::string& name) const {
   for (const NodePtr& child : children_) {
     if (child->is_element() && child->name_ == name) return child;

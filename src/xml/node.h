@@ -70,6 +70,10 @@ class Node : public std::enable_shared_from_this<Node> {
   /// Removes the child at `index`.
   void RemoveChild(size_t index);
 
+  /// Detaches and returns every child (parent pointers cleared), leaving
+  /// this node empty — splices subtrees between documents without cloning.
+  std::vector<NodePtr> TakeChildren();
+
   // ---- Read helpers -------------------------------------------------------
 
   /// First child element named `name`, or nullptr.

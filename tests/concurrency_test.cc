@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "connector/relational_connector.h"
+#include "connector/simulated_source.h"
+#include "connector/xml_connector.h"
+#include "core/engine.h"
+#include "frontend/load_balancer.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 100; ++i) {
+    tasks.push_back([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.RunParallel(std::move(tasks));
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+// Fork-join from inside a pool task must not deadlock even when the batch
+// fan-out exceeds the worker count: the caller of RunParallel drains its own
+// batch instead of blocking on a worker slot.
+TEST(ThreadPoolTest, NestedRunParallelDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back([&pool, &leaves] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&leaves] { leaves.fetch_add(1); });
+      }
+      pool.RunParallel(std::move(inner));
+    });
+  }
+  pool.RunParallel(std::move(outer));
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTask) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  for (int i = 0; i < 1000 && !ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------------
+// Engine fixture: a relational store plus two simulated flaky XML feeds.
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<relational::Database>("shop");
+    Must(db_->Execute("CREATE TABLE products (sku TEXT PRIMARY KEY, "
+                      "title TEXT, price DOUBLE)"));
+    Must(db_->Execute("INSERT INTO products VALUES "
+                      "('w-1', 'Widget', 25.0), ('g-1', 'Gizmo', 8.0), "
+                      "('b-1', 'Bauble', 3.5), ('t-1', 'Trinket', 12.0)"));
+
+    catalog_ = std::make_unique<metadata::Catalog>();
+    Must(catalog_->RegisterSource(
+        std::make_unique<connector::RelationalConnector>("shop", db_.get())));
+    stock_ = AddXmlFeed(
+        "wh",
+        "<stock>"
+        "<item sku=\"w-1\"><on_hand>14</on_hand></item>"
+        "<item sku=\"g-1\"><on_hand>0</on_hand></item>"
+        "<item sku=\"b-1\"><on_hand>250</on_hand></item>"
+        "<item sku=\"t-1\"><on_hand>3</on_hand></item>"
+        "</stock>",
+        "stock");
+    reviews_ = AddXmlFeed("rev",
+                          "<reviews>"
+                          "<review sku=\"w-1\"><stars>5</stars></review>"
+                          "<review sku=\"b-1\"><stars>4</stars></review>"
+                          "<review sku=\"t-1\"><stars>2</stars></review>"
+                          "</reviews>",
+                          "reviews");
+  }
+
+  /// Registers an XML connector wrapped in a SimulatedSource on clock_.
+  connector::SimulatedSource* AddXmlFeed(const std::string& name,
+                                         const std::string& xml,
+                                         const std::string& collection) {
+    auto inner = std::make_unique<connector::XmlConnector>(name);
+    Must(inner->PutDocumentText(collection, xml));
+    auto sim = std::make_unique<connector::SimulatedSource>(
+        std::move(inner), connector::SimulationConfig{}, &clock_);
+    connector::SimulatedSource* raw = sim.get();
+    Must(catalog_->RegisterSource(std::move(sim)));
+    return raw;
+  }
+
+  void Must(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
+  template <typename T>
+  void Must(const Result<T>& r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  core::EngineOptions BaseOptions() {
+    core::EngineOptions opts;
+    opts.clock = &clock_;
+    return opts;
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<metadata::Catalog> catalog_;
+  connector::SimulatedSource* stock_ = nullptr;
+  connector::SimulatedSource* reviews_ = nullptr;
+};
+
+/// Order-insensitive canonical rendering of a result document.
+std::string Canonical(const Node& doc) {
+  std::vector<std::string> parts;
+  for (const NodePtr& child : doc.children()) parts.push_back(ToXml(*child));
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& part : parts) out += part + "\n";
+  return out;
+}
+
+constexpr char kJoinQuery[] = R"(
+  WHERE <products><row><sku>$s</sku><title>$t</title><price>$p</price>
+        </row></products> IN "shop:products",
+        <stock><item sku=$s><on_hand>$h</on_hand></item></stock>
+          IN "wh:stock",
+        $h > 0
+  CONSTRUCT <avail><title>$t</title><on_hand>$h</on_hand></avail>
+)";
+
+constexpr char kUnionQuery[] = R"(
+  WHERE <stock><item sku=$s><on_hand>$h</on_hand></item></stock>
+          IN "wh:stock", $h > 10
+  CONSTRUCT <hit><sku>$s</sku></hit>
+  UNION
+  WHERE <reviews><review sku=$s><stars>$r</stars></review></reviews>
+          IN "rev:reviews", $r > 3
+  CONSTRUCT <hit><sku>$s</sku></hit>
+)";
+
+// N client threads hammer one engine (parallel fragment fetches on the
+// shared pool) and every answer must match the serial baseline.
+TEST_F(ConcurrencyTest, StressManyClientsOneEngine) {
+  core::EngineOptions serial = BaseOptions();
+  serial.parallel_fetch = false;
+  core::IntegrationEngine baseline(catalog_.get(), serial);
+  Result<core::QueryResult> join_expected = baseline.ExecuteText(kJoinQuery);
+  Result<core::QueryResult> union_expected = baseline.ExecuteText(kUnionQuery);
+  Must(join_expected);
+  Must(union_expected);
+  const std::string join_canon = Canonical(*join_expected->document);
+  const std::string union_canon = Canonical(*union_expected->document);
+
+  core::IntegrationEngine engine(catalog_.get(), BaseOptions());
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        bool join = (t + q) % 2 == 0;
+        Result<core::QueryResult> r =
+            engine.ExecuteText(join ? kJoinQuery : kUnionQuery);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::string& want = join ? join_canon : union_canon;
+        if (Canonical(*r->document) != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.queries_served(),
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+}
+
+// The load balancer serves a batch concurrently from the worker pool and
+// spreads it across instances.
+TEST_F(ConcurrencyTest, LoadBalancerServesBatchFromPool) {
+  frontend::LoadBalancer balancer(frontend::BalancePolicy::kRoundRobin);
+  for (int i = 0; i < 3; ++i) {
+    balancer.AddEngine(std::make_unique<core::IntegrationEngine>(
+        catalog_.get(), BaseOptions()));
+  }
+  std::vector<std::string> batch(30, kJoinQuery);
+  std::vector<Result<core::QueryResult>> results = balancer.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->report.result_count, 3u);
+  }
+  std::vector<uint64_t> served = balancer.QueriesPerEngine();
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0] + served[1] + served[2], 30u);
+  EXPECT_EQ(served[0], 10u);  // round-robin is exact
+}
+
+// Scripted outage + exponential backoff on virtual time: with jitter off
+// the backoff schedule (1000, 2000) is exact, so the clock and the retry
+// counter can be asserted precisely.
+TEST_F(ConcurrencyTest, RetryBackoffMasksScriptedOutage) {
+  connector::SimulationConfig cfg;
+  cfg.fixed_latency_micros = 100;
+  stock_->set_config(cfg);
+  stock_->FailNextRequests(2);
+
+  core::EngineOptions opts = BaseOptions();
+  opts.fetch_retries = 3;
+  opts.retry_jitter = false;
+  opts.retry_backoff_micros = 1000;
+  opts.retry_backoff_multiplier = 2.0;
+  core::IntegrationEngine engine(catalog_.get(), opts);
+
+  constexpr char kStockQuery[] = R"(
+    WHERE <stock><item sku=$s><on_hand>$h</on_hand></item></stock>
+            IN "wh:stock"
+    CONSTRUCT <row><sku>$s</sku></row>
+  )";
+  Result<core::QueryResult> r = engine.ExecuteText(kStockQuery);
+  Must(r);
+  EXPECT_EQ(r->report.result_count, 4u);
+  EXPECT_EQ(r->report.retries, 2u);
+  // Two failed admits (free), two backoffs, one successful fetch.
+  EXPECT_EQ(clock_.NowMicros(), 1000 + 2000 + 100);
+  EXPECT_EQ(r->report.source_latency_micros, 100);
+}
+
+// A retry whose backoff cannot finish before the deadline is not taken:
+// the transient error surfaces instead of blowing the budget.
+TEST_F(ConcurrencyTest, RetryStopsAtDeadline) {
+  stock_->FailNextRequests(10);
+  core::EngineOptions opts = BaseOptions();
+  opts.fetch_retries = 10;
+  opts.retry_jitter = false;
+  opts.retry_backoff_micros = 4000;
+  opts.query_deadline_micros = 10000;
+  core::IntegrationEngine engine(catalog_.get(), opts);
+
+  Result<core::QueryResult> r = engine.ExecuteText(kUnionQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // Backoffs taken: 4000, then 8000 would land past the 10000 deadline.
+  EXPECT_EQ(clock_.NowMicros(), 4000);
+}
+
+// Once virtual time passes the deadline mid-query, the next fragment stops
+// with Timeout instead of fetching.
+TEST_F(ConcurrencyTest, DeadlineExceededMidQuery) {
+  connector::SimulationConfig slow;
+  slow.fixed_latency_micros = 5000;
+  stock_->set_config(slow);
+  reviews_->set_config(slow);
+
+  core::EngineOptions opts = BaseOptions();
+  opts.parallel_fetch = false;  // fragments run one after another
+  opts.query_deadline_micros = 4000;
+  core::IntegrationEngine engine(catalog_.get(), opts);
+
+  Result<core::QueryResult> r = engine.ExecuteText(kUnionQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+// Cooperative cancellation through QueryOptions.
+TEST_F(ConcurrencyTest, CancelledQueryReturnsCancelled) {
+  core::IntegrationEngine engine(catalog_.get(), BaseOptions());
+  std::atomic<bool> cancel{true};
+  core::QueryOptions qopts;
+  qopts.cancel = &cancel;
+  Result<core::QueryResult> r = engine.ExecuteText(kJoinQuery, qopts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+// The UNION plan bugfix: every branch's plan survives in the report, under
+// per-branch headers, instead of the last branch overwriting the rest.
+TEST_F(ConcurrencyTest, UnionReportKeepsEveryBranchPlan) {
+  core::IntegrationEngine engine(catalog_.get(), BaseOptions());
+  Result<core::QueryResult> r = engine.ExecuteText(kUnionQuery);
+  Must(r);
+  EXPECT_NE(r->report.plan.find("-- branch 0 --"), std::string::npos);
+  EXPECT_NE(r->report.plan.find("-- branch 1 --"), std::string::npos);
+  EXPECT_NE(r->report.plan.find("wh:stock"), std::string::npos);
+  EXPECT_NE(r->report.plan.find("rev:reviews"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nimble
