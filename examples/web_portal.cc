@@ -75,7 +75,8 @@ int main() {
     balancer.AddEngine(std::make_unique<core::IntegrationEngine>(&catalog));
   }
   VirtualClock clock;
-  materialize::ResultCache cache(/*capacity=*/32, /*ttl_micros=*/0, &clock);
+  materialize::ResultCache cache(/*max_bytes=*/1 << 20, /*ttl_micros=*/0,
+                                 &clock);
   frontend::AuthRegistry auth;
   auth.GrantAccess("price-team-token", "pricing", {"price_export"});
   frontend::LensService lenses(&balancer, &cache, &auth);

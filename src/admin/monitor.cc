@@ -71,16 +71,24 @@ NodePtr SystemMonitor::StatusDocument() const {
   }
 
   if (cache_ != nullptr) {
+    materialize::CacheStats stats = cache_->stats();
     NodePtr cache = root->AddChild(Node::Element("result_cache"));
     cache->AddScalarChild("entries",
-                          Value::Int(static_cast<int64_t>(cache_->size())));
-    cache->AddScalarChild("capacity",
-                          Value::Int(static_cast<int64_t>(cache_->capacity())));
-    cache->AddScalarChild("hit_rate",
-                          Value::Double(cache_->stats().HitRate()));
+                          Value::Int(static_cast<int64_t>(stats.entries)));
+    cache->AddScalarChild("bytes",
+                          Value::Int(static_cast<int64_t>(stats.bytes)));
     cache->AddScalarChild(
-        "evictions",
-        Value::Int(static_cast<int64_t>(cache_->stats().evictions)));
+        "max_bytes", Value::Int(static_cast<int64_t>(cache_->max_bytes())));
+    cache->AddScalarChild("hit_rate", Value::Double(stats.HitRate()));
+    cache->AddScalarChild("coalesced",
+                          Value::Int(static_cast<int64_t>(stats.coalesced)));
+    cache->AddScalarChild("evictions",
+                          Value::Int(static_cast<int64_t>(stats.evictions)));
+    cache->AddScalarChild(
+        "expirations", Value::Int(static_cast<int64_t>(stats.expirations)));
+    cache->AddScalarChild(
+        "invalidations",
+        Value::Int(static_cast<int64_t>(stats.invalidations)));
   }
 
   if (balancer_ != nullptr) {

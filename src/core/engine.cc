@@ -61,6 +61,45 @@ std::string ExecutionReport::Summary() const {
   return out;
 }
 
+IntegrationEngine::IntegrationEngine(metadata::Catalog* catalog,
+                                     EngineOptions options)
+    : catalog_(catalog), options_(options) {
+  ConfigureCaches();
+}
+
+IntegrationEngine::~IntegrationEngine() {
+  if (catalog_listener_token_ != 0) {
+    catalog_->RemoveUpdateListener(catalog_listener_token_);
+  }
+}
+
+void IntegrationEngine::ConfigureCaches() {
+  plan_cache_ = options_.plan_cache_entries == 0
+                    ? nullptr
+                    : std::make_unique<PlanCache>(options_.plan_cache_entries);
+  if (options_.result_cache_bytes == 0) {
+    result_cache_.reset();
+  } else {
+    materialize::ResultCacheOptions cache_options;
+    cache_options.max_bytes = options_.result_cache_bytes;
+    cache_options.ttl_micros = options_.result_cache_ttl_micros;
+    result_cache_ = std::make_unique<materialize::ResultCache>(cache_options,
+                                                               clock());
+  }
+  // Source updates drop every cached answer that depended on the source.
+  if (result_cache_ != nullptr && catalog_listener_token_ == 0) {
+    catalog_listener_token_ = catalog_->AddUpdateListener(
+        [this](const std::string& source_name) {
+          if (result_cache_ != nullptr) {
+            result_cache_->InvalidateTag(source_name);
+          }
+        });
+  } else if (result_cache_ == nullptr && catalog_listener_token_ != 0) {
+    catalog_->RemoveUpdateListener(catalog_listener_token_);
+    catalog_listener_token_ = 0;
+  }
+}
+
 void IntegrationEngine::set_options(const EngineOptions& options) {
   options_ = options;
   if (options_.worker_threads == 0) {
@@ -69,6 +108,7 @@ void IntegrationEngine::set_options(const EngineOptions& options) {
              owned_pool_->size() != options_.worker_threads) {
     owned_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  ConfigureCaches();
 }
 
 ThreadPool* IntegrationEngine::pool() {
@@ -87,15 +127,72 @@ Clock* IntegrationEngine::clock() {
   return &real_clock;
 }
 
+Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
+    std::string_view text) {
+  if (plan_cache_ != nullptr) return plan_cache_->GetOrCompile(text);
+  return CompileProgram(text);
+}
+
 Result<QueryResult> IntegrationEngine::ExecuteText(
     std::string_view xmlql_text, const QueryOptions& query_options) {
-  NIMBLE_ASSIGN_OR_RETURN(xmlql::Program program,
-                          xmlql::ParseProgram(xmlql_text));
-  return Execute(program, query_options);
+  NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> compiled,
+                          GetOrCompile(xmlql_text));
+  // Cancellable queries bypass the result cache: a singleflight waiter
+  // cannot cancel the leader's execution, and a cancelled leader must not
+  // fail everyone else's identical query.
+  if (result_cache_ == nullptr || query_options.cancel != nullptr) {
+    return ExecuteFragmented(compiled->program, compiled->fragmentations,
+                             query_options);
+  }
+
+  QueryResult executed;
+  bool ran = false;
+  Result<ConstNodePtr> snapshot = result_cache_->LookupOrCompute(
+      CanonicalizeQueryText(xmlql_text),
+      [&]() -> Result<materialize::ResultCache::Computed> {
+        Result<QueryResult> result = ExecuteFragmented(
+            compiled->program, compiled->fragmentations, query_options);
+        if (!result.ok()) return result.status();
+        executed = std::move(*result);
+        ran = true;
+        materialize::ResultCache::Computed computed;
+        computed.document = executed.document;
+        // Incomplete answers must not mask the sources' recovery.
+        computed.cacheable = executed.report.completeness.complete;
+        computed.tags = executed.report.sources_contacted;
+        return computed;
+      });
+  NIMBLE_RETURN_IF_ERROR(snapshot.status());
+  if (ran) {
+    // The leader's document was frozen when it was published; its report is
+    // the real execution report.
+    executed.document = std::const_pointer_cast<Node>(*snapshot);
+    return executed;
+  }
+  // Cache hit or singleflight waiter: share the frozen snapshot.
+  QueryResult result;
+  result.document = std::const_pointer_cast<Node>(*snapshot);
+  result.report.result_count = result.document->children().size();
+  result.report.served_from_cache = true;
+  Value complete = result.document->GetAttribute("complete");
+  result.report.completeness.complete = !complete.is_bool() || complete.AsBool();
+  return result;
 }
 
 Result<QueryResult> IntegrationEngine::Execute(
     const xmlql::Program& program, const QueryOptions& query_options) {
+  std::vector<Fragmentation> fragmentations;
+  fragmentations.reserve(program.branches.size());
+  for (const xmlql::Query& branch : program.branches) {
+    fragmentations.push_back(FragmentQuery(branch));
+  }
+  return ExecuteFragmented(program, fragmentations, query_options);
+}
+
+Result<QueryResult> IntegrationEngine::ExecuteFragmented(
+    const xmlql::Program& program,
+    const std::vector<Fragmentation>& fragmentations,
+    const QueryOptions& query_options) {
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   RetryPolicy retry;
   retry.max_retries = options_.fetch_retries;
@@ -106,14 +203,16 @@ Result<QueryResult> IntegrationEngine::Execute(
   retry.jitter_seed = options_.retry_jitter_seed;
   ExecutionContext ctx(clock(), pool(), options_.query_deadline_micros, retry,
                        options_.parallel_fetch, query_options.cancel);
-  Result<QueryResult> result = ExecuteInternal(program, query_options, 0, ctx);
+  Result<QueryResult> result =
+      ExecuteInternal(program, fragmentations, query_options, 0, ctx);
   if (result.ok()) ctx.FillReport(&result->report);
   return result;
 }
 
 Result<QueryResult> IntegrationEngine::ExecuteInternal(
-    const xmlql::Program& program, const QueryOptions& query_options,
-    int view_depth, ExecutionContext& ctx) {
+    const xmlql::Program& program,
+    const std::vector<Fragmentation>& fragmentations,
+    const QueryOptions& query_options, int view_depth, ExecutionContext& ctx) {
   if (view_depth > options_.max_view_depth) {
     return Status::InvalidArgument("mediated view nesting exceeds depth " +
                                    std::to_string(options_.max_view_depth));
@@ -138,8 +237,9 @@ Result<QueryResult> IntegrationEngine::ExecuteInternal(
 
   auto run_branch = [&](size_t i) {
     branch_status[i] =
-        ExecuteBranch(program.branches[i], query_options, view_depth,
-                      branch_roots[i].get(), &branch_reports[i], ctx);
+        ExecuteBranch(program.branches[i], fragmentations[i], query_options,
+                      view_depth, branch_roots[i].get(), &branch_reports[i],
+                      ctx);
   };
   if (options_.parallel_fetch && num_branches > 1) {
     std::vector<std::function<void()>> tasks;
@@ -249,11 +349,11 @@ void IntegrationEngine::HarvestBindValues(
 }
 
 Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
+                                        const Fragmentation& fragmentation,
                                         const QueryOptions& query_options,
                                         int view_depth, Node* out_root,
                                         ExecutionReport* report,
                                         ExecutionContext& ctx) {
-  Fragmentation fragmentation = FragmentQuery(query);
   const size_t num_fragments = fragmentation.fragments.size();
 
   // Dependency-aware waves: fragments that can *consume* bind-join values
@@ -420,11 +520,13 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
       return Status::NotFound("no view or source named '" +
                               source_ref.collection + "'");
     }
-    NIMBLE_ASSIGN_OR_RETURN(xmlql::Program view_program,
-                            xmlql::ParseProgram(view->query_text));
+    // The plan cache makes repeated view expansion skip parse+fragment.
+    NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> view_plan,
+                            GetOrCompile(view->query_text));
     ExecutionContext view_ctx(ctx);
     Result<QueryResult> view_result =
-        ExecuteInternal(view_program, query_options, view_depth + 1, view_ctx);
+        ExecuteInternal(view_plan->program, view_plan->fragmentations,
+                        query_options, view_depth + 1, view_ctx);
     ExecutionReport nested;
     view_ctx.FillReport(&nested);
     if (!view_result.ok()) {

@@ -14,7 +14,9 @@
 #include "core/exec_context.h"
 #include "core/fragmenter.h"
 #include "core/partial_results.h"
+#include "core/plan_cache.h"
 #include "core/sql_generator.h"
+#include "materialize/result_cache.h"
 #include "metadata/catalog.h"
 #include "xml/node.h"
 #include "xmlql/ast.h"
@@ -63,6 +65,19 @@ struct EngineOptions {
   uint64_t retry_jitter_seed = 17;
   /// Maximum depth of mediated-view expansion (cycle guard).
   int max_view_depth = 16;
+  /// Engine-side result cache byte budget (0 = disabled). Complete answers
+  /// from ExecuteText are cached as frozen snapshots keyed by canonicalized
+  /// query text; hits are O(1) (the snapshot is shared, not cloned) and
+  /// concurrent identical misses collapse into one execution
+  /// (singleflight). Entries are tagged with the sources they touched and
+  /// dropped when Catalog::NotifySourceUpdated fires for one of them.
+  size_t result_cache_bytes = 0;
+  /// TTL for engine-cached results; <= 0 means entries never expire.
+  int64_t result_cache_ttl_micros = 0;
+  /// Compiled-plan cache entries (canonicalized XML-QL text → parsed AST +
+  /// per-branch fragmentation); repeated queries and mediated-view
+  /// expansions skip parse/fragment. 0 disables.
+  size_t plan_cache_entries = 64;
 };
 
 /// Per-query options.
@@ -90,6 +105,9 @@ struct ExecutionReport {
   size_t fragments_bind_joined = 0;   ///< SQL fragments with pushed IN keys.
   size_t retries = 0;                 ///< transparent fetch retries taken.
   bool pushdown_hit_index = false;
+  /// True when the answer came from the engine's result cache (no source
+  /// was contacted by this invocation).
+  bool served_from_cache = false;
   std::vector<std::string> sources_contacted;
   CompletenessInfo completeness;
   /// Physical plan rendering; UNION programs concatenate every branch's
@@ -99,10 +117,20 @@ struct ExecutionReport {
   std::string Summary() const;
 };
 
-/// A query answer: the constructed XML document plus its report.
+/// A query answer: the constructed XML document plus its report. When the
+/// answer was served from a result cache, `document` is a *frozen* shared
+/// snapshot — read it freely, but mutate only through MutableDocument().
 struct QueryResult {
   NodePtr document;
   ExecutionReport report;
+
+  /// Copy-on-write escape hatch: if `document` is a frozen cache snapshot,
+  /// replaces it with a private deep copy (detaching from the cache) and
+  /// returns it; otherwise returns `document` unchanged.
+  NodePtr MutableDocument() {
+    if (document != nullptr && document->frozen()) document = document->Clone();
+    return document;
+  }
 };
 
 /// The Nimble integration engine (paper §2.1, Figure 1): parses XML-QL,
@@ -116,17 +144,23 @@ class IntegrationEngine {
  public:
   /// `catalog` must outlive the engine.
   explicit IntegrationEngine(metadata::Catalog* catalog,
-                             EngineOptions options = {})
-      : catalog_(catalog), options_(options) {}
+                             EngineOptions options = {});
+  ~IntegrationEngine();
 
   IntegrationEngine(const IntegrationEngine&) = delete;
   IntegrationEngine& operator=(const IntegrationEngine&) = delete;
 
   /// Parses and executes XML-QL text (a single query or a UNION program).
+  /// This is the cached hot path: the compiled-plan cache skips
+  /// parse/fragment for repeated text, and — when `result_cache_bytes` is
+  /// set — complete answers are served as shared snapshots with
+  /// singleflight miss deduplication. Queries carrying a cancellation flag
+  /// bypass the result cache (a waiter cannot cancel another query's
+  /// in-flight execution).
   Result<QueryResult> ExecuteText(std::string_view xmlql_text,
                                   const QueryOptions& query_options = {});
 
-  /// Executes a parsed program.
+  /// Executes a parsed program (uncached: the caller owns the AST).
   Result<QueryResult> Execute(const xmlql::Program& program,
                               const QueryOptions& query_options = {});
 
@@ -134,7 +168,13 @@ class IntegrationEngine {
   void set_options(const EngineOptions& options);
   metadata::Catalog* catalog() { return catalog_; }
 
-  /// Number of queries served (load-balancer bookkeeping).
+  /// The engine-side caches; nullptr when disabled by options.
+  materialize::ResultCache* result_cache() { return result_cache_.get(); }
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// Number of queries actually executed — result-cache hits and
+  /// singleflight waiters do not count (load-balancer bookkeeping and the
+  /// evidence for the singleflight tests).
   uint64_t queries_served() const {
     return queries_served_.load(std::memory_order_relaxed);
   }
@@ -158,13 +198,33 @@ class IntegrationEngine {
   /// The clock deadlines/backoff run on.
   Clock* clock();
 
-  Result<QueryResult> ExecuteInternal(const xmlql::Program& program,
-                                      const QueryOptions& query_options,
-                                      int view_depth, ExecutionContext& ctx);
+  /// (Re)builds the plan/result caches and the catalog invalidation hook
+  /// from `options_`. Called from the constructor and set_options.
+  void ConfigureCaches();
+
+  /// Compiled program for `text`: plan-cache hit or parse+fragment.
+  Result<std::shared_ptr<const CompiledProgram>> GetOrCompile(
+      std::string_view text);
+
+  /// Full execution of a fragmented program (counts as a served query).
+  /// `fragmentations` lines up with `program.branches` and points into it.
+  Result<QueryResult> ExecuteFragmented(
+      const xmlql::Program& program,
+      const std::vector<Fragmentation>& fragmentations,
+      const QueryOptions& query_options);
+
+  Result<QueryResult> ExecuteInternal(
+      const xmlql::Program& program,
+      const std::vector<Fragmentation>& fragmentations,
+      const QueryOptions& query_options, int view_depth,
+      ExecutionContext& ctx);
 
   /// Executes one branch into `out_root`; fills the branch-local `report`
   /// (ordered fields only — numeric counters go through `ctx`).
+  /// `fragmentation` was compiled from `query` and may be shared across
+  /// concurrent executions (read-only).
   Status ExecuteBranch(const xmlql::Query& query,
+                       const Fragmentation& fragmentation,
                        const QueryOptions& query_options, int view_depth,
                        Node* out_root, ExecutionReport* report,
                        ExecutionContext& ctx);
@@ -199,6 +259,11 @@ class IntegrationEngine {
   metadata::Catalog* catalog_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< when worker_threads > 0.
+  /// Caches are configured at construction / set_options time (never while
+  /// queries are in flight, per the set_options contract).
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<materialize::ResultCache> result_cache_;
+  uint64_t catalog_listener_token_ = 0;  ///< 0 = not subscribed.
   std::atomic<uint64_t> queries_served_{0};
 };
 

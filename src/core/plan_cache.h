@@ -1,0 +1,87 @@
+#ifndef NIMBLE_CORE_PLAN_CACHE_H_
+#define NIMBLE_CORE_PLAN_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fragmenter.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace core {
+
+/// A parsed XML-QL program together with its per-branch fragmentations.
+/// The fragmentations point into `program`, so the pair is compiled once
+/// and shared immutably — a CompiledProgram is safe to execute from many
+/// threads at once (execution only reads the AST).
+struct CompiledProgram {
+  xmlql::Program program;
+  std::vector<Fragmentation> fragmentations;  ///< one per branch.
+};
+
+/// Canonical form of XML-QL text for cache keying: whitespace runs outside
+/// quoted literals collapse to a single space, leading/trailing whitespace
+/// is dropped. Two spellings of the same query hit the same cache slot.
+std::string CanonicalizeQueryText(std::string_view text);
+
+/// Parses and fragments `text` into an immutable CompiledProgram.
+Result<std::shared_ptr<const CompiledProgram>> CompileProgram(
+    std::string_view text);
+
+/// Thread-safe LRU cache of compiled programs keyed by canonicalized query
+/// text, so repeated queries (the common case under Zipf traffic and for
+/// mediated-view expansion) skip parse + fragment entirely.
+class PlanCache {
+ public:
+  /// `max_entries` of 0 disables storage (GetOrCompile still compiles).
+  explicit PlanCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached program for `canonical_text`, or nullptr.
+  std::shared_ptr<const CompiledProgram> Lookup(
+      const std::string& canonical_text);
+
+  /// One-stop shop: canonicalize, look up, compile-and-insert on miss.
+  Result<std::shared_ptr<const CompiledProgram>> GetOrCompile(
+      std::string_view text);
+
+  void Insert(const std::string& canonical_text,
+              std::shared_ptr<const CompiledProgram> compiled);
+
+  void Clear();
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+  };
+  Stats stats() const;
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CompiledProgram> compiled;
+  };
+
+  size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_PLAN_CACHE_H_

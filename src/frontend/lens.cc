@@ -82,23 +82,41 @@ Result<LensResult> LensService::Invoke(
   LensResult result;
   const std::string cache_key = "lens:" + lens_name + ":" + query;
   if (cache_ != nullptr && target->cacheable) {
-    NodePtr cached = cache_->Lookup(cache_key);
-    if (cached != nullptr) {
-      result.raw.document = cached;
-      result.raw.report.result_count = cached->children().size();
+    // Singleflight: concurrent identical invocations share one engine
+    // execution. A hit (or a waiter) receives the shared frozen snapshot —
+    // zero-copy; callers mutate via result.raw.MutableDocument().
+    core::QueryResult executed;
+    bool ran = false;
+    Result<ConstNodePtr> snapshot = cache_->LookupOrCompute(
+        cache_key,
+        [&]() -> Result<materialize::ResultCache::Computed> {
+          Result<core::QueryResult> raw = balancer_->Execute(query);
+          if (!raw.ok()) return raw.status();
+          executed = std::move(*raw);
+          ran = true;
+          materialize::ResultCache::Computed computed;
+          computed.document = executed.document;
+          // Only complete answers are cached: a partial result must not
+          // mask the sources' recovery.
+          computed.cacheable = executed.report.completeness.complete;
+          computed.tags = executed.report.sources_contacted;
+          return computed;
+        });
+    NIMBLE_RETURN_IF_ERROR(snapshot.status());
+    if (ran) {
+      result.raw = std::move(executed);
+      result.raw.document = std::const_pointer_cast<Node>(*snapshot);
+    } else {
+      result.raw.document = std::const_pointer_cast<Node>(*snapshot);
+      result.raw.report.result_count = result.raw.document->children().size();
+      result.raw.report.served_from_cache = true;
       result.served_from_cache = true;
-      result.body = FormatResult(*cached, target->format);
-      return result;
     }
+    result.body = FormatResult(*result.raw.document, target->format);
+    return result;
   }
 
   NIMBLE_ASSIGN_OR_RETURN(result.raw, balancer_->Execute(query));
-  // Only complete answers are cached: a partial result must not mask the
-  // sources' recovery.
-  if (cache_ != nullptr && target->cacheable &&
-      result.raw.report.completeness.complete) {
-    cache_->Insert(cache_key, result.raw.document);
-  }
   result.body = FormatResult(*result.raw.document, target->format);
   return result;
 }

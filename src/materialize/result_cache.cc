@@ -1,60 +1,236 @@
 #include "materialize/result_cache.h"
 
+#include <algorithm>
+
 namespace nimble {
 namespace materialize {
 
-NodePtr ResultCache::Lookup(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
+ResultCache::ResultCache(ResultCacheOptions options, Clock* clock)
+    : options_(options), clock_(clock) {
+  if (options_.shards == 0) options_.shards = 1;
+  shard_budget_ = options_.max_bytes / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  if (ttl_micros_ > 0 &&
-      clock_->NowMicros() - it->second->inserted_at_micros >= ttl_micros_) {
-    lru_.erase(it->second);
-    entries_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
-    return nullptr;
-  }
-  // Promote to MRU.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return it->second->document->Clone();
 }
 
-void ResultCache::Insert(const std::string& key, const NodePtr& document) {
-  if (capacity_ == 0) return;
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second->document = document->Clone();
-    it->second->inserted_at_micros = clock_->NowMicros();
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.insertions;
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+int64_t ResultCache::ExpiryFor(int64_t ttl_micros) const {
+  int64_t ttl = ttl_micros < 0 ? options_.ttl_micros : ttl_micros;
+  return ttl <= 0 ? 0 : clock_->NowMicros() + ttl;
+}
+
+ConstNodePtr ResultCache::LookupLocked(Shard& shard, const std::string& key,
+                                       bool count_miss) {
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    if (count_miss) ++shard.stats.misses;
+    return nullptr;
+  }
+  if (it->second->expires_at_micros != 0 &&
+      clock_->NowMicros() >= it->second->expires_at_micros) {
+    ++shard.stats.expirations;
+    EraseLocked(shard, it->second);
+    if (count_miss) ++shard.stats.misses;
+    return nullptr;
+  }
+  // Promote to MRU; the snapshot is shared, not cloned — an O(1) hit.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return it->second->snapshot;
+}
+
+void ResultCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it) {
+  shard.bytes -= it->bytes;
+  shard.entries.erase(it->key);
+  shard.lru.erase(it);
+}
+
+void ResultCache::InsertLocked(Shard& shard, const std::string& key,
+                               ConstNodePtr snapshot,
+                               std::vector<std::string> tags,
+                               int64_t ttl_micros) {
+  size_t cost = snapshot->EstimatedBytes();
+  if (cost > shard_budget_) {
+    // Oversized documents would evict the whole shard for one entry.
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) EraseLocked(shard, it->second);
     return;
   }
-  if (entries_.size() >= capacity_) {
-    const Entry& victim = lru_.back();
-    entries_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) EraseLocked(shard, it->second);
+  while (shard.bytes + cost > shard_budget_ && !shard.lru.empty()) {
+    ++shard.stats.evictions;
+    EraseLocked(shard, std::prev(shard.lru.end()));
   }
-  lru_.push_front(Entry{key, document->Clone(), clock_->NowMicros()});
-  entries_[key] = lru_.begin();
-  ++stats_.insertions;
+  shard.lru.push_front(Entry{key, std::move(snapshot), cost,
+                             ExpiryFor(ttl_micros), std::move(tags)});
+  shard.entries[key] = shard.lru.begin();
+  shard.bytes += cost;
+  ++shard.stats.insertions;
+}
+
+ConstNodePtr ResultCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return LookupLocked(shard, key, /*count_miss=*/true);
+}
+
+void ResultCache::Insert(const std::string& key, const NodePtr& document,
+                         std::vector<std::string> tags, int64_t ttl_micros) {
+  if (document == nullptr) return;
+  InsertSnapshot(key, document->Freeze(), std::move(tags), ttl_micros);
+}
+
+void ResultCache::InsertSnapshot(const std::string& key, ConstNodePtr snapshot,
+                                 std::vector<std::string> tags,
+                                 int64_t ttl_micros) {
+  if (snapshot == nullptr) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, key, std::move(snapshot), std::move(tags), ttl_micros);
+}
+
+Result<ConstNodePtr> ResultCache::LookupOrCompute(const std::string& key,
+                                                  const ComputeFn& compute,
+                                                  bool* executed_compute) {
+  if (executed_compute != nullptr) *executed_compute = false;
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Waiters do not count as misses — only the leader pays the fetch.
+    ConstNodePtr snapshot = LookupLocked(shard, key, /*count_miss=*/false);
+    if (snapshot != nullptr) return snapshot;
+    auto it = shard.flights.find(key);
+    if (it != shard.flights.end()) {
+      flight = it->second;
+      ++shard.stats.coalesced;
+    } else {
+      flight = std::make_shared<InFlight>();
+      shard.flights.emplace(key, flight);
+      leader = true;
+      ++shard.stats.misses;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    return *flight->outcome;
+  }
+
+  if (executed_compute != nullptr) *executed_compute = true;
+  Result<Computed> computed = compute();
+  std::optional<Result<ConstNodePtr>> outcome;
+  if (computed.ok() && computed->document != nullptr) {
+    ConstNodePtr snapshot = computed->document->Freeze();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (computed->cacheable) {
+      InsertLocked(shard, key, snapshot, std::move(computed->tags),
+                   computed->ttl_micros);
+    }
+    shard.flights.erase(key);
+    outcome = snapshot;
+  } else {
+    Status error = computed.ok()
+                       ? Status::Internal("compute returned no document")
+                       : computed.status();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.flights.erase(key);
+    outcome = std::move(error);
+  }
+  {
+    std::lock_guard<std::mutex> publish_lock(flight->mu);
+    flight->outcome = *outcome;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return *outcome;
 }
 
 bool ResultCache::Invalidate(const std::string& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
-  lru_.erase(it->second);
-  entries_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  ++shard.stats.invalidations;
+  EraseLocked(shard, it->second);
   return true;
 }
 
+size_t ResultCache::InvalidateTag(const std::string& tag) {
+  size_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      auto next = std::next(it);
+      if (std::find(it->tags.begin(), it->tags.end(), tag) != it->tags.end()) {
+        ++shard->stats.invalidations;
+        EraseLocked(*shard, it);
+        ++dropped;
+      }
+      it = next;
+    }
+  }
+  return dropped;
+}
+
 void ResultCache::Clear() {
-  lru_.clear();
-  entries_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats.invalidations += shard->lru.size();
+    shard->lru.clear();
+    shard->entries.clear();
+    shard->bytes = 0;
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.coalesced += shard->stats.coalesced;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.expirations += shard->stats.expirations;
+    total.invalidations += shard->stats.invalidations;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void ResultCache::ResetStats() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = CacheStats{};
+  }
 }
 
 }  // namespace materialize

@@ -1,8 +1,11 @@
 #ifndef NIMBLE_METADATA_CATALOG_H_
 #define NIMBLE_METADATA_CATALOG_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,9 +60,29 @@ class Catalog {
   Result<std::vector<std::string>> TransitiveSources(
       const std::string& view_name) const;
 
+  // ---- Source-update notifications ---------------------------------------
+  //
+  // Writers that change a source's data (replication jobs, admin tooling,
+  // tests) call NotifySourceUpdated; subscribers — the engines' result
+  // caches — drop every cached answer that depended on that source.
+  // Thread-safe; listeners run synchronously on the notifying thread and
+  // must not call back into the catalog's listener API.
+
+  using UpdateListener = std::function<void(const std::string& source_name)>;
+
+  /// Registers a listener; returns a token for RemoveUpdateListener.
+  uint64_t AddUpdateListener(UpdateListener listener);
+  void RemoveUpdateListener(uint64_t token);
+
+  /// Announces that `source_name`'s underlying data changed.
+  void NotifySourceUpdated(const std::string& source_name);
+
  private:
   std::map<std::string, std::unique_ptr<connector::Connector>> sources_;
   std::map<std::string, MediatedView> views_;
+  mutable std::mutex listeners_mu_;
+  uint64_t next_listener_token_ = 1;
+  std::vector<std::pair<uint64_t, UpdateListener>> listeners_;
 };
 
 }  // namespace metadata

@@ -269,7 +269,11 @@ void CollectConjuncts(const SqlExpr* expr, std::vector<const SqlExpr*>* out) {
   }
 }
 
+bool RefersToProbedTable(const SqlExpr& col_ref, const std::string& qualifier,
+                         const std::vector<const TableSchema*>& join_schemas);
+
 bool MatchColumnLiteral(const SqlExpr& expr, const std::string& qualifier,
+                        const std::vector<const TableSchema*>& join_schemas,
                         std::string* column, std::string* op, Value* literal) {
   if (expr.kind != SqlExpr::Kind::kBinary) return false;
   const std::string& o = expr.op;
@@ -286,7 +290,7 @@ bool MatchColumnLiteral(const SqlExpr& expr, const std::string& qualifier,
       lit->kind != SqlExpr::Kind::kLiteral) {
     return false;
   }
-  if (!col->qualifier.empty() && col->qualifier != qualifier) return false;
+  if (!RefersToProbedTable(*col, qualifier, join_schemas)) return false;
   *column = col->column;
   *literal = lit->literal;
   if (!flipped) {
@@ -305,8 +309,22 @@ bool MatchColumnLiteral(const SqlExpr& expr, const std::string& qualifier,
   return true;
 }
 
+/// True when `col_ref` unambiguously names a column of the probed (leftmost)
+/// table: qualified with its name/alias, or unqualified with no join table
+/// sharing the column name (an unqualified reference that also resolves on a
+/// join table must not restrict the base scan).
+bool RefersToProbedTable(const SqlExpr& col_ref, const std::string& qualifier,
+                         const std::vector<const TableSchema*>& join_schemas) {
+  if (!col_ref.qualifier.empty()) return col_ref.qualifier == qualifier;
+  for (const TableSchema* schema : join_schemas) {
+    if (schema->ColumnIndex(col_ref.column).has_value()) return false;
+  }
+  return true;
+}
+
 IndexProbe FindIndexProbe(const Table& table, const std::string& qualifier,
-                          const SqlExpr* where) {
+                          const SqlExpr* where,
+                          const std::vector<const TableSchema*>& join_schemas) {
   IndexProbe probe;
   if (where == nullptr) return probe;
   std::vector<const SqlExpr*> conjuncts;
@@ -318,7 +336,7 @@ IndexProbe FindIndexProbe(const Table& table, const std::string& qualifier,
     if (conjunct->kind == SqlExpr::Kind::kFunction && conjunct->op == "IN" &&
         conjunct->args[0]->kind == SqlExpr::Kind::kColumnRef) {
       const SqlExpr& col_ref = *conjunct->args[0];
-      if (col_ref.qualifier.empty() || col_ref.qualifier == qualifier) {
+      if (RefersToProbedTable(col_ref, qualifier, join_schemas)) {
         const OrderedIndex* index = table.FindIndexOn(col_ref.column);
         bool all_literals = true;
         for (size_t i = 1; i < conjunct->args.size(); ++i) {
@@ -339,7 +357,8 @@ IndexProbe FindIndexProbe(const Table& table, const std::string& qualifier,
     }
     std::string column, op;
     Value literal;
-    if (!MatchColumnLiteral(*conjunct, qualifier, &column, &op, &literal)) {
+    if (!MatchColumnLiteral(*conjunct, qualifier, join_schemas, &column, &op,
+                            &literal)) {
       continue;
     }
     const OrderedIndex* index = table.FindIndexOn(column);
@@ -485,9 +504,17 @@ Result<ResultSet> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
 
   // ---- Base access (index-assisted when possible) ---------------------------
   std::vector<Row> current;
-  IndexProbe probe =
-      FindIndexProbe(*base, stmt.from.EffectiveName(), stmt.where.get());
-  if (probe.index != nullptr && stmt.joins.empty()) {
+  // The WHERE clause is re-applied in full after joins, so restricting the
+  // base scan by one of its sargable conjuncts is safe even when joins
+  // follow — as long as the conjunct unambiguously binds to the base table.
+  std::vector<const TableSchema*> join_schemas;
+  for (const JoinClause& join : stmt.joins) {
+    const Table* joined = db.GetTable(join.table.table);
+    if (joined != nullptr) join_schemas.push_back(&joined->schema());
+  }
+  IndexProbe probe = FindIndexProbe(*base, stmt.from.EffectiveName(),
+                                    stmt.where.get(), join_schemas);
+  if (probe.index != nullptr) {
     stats.used_index = true;
     stats.index_name = probe.index->name();
     std::vector<size_t> row_ids;

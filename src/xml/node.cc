@@ -22,6 +22,7 @@ NodePtr Node::TextFromRaw(const std::string& raw) {
 
 NodePtr Node::AddChild(NodePtr child) {
   assert(child != nullptr);
+  assert(!frozen_ && "mutation of a frozen snapshot; Clone() first");
   assert(child->parent_ == nullptr && "child already has a parent");
   child->parent_ = this;
   children_.push_back(child);
@@ -35,6 +36,7 @@ NodePtr Node::AddScalarChild(const std::string& name, Value value) {
 }
 
 void Node::SetAttribute(const std::string& name, Value value) {
+  assert(!frozen_ && "mutation of a frozen snapshot; Clone() first");
   for (auto& [attr_name, attr_value] : attributes_) {
     if (attr_name == name) {
       attr_value = std::move(value);
@@ -45,12 +47,14 @@ void Node::SetAttribute(const std::string& name, Value value) {
 }
 
 void Node::RemoveChild(size_t index) {
+  assert(!frozen_ && "mutation of a frozen snapshot; Clone() first");
   assert(index < children_.size());
   children_[index]->parent_ = nullptr;
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
 }
 
 std::vector<NodePtr> Node::TakeChildren() {
+  assert(!frozen_ && "mutation of a frozen snapshot; Clone() first");
   for (const NodePtr& child : children_) child->parent_ = nullptr;
   std::vector<NodePtr> out;
   out.swap(children_);
@@ -156,6 +160,27 @@ NodePtr Node::Clone() const {
     copy->children_.push_back(std::move(child_copy));
   }
   return copy;
+}
+
+ConstNodePtr Node::Freeze() {
+  if (!frozen_) {
+    frozen_ = true;
+    for (const NodePtr& child : children_) child->Freeze();
+  }
+  return shared_from_this();
+}
+
+size_t Node::EstimatedBytes() const {
+  size_t total = sizeof(Node) + name_.capacity();
+  if (value_.is_string()) total += value_.AsString().capacity();
+  total += attributes_.capacity() * sizeof(attributes_[0]);
+  for (const auto& [attr_name, attr_value] : attributes_) {
+    total += attr_name.capacity();
+    if (attr_value.is_string()) total += attr_value.AsString().capacity();
+  }
+  total += children_.capacity() * sizeof(NodePtr);
+  for (const NodePtr& child : children_) total += child->EstimatedBytes();
+  return total;
 }
 
 void Node::CollectDescendants(std::vector<NodePtr>* out) const {

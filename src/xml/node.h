@@ -12,6 +12,8 @@ namespace nimble {
 
 class Node;
 using NodePtr = std::shared_ptr<Node>;
+/// Shared handle to an immutable (frozen) node — see Node::Freeze().
+using ConstNodePtr = std::shared_ptr<const Node>;
 
 /// Node kinds in the Nimble tree model.
 enum class NodeKind {
@@ -105,8 +107,29 @@ class Node : public std::enable_shared_from_this<Node> {
   /// Structural deep equality (names, attributes, values, child order).
   bool DeepEquals(const Node& other) const;
 
-  /// Deep copy with fresh parent pointers.
+  /// Deep copy with fresh parent pointers. Copies are always thawed
+  /// (mutable), even when cloned from a frozen snapshot — this is the
+  /// copy-on-write escape hatch for cached documents.
   NodePtr Clone() const;
+
+  // ---- Immutable snapshots ------------------------------------------------
+
+  /// Marks this whole subtree immutable and returns a shared const handle.
+  /// Freezing is O(subtree) flag writes — no allocation, no copying — and
+  /// is how the result cache shares one document among many concurrent
+  /// readers: a frozen tree is safe to read from any number of threads.
+  /// Freezing is sticky (there is no thaw-in-place); mutate via Clone().
+  /// Idempotent: freezing a frozen node is O(1).
+  ConstNodePtr Freeze();
+
+  /// True once this node belongs to a frozen snapshot. Mutation APIs
+  /// assert against frozen nodes.
+  bool frozen() const { return frozen_; }
+
+  /// Rough heap footprint of this subtree in bytes (node structs, names,
+  /// string payloads, attribute and child vectors). Drives the result
+  /// cache's byte-budget accounting.
+  size_t EstimatedBytes() const;
 
   /// Collects every descendant element (not including this node) in
   /// document order into `out`.
@@ -116,6 +139,7 @@ class Node : public std::enable_shared_from_this<Node> {
   explicit Node(NodeKind kind) : kind_(kind) {}
 
   NodeKind kind_;
+  bool frozen_ = false;
   std::string name_;
   Value value_;
   Node* parent_ = nullptr;

@@ -169,7 +169,7 @@ TEST_F(AdminTest, MonitorStatusDocument) {
   materialize::MaterializedViewStore store(catalog_.get(), engine_.get(),
                                            &clock_);
   ASSERT_TRUE(store.Materialize("all_names").ok());
-  materialize::ResultCache cache(8, 0, &clock_);
+  materialize::ResultCache cache(1 << 20, 0, &clock_);
   frontend::LoadBalancer balancer;
   balancer.AddEngine(std::make_unique<core::IntegrationEngine>(catalog_.get()));
 

@@ -8,7 +8,9 @@
 #include "connector/simulated_source.h"
 #include "connector/xml_connector.h"
 #include "core/engine.h"
+#include "frontend/lens.h"
 #include "frontend/load_balancer.h"
+#include "materialize/result_cache.h"
 #include "xml/serializer.h"
 
 namespace nimble {
@@ -303,6 +305,161 @@ TEST_F(ConcurrencyTest, UnionReportKeepsEveryBranchPlan) {
   EXPECT_NE(r->report.plan.find("-- branch 1 --"), std::string::npos);
   EXPECT_NE(r->report.plan.find("wh:stock"), std::string::npos);
   EXPECT_NE(r->report.plan.find("rev:reviews"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded result cache under contention (run under TSan in CI).
+
+// Many threads mixing Lookup / Insert / Invalidate / InvalidateTag / stats
+// on one cache: no data races, budget respected, hits always frozen.
+TEST(ResultCacheConcurrencyTest, StressMixedOperations) {
+  VirtualClock clock;
+  materialize::ResultCacheOptions options;
+  options.max_bytes = 1 << 20;
+  options.shards = 8;
+  materialize::ResultCache cache(options, &clock);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr int kKeys = 16;
+  std::atomic<int> thawed_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % kKeys);
+        switch ((t + i) % 5) {
+          case 0:
+          case 1: {
+            ConstNodePtr hit = cache.Lookup(key);
+            if (hit != nullptr && !hit->frozen()) thawed_hits.fetch_add(1);
+            break;
+          }
+          case 2: {
+            NodePtr doc = Node::Element("doc");
+            doc->AddScalarChild("v", Value::Int(i));
+            cache.Insert(key, doc, {"tag" + std::to_string(i % 3)});
+            break;
+          }
+          case 3:
+            cache.Invalidate(key);
+            break;
+          default:
+            if (i % 50 == 0) {
+              cache.InvalidateTag("tag" + std::to_string(i % 3));
+            } else {
+              (void)cache.stats();
+            }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(thawed_hits.load(), 0);
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+  materialize::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, cache.size());
+}
+
+// Singleflight, deterministic: the leader's compute blocks until every
+// thread has at least entered LookupOrCompute, so the fetch runs once no
+// matter how the scheduler interleaves them.
+TEST(ResultCacheConcurrencyTest, LookupOrComputeRunsComputeOnce) {
+  VirtualClock clock;
+  materialize::ResultCache cache(1 << 20, 0, &clock);
+  constexpr int kThreads = 8;
+  std::atomic<int> arrived{0};
+  std::atomic<int> computes{0};
+  std::atomic<const Node*> shared_snapshot{nullptr};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      arrived.fetch_add(1);
+      Result<ConstNodePtr> r = cache.LookupOrCompute(
+          "hot", [&]() -> Result<materialize::ResultCache::Computed> {
+            while (arrived.load() < kThreads) std::this_thread::yield();
+            computes.fetch_add(1);
+            materialize::ResultCache::Computed computed;
+            computed.document = Node::Element("doc");
+            return computed;
+          });
+      if (!r.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      const Node* expected = nullptr;
+      if (!shared_snapshot.compare_exchange_strong(expected, r->get()) &&
+          expected != r->get()) {
+        mismatches.fetch_add(1);  // everyone must see the same snapshot
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(mismatches.load(), 0);
+  materialize::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+}
+
+// Engine-level singleflight: concurrent identical ExecuteText calls on a
+// cache-enabled engine execute once (queries_served counts real runs).
+TEST_F(ConcurrencyTest, ConcurrentIdenticalQueriesExecuteOnce) {
+  core::EngineOptions opts = BaseOptions();
+  opts.result_cache_bytes = 1 << 20;
+  core::IntegrationEngine engine(catalog_.get(), opts);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      Result<core::QueryResult> r = engine.ExecuteText(kJoinQuery);
+      if (!r.ok() || r->report.result_count != 3u) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.queries_served(), 1u);
+}
+
+// Frontend singleflight: concurrent identical lens invocations collapse to
+// one engine execution across the whole balancer pool.
+TEST_F(ConcurrencyTest, ConcurrentLensInvokesShareOneExecution) {
+  frontend::LoadBalancer balancer(frontend::BalancePolicy::kRoundRobin);
+  for (int i = 0; i < 3; ++i) {
+    balancer.AddEngine(std::make_unique<core::IntegrationEngine>(
+        catalog_.get(), BaseOptions()));
+  }
+  materialize::ResultCache cache(1 << 20, 0, &clock_);
+  frontend::LensService lenses(&balancer, &cache, nullptr);
+  frontend::Lens lens;
+  lens.name = "avail";
+  lens.query_template = kJoinQuery;
+  Must(lenses.RegisterLens(lens));
+
+  constexpr int kThreads = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      Result<frontend::LensResult> r = lenses.Invoke("avail");
+      if (!r.ok() || r->raw.document == nullptr) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::vector<uint64_t> served = balancer.QueriesPerEngine();
+  uint64_t total = 0;
+  for (uint64_t count : served) total += count;
+  EXPECT_EQ(total, 1u);
+  materialize::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<uint64_t>(kThreads - 1));
 }
 
 }  // namespace

@@ -120,7 +120,7 @@ class FrontendTest : public ::testing::Test {
       balancer_->AddEngine(
           std::make_unique<core::IntegrationEngine>(catalog_.get()));
     }
-    cache_ = std::make_unique<materialize::ResultCache>(8, 0, &clock_);
+    cache_ = std::make_unique<materialize::ResultCache>(1 << 20, 0, &clock_);
     auth_ = std::make_unique<AuthRegistry>();
     service_ = std::make_unique<LensService>(balancer_.get(), cache_.get(),
                                              auth_.get());

@@ -18,31 +18,52 @@ class ResultCacheTest : public ::testing::Test {
     doc->AddScalarChild("v", Value::String(text));
     return doc;
   }
+  // Byte cost of one Doc(); eviction tests size budgets in these units.
+  size_t DocBytes() { return Doc("a")->EstimatedBytes(); }
+  // Single shard so LRU order is globally deterministic.
+  ResultCacheOptions Opts(size_t max_bytes, int64_t ttl_micros = 0) {
+    ResultCacheOptions options;
+    options.max_bytes = max_bytes;
+    options.ttl_micros = ttl_micros;
+    options.shards = 1;
+    return options;
+  }
   VirtualClock clock_;
 };
 
 TEST_F(ResultCacheTest, MissThenHit) {
-  ResultCache cache(4, 0, &clock_);
+  ResultCache cache(Opts(1 << 20), &clock_);
   EXPECT_EQ(cache.Lookup("q1"), nullptr);
   cache.Insert("q1", Doc("a"));
-  NodePtr hit = cache.Lookup("q1");
+  ConstNodePtr hit = cache.Lookup("q1");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->FindChild("v")->ScalarValue(), Value::String("a"));
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.stats().bytes, 0u);
 }
 
-TEST_F(ResultCacheTest, ReturnsClones) {
-  ResultCache cache(4, 0, &clock_);
+TEST_F(ResultCacheTest, HitsShareOneFrozenSnapshot) {
+  // A hit is O(1): the same immutable snapshot is handed to every reader
+  // instead of a deep clone per lookup.
+  ResultCache cache(Opts(1 << 20), &clock_);
   cache.Insert("q", Doc("a"));
-  NodePtr first = cache.Lookup("q");
-  first->AddChild(Node::Element("mutation"));
-  NodePtr second = cache.Lookup("q");
-  EXPECT_EQ(second->children().size(), 1u);
+  ConstNodePtr first = cache.Lookup("q");
+  ConstNodePtr second = cache.Lookup("q");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_TRUE(first->frozen());
+  // Copy-on-write escape hatch: Clone() yields a thawed, mutable copy.
+  NodePtr copy = first->Clone();
+  EXPECT_FALSE(copy->frozen());
+  copy->AddChild(Node::Element("mutation"));
+  EXPECT_EQ(cache.Lookup("q")->children().size(), 1u);
 }
 
-TEST_F(ResultCacheTest, LruEviction) {
-  ResultCache cache(2, 0, &clock_);
+TEST_F(ResultCacheTest, ByteBudgetLruEviction) {
+  // Budget fits two documents (plus slack below a third).
+  ResultCache cache(Opts(2 * DocBytes() + DocBytes() / 2), &clock_);
   cache.Insert("a", Doc("a"));
   cache.Insert("b", Doc("b"));
   ASSERT_NE(cache.Lookup("a"), nullptr);  // promotes a
@@ -51,10 +72,18 @@ TEST_F(ResultCacheTest, LruEviction) {
   EXPECT_EQ(cache.Lookup("b"), nullptr);
   EXPECT_NE(cache.Lookup("c"), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+}
+
+TEST_F(ResultCacheTest, OversizedDocumentRejected) {
+  ResultCache cache(Opts(DocBytes() / 2), &clock_);
+  cache.Insert("q", Doc("a"));
+  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST_F(ResultCacheTest, TtlExpiry) {
-  ResultCache cache(4, 1000, &clock_);
+  ResultCache cache(Opts(1 << 20, 1000), &clock_);
   cache.Insert("q", Doc("a"));
   clock_.AdvanceMicros(500);
   EXPECT_NE(cache.Lookup("q"), nullptr);
@@ -63,8 +92,17 @@ TEST_F(ResultCacheTest, TtlExpiry) {
   EXPECT_EQ(cache.stats().expirations, 1u);
 }
 
+TEST_F(ResultCacheTest, PerEntryTtlOverridesDefault) {
+  ResultCache cache(Opts(1 << 20, 1000), &clock_);
+  cache.Insert("long", Doc("a"), /*tags=*/{}, /*ttl_micros=*/10000);
+  cache.Insert("short", Doc("b"));
+  clock_.AdvanceMicros(5000);
+  EXPECT_NE(cache.Lookup("long"), nullptr);
+  EXPECT_EQ(cache.Lookup("short"), nullptr);
+}
+
 TEST_F(ResultCacheTest, ReplaceRefreshesEntry) {
-  ResultCache cache(4, 0, &clock_);
+  ResultCache cache(Opts(1 << 20), &clock_);
   cache.Insert("q", Doc("a"));
   cache.Insert("q", Doc("b"));
   EXPECT_EQ(cache.size(), 1u);
@@ -73,19 +111,85 @@ TEST_F(ResultCacheTest, ReplaceRefreshesEntry) {
 }
 
 TEST_F(ResultCacheTest, InvalidateAndClear) {
-  ResultCache cache(4, 0, &clock_);
+  ResultCache cache(Opts(1 << 20), &clock_);
   cache.Insert("q", Doc("a"));
   EXPECT_TRUE(cache.Invalidate("q"));
   EXPECT_FALSE(cache.Invalidate("q"));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
   cache.Insert("x", Doc("x"));
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
 }
 
-TEST_F(ResultCacheTest, ZeroCapacityNeverStores) {
-  ResultCache cache(0, 0, &clock_);
+TEST_F(ResultCacheTest, InvalidateTagDropsOnlyTaggedEntries) {
+  // Entries carry the sources they were computed from; a source update
+  // invalidates exactly its dependents.
+  ResultCache cache(Opts(1 << 20), &clock_);
+  cache.Insert("q1", Doc("a"), {"crm", "hr"});
+  cache.Insert("q2", Doc("b"), {"hr"});
+  cache.Insert("q3", Doc("c"), {"billing"});
+  EXPECT_EQ(cache.InvalidateTag("hr"), 2u);
+  EXPECT_EQ(cache.Lookup("q1"), nullptr);
+  EXPECT_EQ(cache.Lookup("q2"), nullptr);
+  EXPECT_NE(cache.Lookup("q3"), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST_F(ResultCacheTest, ZeroBudgetNeverStores) {
+  ResultCache cache(Opts(0), &clock_);
   cache.Insert("q", Doc("a"));
   EXPECT_EQ(cache.Lookup("q"), nullptr);
+}
+
+TEST_F(ResultCacheTest, LookupOrComputeCachesLeaderResult) {
+  ResultCache cache(Opts(1 << 20), &clock_);
+  int computes = 0;
+  auto compute = [&]() -> Result<ResultCache::Computed> {
+    ++computes;
+    ResultCache::Computed computed;
+    computed.document = Doc("a");
+    return computed;
+  };
+  bool ran = false;
+  Result<ConstNodePtr> first = cache.LookupOrCompute("q", compute, &ran);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(ran);
+  Result<ConstNodePtr> second = cache.LookupOrCompute("q", compute, &ran);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first->get(), second->get());
+}
+
+TEST_F(ResultCacheTest, LookupOrComputeNeverCachesErrorsOrPartialResults) {
+  ResultCache cache(Opts(1 << 20), &clock_);
+  Result<ConstNodePtr> failed = cache.LookupOrCompute(
+      "q", []() -> Result<ResultCache::Computed> {
+        return Status::Unavailable("source down");
+      });
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cache.size(), 0u);
+  // A non-cacheable (partial) result is returned but not stored.
+  int computes = 0;
+  auto partial = [&]() -> Result<ResultCache::Computed> {
+    ++computes;
+    ResultCache::Computed computed;
+    computed.document = Doc("partial");
+    computed.cacheable = false;
+    return computed;
+  };
+  ASSERT_TRUE(cache.LookupOrCompute("q", partial).ok());
+  ASSERT_TRUE(cache.LookupOrCompute("q", partial).ok());
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ResultCacheTest, LegacyConstructorStillWorks) {
+  ResultCache cache(1 << 20, 0, &clock_);
+  cache.Insert("q", Doc("a"));
+  EXPECT_NE(cache.Lookup("q"), nullptr);
 }
 
 // ---- View selection ----------------------------------------------------------------

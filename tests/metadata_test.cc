@@ -127,6 +127,43 @@ TEST(CatalogTest, ViewDepthGuardStopsRunawayNesting) {
                   .ok());
 }
 
+TEST(CatalogTest, UpdateListenersFireUntilRemoved) {
+  Catalog catalog;
+  std::vector<std::string> seen_a, seen_b;
+  uint64_t token_a = catalog.AddUpdateListener(
+      [&](const std::string& source) { seen_a.push_back(source); });
+  uint64_t token_b = catalog.AddUpdateListener(
+      [&](const std::string& source) { seen_b.push_back(source); });
+  EXPECT_NE(token_a, token_b);
+  catalog.NotifySourceUpdated("crm");
+  EXPECT_EQ(seen_a, (std::vector<std::string>{"crm"}));
+  EXPECT_EQ(seen_b, (std::vector<std::string>{"crm"}));
+  catalog.RemoveUpdateListener(token_a);
+  catalog.NotifySourceUpdated("hr");
+  EXPECT_EQ(seen_a.size(), 1u);  // removed listener no longer fires
+  EXPECT_EQ(seen_b, (std::vector<std::string>{"crm", "hr"}));
+  catalog.RemoveUpdateListener(token_b);
+  catalog.NotifySourceUpdated("billing");  // no listeners left: no-op
+  EXPECT_EQ(seen_b.size(), 2u);
+}
+
+TEST(CatalogTest, SourceUpdateInvalidatesEngineResultCache) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(MakeSource("a")).ok());
+  core::EngineOptions options;
+  options.result_cache_bytes = 1 << 20;
+  core::IntegrationEngine engine(&catalog, options);
+  const std::string query = kViewOverA;
+  ASSERT_TRUE(engine.ExecuteText(query).ok());
+  EXPECT_EQ(engine.result_cache()->size(), 1u);
+  // An unrelated source leaves the entry; the contacted source drops it.
+  catalog.NotifySourceUpdated("other");
+  EXPECT_EQ(engine.result_cache()->size(), 1u);
+  catalog.NotifySourceUpdated("a");
+  EXPECT_EQ(engine.result_cache()->size(), 0u);
+  EXPECT_EQ(engine.result_cache()->stats().invalidations, 1u);
+}
+
 TEST(CompletenessInfoTest, ToStringRendering) {
   core::CompletenessInfo info;
   EXPECT_EQ(info.ToString(), "complete");

@@ -305,6 +305,59 @@ TEST_F(RelationalTest, IndexedAndScanResultsAgree) {
   }
 }
 
+TEST_F(RelationalTest, IndexProbeUsedWithJoin) {
+  // A sargable predicate on the leftmost table drives an index probe even
+  // when joins follow; the full WHERE still applies after the join.
+  Exec("CREATE INDEX idx_city ON customers (city)");
+  ResultSet rs = Exec(
+      "SELECT c.name, o.total FROM customers c "
+      "JOIN orders o ON c.id = o.customer_id "
+      "WHERE c.city = 'Seattle' ORDER BY o.total");
+  EXPECT_TRUE(rs.stats.used_index);
+  EXPECT_EQ(rs.stats.index_name, "idx_city");
+  ASSERT_EQ(rs.rows.size(), 3u);  // Ada x2 orders, Cleo x1
+  EXPECT_EQ(rs.rows[0][1], Value::Double(1.5));
+  EXPECT_EQ(rs.rows[2][1], Value::Double(200.0));
+}
+
+TEST_F(RelationalTest, IndexProbeWithLeftJoinAgreesWithScan) {
+  const std::string sql =
+      "SELECT c.name, o.total FROM customers c "
+      "LEFT JOIN orders o ON c.id = o.customer_id "
+      "WHERE c.city = 'Seattle' ORDER BY c.name, o.total";
+  ResultSet before = Exec(sql);
+  Exec("CREATE INDEX idx_city ON customers (city)");
+  ResultSet after = Exec(sql);
+  EXPECT_FALSE(before.stats.used_index);
+  EXPECT_TRUE(after.stats.used_index);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST_F(RelationalTest, UnqualifiedProbeColumnSharedWithJoinTableNotProbed) {
+  // `city` exists on both sides, so the unqualified predicate cannot be
+  // pinned to the indexed base table; the probe must stand down and the
+  // query keeps its ambiguous-column error.
+  Exec("CREATE TABLE branches (branch_id INT PRIMARY KEY, city TEXT)");
+  Exec("INSERT INTO branches VALUES (1, 'Tacoma'), (4, 'Boise')");
+  Exec("CREATE INDEX idx_city ON customers (city)");
+  Status s = ExecError(
+      "SELECT customers.name FROM customers "
+      "JOIN branches ON customers.id = branches.branch_id "
+      "WHERE city = 'Seattle'");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Qualifying the column restores both the answer and the index probe.
+  ResultSet rs = Exec(
+      "SELECT customers.name FROM customers "
+      "JOIN branches ON customers.id = branches.branch_id "
+      "WHERE customers.city = 'Seattle'");
+  EXPECT_TRUE(rs.stats.used_index);
+  ASSERT_EQ(rs.rows.size(), 1u);  // Ada (1, Seattle) joins branch 1
+  EXPECT_EQ(rs.rows[0][0], Value::String("Ada"));
+}
+
 TEST_F(RelationalTest, ErrorUnknownTable) {
   EXPECT_EQ(ExecError("SELECT * FROM nope").code(), StatusCode::kNotFound);
 }

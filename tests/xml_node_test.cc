@@ -139,6 +139,41 @@ TEST(NodeTest, DeepEqualsDetectsOrderDifference) {
   EXPECT_FALSE(a->DeepEquals(*b));  // XML is intrinsically ordered (§4).
 }
 
+TEST(NodeTest, FreezeMakesWholeTreeImmutable) {
+  NodePtr book = MakeBook("A", "X", 2000);
+  ConstNodePtr snapshot = book->Freeze();
+  // Freeze is in-place: the snapshot aliases the original tree, and the
+  // flag is sticky down to every descendant.
+  EXPECT_EQ(snapshot.get(), book.get());
+  EXPECT_TRUE(book->frozen());
+  EXPECT_TRUE(book->FindChild("title")->frozen());
+  // Freezing twice is a no-op.
+  EXPECT_EQ(book->Freeze().get(), book.get());
+}
+
+TEST(NodeTest, CloneOfFrozenNodeIsThawed) {
+  NodePtr book = MakeBook("A", "X", 2000);
+  book->Freeze();
+  NodePtr copy = book->Clone();
+  EXPECT_FALSE(copy->frozen());
+  EXPECT_FALSE(copy->FindChild("title")->frozen());
+  // The thawed copy mutates freely and leaves the snapshot untouched.
+  copy->SetAttribute("edited", Value::Bool(true));
+  EXPECT_TRUE(copy->HasAttribute("edited"));
+  EXPECT_FALSE(book->HasAttribute("edited"));
+}
+
+TEST(NodeTest, EstimatedBytesGrowsWithContent) {
+  NodePtr small = Node::Element("r");
+  small->AddScalarChild("v", Value::String("x"));
+  NodePtr large = Node::Element("r");
+  for (int i = 0; i < 100; ++i) {
+    large->AddScalarChild("v", Value::String("some longer payload text"));
+  }
+  EXPECT_GT(small->EstimatedBytes(), sizeof(Node));
+  EXPECT_GT(large->EstimatedBytes(), 50 * small->EstimatedBytes() / 2);
+}
+
 TEST(NodeTest, CollectDescendants) {
   NodePtr lib = Node::Element("library");
   lib->AddChild(MakeBook("A", "X", 2000));
