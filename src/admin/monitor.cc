@@ -103,6 +103,63 @@ NodePtr SystemMonitor::StatusDocument() const {
       engine->AddScalarChild("queries",
                              Value::Int(static_cast<int64_t>(served[i])));
       engine->AddScalarChild("busy_ms", Value::Double(busy[i] / 1000.0));
+      sched::QueryScheduler* scheduler = balancer_->engine(i)->scheduler();
+      if (scheduler == nullptr) continue;
+      sched::SchedulerStats stats = scheduler->stats();
+      NodePtr sched = engine->AddChild(Node::Element("scheduler"));
+      sched->AddScalarChild("queue_depth",
+                            Value::Int(static_cast<int64_t>(stats.queue_depth)));
+      sched->AddScalarChild(
+          "inflight", Value::Int(static_cast<int64_t>(stats.inflight_queries)));
+      sched->AddScalarChild(
+          "inflight_bytes",
+          Value::Int(static_cast<int64_t>(stats.inflight_bytes)));
+      sched->AddScalarChild(
+          "admitted", Value::Int(static_cast<int64_t>(stats.admitted)));
+      sched->AddScalarChild(
+          "completed", Value::Int(static_cast<int64_t>(stats.completed)));
+      sched->AddScalarChild("shed",
+                            Value::Int(static_cast<int64_t>(stats.TotalShed())));
+      sched->AddScalarChild(
+          "dropped_expired",
+          Value::Int(static_cast<int64_t>(stats.dropped_expired)));
+      sched->AddScalarChild(
+          "dropped_cancelled",
+          Value::Int(static_cast<int64_t>(stats.dropped_cancelled)));
+      sched->AddScalarChild("queue_wait_p50_ms",
+                            Value::Double(stats.queue_wait_p50_micros / 1000.0));
+      sched->AddScalarChild("queue_wait_p90_ms",
+                            Value::Double(stats.queue_wait_p90_micros / 1000.0));
+      sched->AddScalarChild("queue_wait_p99_ms",
+                            Value::Double(stats.queue_wait_p99_micros / 1000.0));
+      for (const sched::TenantStats& ts : stats.tenants) {
+        NodePtr tenant = sched->AddChild(Node::Element("tenant"));
+        tenant->SetAttribute("name", Value::String(ts.tenant.empty()
+                                                       ? "<default>"
+                                                       : ts.tenant));
+        tenant->SetAttribute("weight",
+                             Value::Int(static_cast<int64_t>(ts.weight)));
+        tenant->AddScalarChild(
+            "submitted", Value::Int(static_cast<int64_t>(ts.submitted)));
+        tenant->AddScalarChild("admitted",
+                               Value::Int(static_cast<int64_t>(ts.admitted)));
+        // Admit rate: share of this tenant's submissions that reached a
+        // worker (the rest were shed or dropped while queued).
+        tenant->AddScalarChild(
+            "admit_rate",
+            Value::Double(ts.submitted == 0
+                              ? 1.0
+                              : static_cast<double>(ts.admitted) /
+                                    static_cast<double>(ts.submitted)));
+        tenant->AddScalarChild("completed",
+                               Value::Int(static_cast<int64_t>(ts.completed)));
+        tenant->AddScalarChild("shed",
+                               Value::Int(static_cast<int64_t>(ts.shed)));
+        tenant->AddScalarChild("dropped",
+                               Value::Int(static_cast<int64_t>(ts.dropped)));
+        tenant->AddScalarChild("queued",
+                               Value::Int(static_cast<int64_t>(ts.queued)));
+      }
     }
   }
   return root;

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kTimeout:
       return "Timeout";
     case StatusCode::kCancelled:

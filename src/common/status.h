@@ -19,6 +19,7 @@ enum class StatusCode {
   kTypeError,        ///< Value/type mismatch during evaluation.
   kPermissionDenied, ///< Lens authentication failure.
   kUnsupported,      ///< Operation outside a source's capabilities.
+  kResourceExhausted,///< Admission control shed the request (overload).
   kTimeout,          ///< Query deadline exceeded.
   kCancelled,        ///< Query cooperatively cancelled mid-flight.
   kInternal,
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));

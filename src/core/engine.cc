@@ -61,10 +61,44 @@ std::string ExecutionReport::Summary() const {
   return out;
 }
 
+const Result<QueryResult>& QueryHandle::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return *result_;
+}
+
+bool QueryHandle::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+void QueryHandle::Cancel() {
+  cancel_.store(true, std::memory_order_relaxed);
+  std::shared_ptr<sched::QueryScheduler::Submission> submission;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    submission = submission_;
+  }
+  // Outside the lock: a successful queue-cancel fires Fulfill, which takes
+  // the lock again.
+  if (submission != nullptr) submission->Cancel();
+}
+
+void QueryHandle::Fulfill(Result<QueryResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
 IntegrationEngine::IntegrationEngine(metadata::Catalog* catalog,
                                      EngineOptions options)
     : catalog_(catalog), options_(options) {
   ConfigureCaches();
+  ConfigureScheduler();
 }
 
 IntegrationEngine::~IntegrationEngine() {
@@ -101,6 +135,9 @@ void IntegrationEngine::ConfigureCaches() {
 }
 
 void IntegrationEngine::set_options(const EngineOptions& options) {
+  // The scheduler holds the current pool/clock: drain and drop it before
+  // either can change underneath it.
+  scheduler_.reset();
   options_ = options;
   if (options_.worker_threads == 0) {
     owned_pool_.reset();
@@ -109,6 +146,23 @@ void IntegrationEngine::set_options(const EngineOptions& options) {
     owned_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
   ConfigureCaches();
+  ConfigureScheduler();
+}
+
+void IntegrationEngine::ConfigureScheduler() {
+  if (options_.max_inflight_queries == 0) {
+    scheduler_.reset();
+    return;
+  }
+  sched::SchedulerOptions sched_options;
+  sched_options.max_inflight_queries = options_.max_inflight_queries;
+  sched_options.max_inflight_bytes = options_.max_inflight_bytes;
+  sched_options.queue_capacity = options_.queue_capacity;
+  sched_options.load_shedding = options_.load_shedding;
+  sched_options.tenant_weights = options_.tenant_weights;
+  sched_options.default_tenant_weight = options_.default_tenant_weight;
+  scheduler_ =
+      std::make_unique<sched::QueryScheduler>(sched_options, clock(), pool());
 }
 
 ThreadPool* IntegrationEngine::pool() {
@@ -135,14 +189,69 @@ Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
 
 Result<QueryResult> IntegrationEngine::ExecuteText(
     std::string_view xmlql_text, const QueryOptions& query_options) {
+  if (scheduler_ == nullptr) {
+    return ExecuteTextNow(xmlql_text, query_options, 0, nullptr);
+  }
+  // Through the scheduler, so synchronous callers get the same admission
+  // control, fair-share accounting and shedding as async ones.
+  QueryHandlePtr handle = Submit(std::string(xmlql_text), query_options);
+  return handle->Wait();
+}
+
+QueryHandlePtr IntegrationEngine::Submit(std::string xmlql_text,
+                                         const QueryOptions& query_options) {
+  auto handle = std::make_shared<QueryHandle>();
+  if (scheduler_ == nullptr) {
+    // No admission control configured: run asynchronously, unqueued.
+    pool()->Submit(
+        [this, handle, text = std::move(xmlql_text), query_options] {
+          handle->Fulfill(
+              ExecuteTextNow(text, query_options, 0, &handle->cancel_));
+        });
+    return handle;
+  }
+  sched::SubmitInfo info;
+  info.tenant = query_options.tenant;
+  info.priority = query_options.priority;
+  info.deadline_micros = options_.query_deadline_micros;
+  info.estimated_bytes = query_options.estimated_bytes;
+  // Dequeue-time drop watches the handle's flag; the caller's own
+  // QueryOptions::cancel still stops execution cooperatively.
+  info.cancel = &handle->cancel_;
+  auto submission = scheduler_->Submit(
+      info,
+      [this, handle, text = std::move(xmlql_text),
+       query_options](int64_t queue_wait_micros) {
+        handle->Fulfill(ExecuteTextNow(text, query_options, queue_wait_micros,
+                                       &handle->cancel_));
+      },
+      [handle](const Status& status) { handle->Fulfill(status); });
+  if (!submission.ok()) {
+    handle->Fulfill(submission.status());
+    return handle;
+  }
+  {
+    std::lock_guard<std::mutex> lock(handle->mutex_);
+    handle->submission_ = *submission;
+  }
+  return handle;
+}
+
+Result<QueryResult> IntegrationEngine::ExecuteTextNow(
+    std::string_view xmlql_text, const QueryOptions& query_options,
+    int64_t queue_wait_micros, const std::atomic<bool>* handle_cancel) {
   NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> compiled,
                           GetOrCompile(xmlql_text));
-  // Cancellable queries bypass the result cache: a singleflight waiter
-  // cannot cancel the leader's execution, and a cancelled leader must not
-  // fail everyone else's identical query.
+  // Queries with a caller-owned cancellation flag bypass the result cache:
+  // a singleflight waiter cannot cancel the leader's execution, and a
+  // cancelled leader must not fail everyone else's identical query. (A
+  // QueryHandle's cancel flag does NOT force a bypass — it always covers
+  // the queued phase, and covers execution only on this uncached path;
+  // cancelling mid-execution on the shared singleflight path is
+  // best-effort-none for the same reason.)
   if (result_cache_ == nullptr || query_options.cancel != nullptr) {
     return ExecuteFragmented(compiled->program, compiled->fragmentations,
-                             query_options);
+                             query_options, queue_wait_micros, handle_cancel);
   }
 
   QueryResult executed;
@@ -150,8 +259,9 @@ Result<QueryResult> IntegrationEngine::ExecuteText(
   Result<ConstNodePtr> snapshot = result_cache_->LookupOrCompute(
       CanonicalizeQueryText(xmlql_text),
       [&]() -> Result<materialize::ResultCache::Computed> {
-        Result<QueryResult> result = ExecuteFragmented(
-            compiled->program, compiled->fragmentations, query_options);
+        Result<QueryResult> result =
+            ExecuteFragmented(compiled->program, compiled->fragmentations,
+                              query_options, queue_wait_micros, nullptr);
         if (!result.ok()) return result.status();
         executed = std::move(*result);
         ran = true;
@@ -174,6 +284,7 @@ Result<QueryResult> IntegrationEngine::ExecuteText(
   result.document = std::const_pointer_cast<Node>(*snapshot);
   result.report.result_count = result.document->children().size();
   result.report.served_from_cache = true;
+  result.report.queue_wait_micros = queue_wait_micros;
   Value complete = result.document->GetAttribute("complete");
   result.report.completeness.complete = !complete.is_bool() || complete.AsBool();
   return result;
@@ -192,7 +303,8 @@ Result<QueryResult> IntegrationEngine::Execute(
 Result<QueryResult> IntegrationEngine::ExecuteFragmented(
     const xmlql::Program& program,
     const std::vector<Fragmentation>& fragmentations,
-    const QueryOptions& query_options) {
+    const QueryOptions& query_options, int64_t queue_wait_micros,
+    const std::atomic<bool>* handle_cancel) {
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   RetryPolicy retry;
   retry.max_retries = options_.fetch_retries;
@@ -202,7 +314,8 @@ Result<QueryResult> IntegrationEngine::ExecuteFragmented(
   retry.jitter = options_.retry_jitter;
   retry.jitter_seed = options_.retry_jitter_seed;
   ExecutionContext ctx(clock(), pool(), options_.query_deadline_micros, retry,
-                       options_.parallel_fetch, query_options.cancel);
+                       options_.parallel_fetch, query_options.cancel,
+                       queue_wait_micros, handle_cancel);
   Result<QueryResult> result =
       ExecuteInternal(program, fragmentations, query_options, 0, ctx);
   if (result.ok()) ctx.FillReport(&result->report);

@@ -2,8 +2,11 @@
 #define NIMBLE_CORE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +21,7 @@
 #include "core/sql_generator.h"
 #include "materialize/result_cache.h"
 #include "metadata/catalog.h"
+#include "sched/scheduler.h"
 #include "xml/node.h"
 #include "xmlql/ast.h"
 
@@ -78,6 +82,26 @@ struct EngineOptions {
   /// per-branch fragmentation); repeated queries and mediated-view
   /// expansions skip parse/fragment. 0 disables.
   size_t plan_cache_entries = 64;
+
+  // --- Admission control & QoS (src/sched, DESIGN.md §2d) ---------------
+  /// Token-based concurrency limiter: at most this many queries execute at
+  /// once; the rest wait in a bounded weighted-fair admission queue. 0 =
+  /// scheduler disabled (submissions execute immediately, the pre-scheduler
+  /// behaviour — existing callers are untouched by default).
+  size_t max_inflight_queries = 0;
+  /// Byte budget over the in-flight queries' `estimated_bytes` (0 = off).
+  size_t max_inflight_bytes = 0;
+  /// Bounded admission queue: submissions beyond this many queued entries
+  /// are shed with ResourceExhausted + a retry_after_micros hint.
+  size_t queue_capacity = 64;
+  /// Shed at submit when the estimated queue wait already exceeds the
+  /// query deadline, and drop deadline-expired entries at dequeue instead
+  /// of wasting workers on answers nobody can use.
+  bool load_shedding = true;
+  /// Weighted-fair share per tenant (deficit round robin): a weight-3
+  /// tenant drains 3 queries per 1 of a weight-1 tenant under contention.
+  std::map<std::string, uint32_t> tenant_weights;
+  uint32_t default_tenant_weight = 1;
 };
 
 /// Per-query options.
@@ -92,6 +116,13 @@ struct QueryOptions {
   /// and in-flight fetches stop at the next check; the query fails with
   /// Cancelled. Must outlive the Execute call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Fair-share accounting bucket for the admission scheduler ("" = the
+  /// default tenant). Ignored when the scheduler is disabled.
+  std::string tenant;
+  /// Strict scheduler priority class: 0 dequeues before 1, and so on.
+  int priority = 0;
+  /// Estimated result bytes, charged against max_inflight_bytes.
+  size_t estimated_bytes = 0;
 };
 
 /// What happened while executing a query: the evidence stream for the
@@ -104,6 +135,9 @@ struct ExecutionReport {
   size_t fragments_fetched = 0;       ///< fragments answered fetch+match.
   size_t fragments_bind_joined = 0;   ///< SQL fragments with pushed IN keys.
   size_t retries = 0;                 ///< transparent fetch retries taken.
+  /// Time spent in the admission queue before execution started (charged
+  /// against the query deadline; 0 when the scheduler is disabled).
+  int64_t queue_wait_micros = 0;
   bool pushdown_hit_index = false;
   /// True when the answer came from the engine's result cache (no source
   /// was contacted by this invocation).
@@ -133,6 +167,36 @@ struct QueryResult {
   }
 };
 
+/// The async side of `Engine::Submit`: a future-like handle for one
+/// submitted query. Wait() blocks until the query completes, is shed by the
+/// admission scheduler, or is cancelled; Cancel() drops a still-queued
+/// query without executing it and cooperatively stops a running one.
+/// Handles are shared_ptr-owned and safe to Wait/Cancel from any thread,
+/// but must not outlive the engine that issued them.
+class QueryHandle {
+ public:
+  /// Blocks until the outcome is available, then returns it. The reference
+  /// stays valid for the life of the handle.
+  const Result<QueryResult>& Wait();
+  bool done() const;
+  /// Queued → dropped with Cancelled (drop path, never executes).
+  /// Running → the execution context sees the flag at its next check.
+  /// Finished → no-op.
+  void Cancel();
+
+ private:
+  friend class IntegrationEngine;
+  void Fulfill(Result<QueryResult> result);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::optional<Result<QueryResult>> result_;
+  std::atomic<bool> cancel_{false};
+  std::shared_ptr<sched::QueryScheduler::Submission> submission_;
+};
+using QueryHandlePtr = std::shared_ptr<QueryHandle>;
+
 /// The Nimble integration engine (paper §2.1, Figure 1): parses XML-QL,
 /// fragments it by source, compiles relational fragments to SQL, runs the
 /// physical-algebra plan in the mediator, and constructs XML results.
@@ -160,7 +224,18 @@ class IntegrationEngine {
   Result<QueryResult> ExecuteText(std::string_view xmlql_text,
                                   const QueryOptions& query_options = {});
 
+  /// Asynchronous submit: the query goes through the admission scheduler
+  /// (when `max_inflight_queries` > 0) and runs on the worker pool; the
+  /// returned handle resolves to the result, a shed ResourceExhausted, a
+  /// queue-drop Timeout/Cancelled, or the execution outcome. ExecuteText is
+  /// Submit + Wait when the scheduler is enabled, so the two paths shed and
+  /// account identically.
+  QueryHandlePtr Submit(std::string xmlql_text,
+                        const QueryOptions& query_options = {});
+
   /// Executes a parsed program (uncached: the caller owns the AST).
+  /// Bypasses admission control — callers holding a raw AST manage their
+  /// own concurrency.
   Result<QueryResult> Execute(const xmlql::Program& program,
                               const QueryOptions& query_options = {});
 
@@ -171,6 +246,9 @@ class IntegrationEngine {
   /// The engine-side caches; nullptr when disabled by options.
   materialize::ResultCache* result_cache() { return result_cache_.get(); }
   PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// The admission scheduler; nullptr when `max_inflight_queries` is 0.
+  sched::QueryScheduler* scheduler() { return scheduler_.get(); }
 
   /// Number of queries actually executed — result-cache hits and
   /// singleflight waiters do not count (load-balancer bookkeeping and the
@@ -201,6 +279,17 @@ class IntegrationEngine {
   /// (Re)builds the plan/result caches and the catalog invalidation hook
   /// from `options_`. Called from the constructor and set_options.
   void ConfigureCaches();
+  /// (Re)builds the admission scheduler from `options_` (nullptr when
+  /// `max_inflight_queries` is 0).
+  void ConfigureScheduler();
+
+  /// Synchronous execution core: the pre-scheduler ExecuteText body.
+  /// `queue_wait_micros` (time already spent queued) is charged against the
+  /// query deadline; `handle_cancel` is the async handle's cancel flag.
+  Result<QueryResult> ExecuteTextNow(std::string_view xmlql_text,
+                                     const QueryOptions& query_options,
+                                     int64_t queue_wait_micros,
+                                     const std::atomic<bool>* handle_cancel);
 
   /// Compiled program for `text`: plan-cache hit or parse+fragment.
   Result<std::shared_ptr<const CompiledProgram>> GetOrCompile(
@@ -211,7 +300,8 @@ class IntegrationEngine {
   Result<QueryResult> ExecuteFragmented(
       const xmlql::Program& program,
       const std::vector<Fragmentation>& fragmentations,
-      const QueryOptions& query_options);
+      const QueryOptions& query_options, int64_t queue_wait_micros = 0,
+      const std::atomic<bool>* handle_cancel = nullptr);
 
   Result<QueryResult> ExecuteInternal(
       const xmlql::Program& program,
@@ -265,6 +355,9 @@ class IntegrationEngine {
   std::unique_ptr<materialize::ResultCache> result_cache_;
   uint64_t catalog_listener_token_ = 0;  ///< 0 = not subscribed.
   std::atomic<uint64_t> queries_served_{0};
+  /// Declared last: destroyed first, so shutdown drains queued/in-flight
+  /// queries while the pool, caches and catalog hook are still alive.
+  std::unique_ptr<sched::QueryScheduler> scheduler_;
 };
 
 }  // namespace core

@@ -10,15 +10,27 @@ namespace core {
 ExecutionContext::ExecutionContext(Clock* clock, ThreadPool* pool,
                                    int64_t relative_deadline_micros,
                                    RetryPolicy retry, bool parallel_latency,
-                                   const std::atomic<bool>* external_cancel)
+                                   const std::atomic<bool>* external_cancel,
+                                   int64_t queue_wait_micros,
+                                   const std::atomic<bool>* handle_cancel)
     : clock_(clock),
       pool_(pool),
       retry_(retry),
       parallel_(parallel_latency),
+      queue_wait_micros_(queue_wait_micros),
       external_cancel_(external_cancel),
+      handle_cancel_(handle_cancel),
       jitter_state_(retry.jitter_seed) {
   if (relative_deadline_micros > 0) {
-    deadline_micros_ = clock_->NowMicros() + relative_deadline_micros;
+    // Queue wait is part of the user-visible budget: a query that waited
+    // 6ms of a 10ms deadline gets 4ms of execution, and one that waited it
+    // all out starts expired (deadline == now). has_deadline_ carries the
+    // "a deadline exists" bit so that deadline == 0 (a VirtualClock still
+    // at zero) is not mistaken for "none".
+    int64_t remaining =
+        std::max<int64_t>(relative_deadline_micros - queue_wait_micros, 0);
+    has_deadline_ = true;
+    deadline_micros_ = clock_->NowMicros() + remaining;
   }
 }
 
@@ -27,21 +39,27 @@ ExecutionContext::ExecutionContext(ExecutionContext& parent)
       pool_(parent.pool_),
       retry_(parent.retry_),
       parallel_(parent.parallel_),
+      has_deadline_(parent.has_deadline_),
       deadline_micros_(parent.deadline_micros_),
       parent_(&parent),
       external_cancel_(parent.external_cancel_),
+      handle_cancel_(parent.handle_cancel_),
       jitter_state_(parent.retry_.jitter_seed) {}
 
 bool ExecutionContext::cancelled() const {
   if (cancelled_.load(std::memory_order_relaxed)) return true;
   if (parent_ != nullptr && parent_->cancelled()) return true;
-  return external_cancel_ != nullptr &&
-         external_cancel_->load(std::memory_order_relaxed);
+  if (external_cancel_ != nullptr &&
+      external_cancel_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return handle_cancel_ != nullptr &&
+         handle_cancel_->load(std::memory_order_relaxed);
 }
 
 Status ExecutionContext::Check() const {
   if (cancelled()) return Status::Cancelled("query cancelled");
-  if (deadline_micros_ > 0 && clock_->NowMicros() >= deadline_micros_) {
+  if (has_deadline_ && clock_->NowMicros() >= deadline_micros_) {
     return Status::Timeout("query deadline exceeded");
   }
   return Status::OK();
@@ -77,7 +95,7 @@ int64_t ExecutionContext::NextBackoffMicros(size_t attempt) {
     micros = static_cast<int64_t>(static_cast<double>(micros) * scale);
   }
   if (micros < 1) micros = 1;
-  if (deadline_micros_ > 0 && clock_->NowMicros() + micros >= deadline_micros_) {
+  if (has_deadline_ && clock_->NowMicros() + micros >= deadline_micros_) {
     return -1;
   }
   return micros;
@@ -134,6 +152,7 @@ void ExecutionContext::FillReport(ExecutionReport* report) const {
   report->pushdown_hit_index =
       pushdown_hit_index_.load(std::memory_order_relaxed);
   report->retries = retries_.load(std::memory_order_relaxed);
+  report->queue_wait_micros = queue_wait_micros_;
 }
 
 }  // namespace core

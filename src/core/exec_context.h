@@ -47,10 +47,19 @@ class ExecutionContext {
   /// the context. `relative_deadline_micros` of 0 means no deadline;
   /// `parallel_latency` selects max-over-fragments (true) vs sum (false)
   /// latency accounting, mirroring EngineOptions::parallel_fetch.
+  /// `queue_wait_micros` is time already spent in the admission queue: it
+  /// is charged against the relative deadline so the user-visible budget
+  /// covers queue + execution, not execution alone. A query whose wait
+  /// consumed the whole budget starts already expired (Check() returns
+  /// Timeout on first poll). `handle_cancel` is a second external
+  /// cancellation source (the async QueryHandle's flag) checked alongside
+  /// the caller's own `external_cancel`.
   ExecutionContext(Clock* clock, ThreadPool* pool,
                    int64_t relative_deadline_micros, RetryPolicy retry,
                    bool parallel_latency,
-                   const std::atomic<bool>* external_cancel = nullptr);
+                   const std::atomic<bool>* external_cancel = nullptr,
+                   int64_t queue_wait_micros = 0,
+                   const std::atomic<bool>* handle_cancel = nullptr);
 
   /// Child context for mediated-view expansion: shares the clock, pool,
   /// retry policy, parallel flag, absolute deadline and cancellation state
@@ -103,9 +112,12 @@ class ExecutionContext {
   ThreadPool* pool_;
   RetryPolicy retry_;
   bool parallel_;
-  int64_t deadline_micros_ = 0;  ///< absolute on clock_; 0 = none.
+  bool has_deadline_ = false;
+  int64_t deadline_micros_ = 0;  ///< absolute on clock_ when has_deadline_.
+  int64_t queue_wait_micros_ = 0;  ///< admission wait, already charged.
   const ExecutionContext* parent_ = nullptr;  ///< cancellation chains up.
   const std::atomic<bool>* external_cancel_;
+  const std::atomic<bool>* handle_cancel_ = nullptr;
   std::atomic<bool> cancelled_{false};
   std::atomic<uint64_t> jitter_state_;
 

@@ -80,6 +80,9 @@ Result<LensResult> LensService::Invoke(
                           ExpandTemplate(target->query_template, merged));
 
   LensResult result;
+  core::QueryOptions query_options;
+  query_options.tenant = target->tenant;
+  query_options.priority = target->priority;
   const std::string cache_key = "lens:" + lens_name + ":" + query;
   if (cache_ != nullptr && target->cacheable) {
     // Singleflight: concurrent identical invocations share one engine
@@ -90,7 +93,8 @@ Result<LensResult> LensService::Invoke(
     Result<ConstNodePtr> snapshot = cache_->LookupOrCompute(
         cache_key,
         [&]() -> Result<materialize::ResultCache::Computed> {
-          Result<core::QueryResult> raw = balancer_->Execute(query);
+          Result<core::QueryResult> raw =
+              balancer_->Execute(query, query_options);
           if (!raw.ok()) return raw.status();
           executed = std::move(*raw);
           ran = true;
@@ -116,7 +120,8 @@ Result<LensResult> LensService::Invoke(
     return result;
   }
 
-  NIMBLE_ASSIGN_OR_RETURN(result.raw, balancer_->Execute(query));
+  NIMBLE_ASSIGN_OR_RETURN(result.raw,
+                          balancer_->Execute(query, query_options));
   result.body = FormatResult(*result.raw.document, target->format);
   return result;
 }

@@ -27,6 +27,11 @@ struct Lens {
   TargetFormat format = TargetFormat::kXml;
   bool require_auth = false;
   bool cacheable = true;
+  /// QoS identity forwarded to the engines' admission schedulers: the
+  /// fair-share tenant bucket ("" = the lens name is NOT implied; default
+  /// tenant) and the strict priority class of every query this lens issues.
+  std::string tenant;
+  int priority = 0;
 };
 
 /// A formatted lens answer.

@@ -43,6 +43,7 @@ Result<core::QueryResult> LoadBalancer::Execute(
 std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
     const std::vector<std::string>& queries, const core::QueryOptions& options,
     ThreadPool* pool) {
+  (void)pool;  // kept for API compatibility; see the header.
   std::vector<Result<core::QueryResult>> results(
       queries.size(), Result<core::QueryResult>(Status::Internal("not run")));
   if (engines_.empty()) {
@@ -51,16 +52,24 @@ std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
     }
     return results;
   }
-  if (pool == nullptr) pool = ThreadPool::Shared();
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(queries.size());
+  // Submit-all then wait-all from this thread. Fanning the batch out over
+  // pool workers that each block in ExecuteText would both bypass the
+  // engines' admission limits and deadlock a scheduler whose dispatch
+  // tasks share the pool those workers are sleeping on.
+  std::vector<size_t> picks(queries.size());
+  std::vector<core::QueryHandlePtr> handles;
+  handles.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    tasks.push_back(
-        [this, &queries, &options, &results, i] {
-          results[i] = Execute(queries[i], options);
-        });
+    picks[i] = PickEngine();
+    handles.push_back(engines_[picks[i]]->Submit(queries[i], options));
   }
-  pool->RunParallel(std::move(tasks));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = handles[i]->Wait();
+    if (results[i].ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_micros_[picks[i]] += results[i]->report.source_latency_micros;
+    }
+  }
   return results;
 }
 

@@ -46,12 +46,20 @@ class LoadBalancer {
   Result<core::QueryResult> Execute(std::string_view xmlql_text,
                                     const core::QueryOptions& options = {});
 
-  /// Serves a batch of queries concurrently from the worker pool (the
-  /// process-wide one unless `pool` is given), each dispatched through the
-  /// balancing policy. Results line up with `queries` by index.
+  /// Serves a batch of queries concurrently, each dispatched through the
+  /// balancing policy and submitted to its engine's admission scheduler
+  /// (when configured), so batch traffic respects the same in-flight limits
+  /// and shedding as single submits instead of bypassing them. Results line
+  /// up with `queries` by index. `pool` is accepted for compatibility but
+  /// unused: concurrency comes from Engine::Submit, never from blocking
+  /// extra workers on a batch.
   std::vector<Result<core::QueryResult>> ExecuteBatch(
       const std::vector<std::string>& queries,
       const core::QueryOptions& options = {}, ThreadPool* pool = nullptr);
+
+  /// Instance `i` of the pool (for the SystemMonitor's per-engine
+  /// scheduler gauges).
+  core::IntegrationEngine* engine(size_t i) { return engines_[i].get(); }
 
   /// Per-instance cumulative busy time (source latency charged to the
   /// instance that served each query) — the load distribution evidence.
