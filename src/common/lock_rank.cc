@@ -1,0 +1,118 @@
+#include "common/lock_rank.h"
+
+#if defined(NIMBLE_LOCK_RANK_CHECKS)
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define NIMBLE_LOCK_RANK_BACKTRACE 1
+#endif
+#endif
+
+namespace nimble {
+namespace lock_rank {
+
+namespace {
+
+constexpr int kMaxHeld = 32;        ///< deeper nesting is itself a bug.
+constexpr int kMaxFrames = 16;      ///< frames captured per acquisition.
+
+struct Held {
+  int rank = 0;
+  const char* lock_name = nullptr;
+  const void* mutex = nullptr;
+#if defined(NIMBLE_LOCK_RANK_BACKTRACE)
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+#endif
+};
+
+thread_local Held tls_held[kMaxHeld];
+thread_local int tls_depth = 0;
+
+void DumpEntry(const Held& held, const char* label) {
+  std::fprintf(stderr, "[lock-rank]   %s \"%s\" (rank %d, mutex %p)\n", label,
+               held.lock_name, held.rank, held.mutex);
+#if defined(NIMBLE_LOCK_RANK_BACKTRACE)
+  if (held.frame_count > 0) {
+    backtrace_symbols_fd(held.frames, held.frame_count, /*fd=*/2);
+  }
+#endif
+}
+
+[[noreturn]] void Violation(const char* what, const Held& attempted,
+                            const Held& conflicting) {
+  std::fprintf(stderr,
+               "[lock-rank] FATAL: %s\n"
+               "[lock-rank] attempted acquisition (stack below):\n",
+               what);
+  DumpEntry(attempted, "acquiring");
+  std::fprintf(stderr, "[lock-rank] conflicting held lock (stack below):\n");
+  DumpEntry(conflicting, "held     ");
+  if (tls_depth > 0) {
+    std::fprintf(stderr, "[lock-rank] full held-lock stack (outermost first):\n");
+    for (int i = 0; i < tls_depth; ++i) DumpEntry(tls_held[i], "held     ");
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(LockRank rank, const char* lock_name, const void* mutex) {
+  Held entry;
+  entry.rank = static_cast<int>(rank);
+  entry.lock_name = lock_name;
+  entry.mutex = mutex;
+#if defined(NIMBLE_LOCK_RANK_BACKTRACE)
+  entry.frame_count = backtrace(entry.frames, kMaxFrames);
+#endif
+
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].mutex == mutex) {
+      Violation("re-entrant acquisition of a lock this thread already holds",
+                entry, tls_held[i]);
+    }
+  }
+  if (tls_depth > 0) {
+    const Held& top = tls_held[tls_depth - 1];
+    if (top.rank >= entry.rank) {
+      Violation(
+          "out-of-rank-order acquisition (ranks must strictly increase; "
+          "see DESIGN.md section 2e for the hierarchy)",
+          entry, top);
+    }
+  }
+  if (tls_depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "[lock-rank] FATAL: more than %d locks held by one thread\n",
+                 kMaxHeld);
+    std::abort();
+  }
+  tls_held[tls_depth++] = entry;
+}
+
+void OnRelease(const void* mutex) {
+  // Searched back-to-front: releases are almost always LIFO, but
+  // hand-over-hand release order is legal.
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < tls_depth; ++j) tls_held[j] = tls_held[j + 1];
+    --tls_depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "[lock-rank] FATAL: releasing mutex %p this thread does not "
+               "hold\n",
+               mutex);
+  std::abort();
+}
+
+size_t HeldDepth() { return static_cast<size_t>(tls_depth); }
+
+}  // namespace lock_rank
+}  // namespace nimble
+
+#endif  // NIMBLE_LOCK_RANK_CHECKS

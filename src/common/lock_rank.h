@@ -1,0 +1,88 @@
+#ifndef NIMBLE_COMMON_LOCK_RANK_H_
+#define NIMBLE_COMMON_LOCK_RANK_H_
+
+#include <cstddef>
+
+/// Deterministic deadlock prevention: every `nimble::Mutex`/`SharedMutex`
+/// carries a rank from the process-wide hierarchy below, and debug builds
+/// (`NIMBLE_LOCK_RANK_CHECKS`, defined for CMAKE_BUILD_TYPE=Debug — i.e.
+/// every ASan/TSan CI run) verify on *each acquisition* that ranks are
+/// strictly increasing down the thread's held-lock stack. A violation —
+/// out-of-order acquisition, same-rank nesting, or re-entry of a held lock —
+/// aborts immediately with both acquisition stacks, so a cross-subsystem
+/// deadlock cycle (e.g. scheduler → engine → cache re-entry) is caught on
+/// its first acquisition in any test run, not on the interleaving that
+/// happens to deadlock.
+///
+/// The full rank table with the ordering rationale lives in DESIGN.md §2e.
+/// Release builds compile the checks out entirely (the wrappers collapse to
+/// a bare std::mutex / std::shared_mutex).
+
+namespace nimble {
+
+/// The global lock hierarchy, outermost (acquired first) to innermost.
+/// Gaps of 100 leave room to interpose new subsystems without renumbering.
+enum class LockRank : int {
+  /// frontend::LoadBalancer — dispatch bookkeeping; released before the
+  /// chosen engine runs.
+  kLoadBalancer = 100,
+  /// core::QueryHandle — async result latch; Fulfill/Wait/Cancel.
+  kQueryHandle = 200,
+  /// sched::QueryScheduler — admission queue; run/drop callbacks and pool
+  /// submissions always fire after release.
+  kScheduler = 300,
+  /// metadata::Catalog listener registry; listeners are copied out and
+  /// invoked unlocked.
+  kCatalogListeners = 400,
+  /// core::PlanCache LRU.
+  kPlanCache = 500,
+  /// materialize::ResultCache per-shard LRU; compute callbacks run
+  /// unlocked, so re-entering the cache from a compute trips re-entry
+  /// detection here.
+  kResultCacheShard = 600,
+  /// materialize::ResultCache singleflight slot (leader publish / waiter
+  /// wait); never nested with the shard lock.
+  kResultCacheFlight = 700,
+  /// connector::SimulatedSource availability/config state; the decorator
+  /// releases it before charging the clock or entering the inner connector.
+  kSimulatedSource = 800,
+  /// Concrete connector data locks (XML documents, CSV collections,
+  /// hierarchical mappings, relational database).
+  kConnectorData = 900,
+  /// connector::Connector cumulative transfer stats — innermost of the
+  /// connector stack.
+  kConnectorStats = 1000,
+  /// ThreadPool::RunParallel per-batch completion latch.
+  kThreadPoolBatch = 1100,
+  /// ThreadPool task queue — a true leaf: tasks never run under it.
+  kThreadPool = 1200,
+};
+
+namespace lock_rank {
+
+#if defined(NIMBLE_LOCK_RANK_CHECKS)
+
+/// Records `mutex` (with `rank`, for diagnostics `lock_name`) on the
+/// calling thread's held-lock stack; aborts with both acquisition stacks on
+/// a rank-order violation or re-entry.
+void OnAcquire(LockRank rank, const char* lock_name, const void* mutex);
+
+/// Removes `mutex` from the calling thread's held-lock stack (out-of-order
+/// release — hand-over-hand locking — is allowed).
+void OnRelease(const void* mutex);
+
+/// Locks currently held by the calling thread (test hook).
+size_t HeldDepth();
+
+#else
+
+inline void OnAcquire(LockRank, const char*, const void*) {}
+inline void OnRelease(const void*) {}
+inline size_t HeldDepth() { return 0; }
+
+#endif  // NIMBLE_LOCK_RANK_CHECKS
+
+}  // namespace lock_rank
+}  // namespace nimble
+
+#endif  // NIMBLE_COMMON_LOCK_RANK_H_

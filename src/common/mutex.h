@@ -1,0 +1,177 @@
+#ifndef NIMBLE_COMMON_MUTEX_H_
+#define NIMBLE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace nimble {
+
+/// Annotated exclusive mutex: a `std::mutex` that (a) is a Clang
+/// thread-safety *capability*, so `NIMBLE_GUARDED_BY(mu_)` members and
+/// `NIMBLE_REQUIRES(mu_)` methods are checked at compile time, and (b)
+/// carries a `LockRank` checked on every acquisition in debug builds, so
+/// lock-order cycles abort deterministically (see common/lock_rank.h).
+///
+/// Release builds carry only the rank/name words; locking cost is exactly
+/// `std::mutex`. Always prefer the RAII guards below over manual
+/// Lock/Unlock.
+class NIMBLE_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must be a string literal (stored, not copied); it appears in
+  /// lock-rank violation reports.
+  explicit Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NIMBLE_ACQUIRE() {
+    // Rank/re-entry checks run BEFORE blocking: a would-deadlock
+    // acquisition aborts with a report instead of hanging forever.
+    lock_rank::OnAcquire(rank_, name_, this);
+    mu_.lock();
+  }
+  void Unlock() NIMBLE_RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+
+  /// Tells the analysis this mutex is held on paths it cannot see (e.g.
+  /// after a CondVar wait loop structured across helpers). No-op at runtime.
+  void AssertHeld() const NIMBLE_ASSERT_CAPABILITY(this) {}
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Annotated reader/writer mutex over `std::shared_mutex`. Shared
+/// acquisitions participate in lock-rank checking exactly like exclusive
+/// ones (two shared holds of the *same* lock on one thread still abort:
+/// writer-priority implementations can deadlock that pattern).
+class NIMBLE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() NIMBLE_ACQUIRE() {
+    lock_rank::OnAcquire(rank_, name_, this);  // before blocking, as above
+    mu_.lock();
+  }
+  void Unlock() NIMBLE_RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+  void LockShared() NIMBLE_ACQUIRE_SHARED() {
+    lock_rank::OnAcquire(rank_, name_, this);
+    mu_.lock_shared();
+  }
+  void UnlockShared() NIMBLE_RELEASE_SHARED() {
+    lock_rank::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+  void AssertHeld() const NIMBLE_ASSERT_CAPABILITY(this) {}
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// RAII exclusive guard (the `std::lock_guard` replacement).
+class NIMBLE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NIMBLE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() NIMBLE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive guard over a SharedMutex.
+class NIMBLE_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) NIMBLE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() NIMBLE_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) guard over a SharedMutex.
+class NIMBLE_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) NIMBLE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() NIMBLE_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. There is deliberately
+/// no predicate overload: Clang's analysis cannot see a lambda body run
+/// under the caller's lock, so call sites spell the standard loop
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(mu_);
+///
+/// which keeps every guarded read visible to the checker.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires before returning. The
+  /// release/reacquire is mirrored into the lock-rank registry, so waking
+  /// up re-checks rank order against whatever the thread still holds.
+  void Wait(Mutex& mu) NIMBLE_REQUIRES(mu) {
+    lock_rank::OnRelease(&mu);
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership returns to the caller's guard
+    // Reacquired while asleep: re-register (and re-check rank against
+    // whatever the thread still holds) without re-locking.
+    lock_rank::OnAcquire(mu.rank_, mu.name_, &mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nimble
+
+#endif  // NIMBLE_COMMON_MUTEX_H_

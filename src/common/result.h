@@ -12,8 +12,11 @@ namespace nimble {
 /// Holds either a value of type T or an error Status. Analogous to
 /// arrow::Result. A Result constructed from an OK Status is a programming
 /// error (asserted in debug builds).
+///
+/// [[nodiscard]]: dropping a Result discards the value *and* the error;
+/// call sites that only want the side effect must (void)-cast explicitly.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so `return value;` works from functions returning Result<T>.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

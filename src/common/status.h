@@ -30,7 +30,10 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy in the OK case
 /// (no allocation); carries a message in the error case.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error — call sites that
+/// genuinely do not care must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,82 @@
+#ifndef NIMBLE_COMMON_THREAD_ANNOTATIONS_H_
+#define NIMBLE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (-Wthread-safety), wrapped so the
+/// whole tree can annotate its locking discipline and have it *proven at
+/// compile time* under Clang while remaining a no-op under GCC/MSVC.
+///
+/// The vocabulary follows the Clang documentation and Abseil's
+/// thread_annotations.h:
+///
+///   * `NIMBLE_CAPABILITY("mutex")` on a class declares it a lockable
+///     capability (see common/mutex.h for the annotated wrappers).
+///   * `NIMBLE_GUARDED_BY(mu)` on a data member: reads require `mu` held
+///     (shared or exclusive), writes require it held exclusively.
+///   * `NIMBLE_PT_GUARDED_BY(mu)` on a pointer member: dereferences of the
+///     pointee require `mu`; the pointer itself is unguarded.
+///   * `NIMBLE_REQUIRES(mu)` / `NIMBLE_REQUIRES_SHARED(mu)` on a function:
+///     callers must already hold `mu` (the `*Locked()` helper convention).
+///   * `NIMBLE_ACQUIRE/RELEASE(...)` and the `_SHARED` forms on functions
+///     that take or drop a lock; `NIMBLE_EXCLUDES(mu)` on functions that
+///     must be entered with `mu` NOT held (self-deadlock guard).
+///   * `NIMBLE_SCOPED_CAPABILITY` on RAII guard classes.
+///
+/// Build integration: Clang builds always compile with `-Wthread-safety`;
+/// the `NIMBLE_WERROR_THREAD_SAFETY` CMake option (on in the CI lint job)
+/// promotes every finding to an error. GCC builds see empty macros.
+
+#if defined(__clang__) && !defined(SWIG)
+#define NIMBLE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NIMBLE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define NIMBLE_CAPABILITY(x) NIMBLE_THREAD_ANNOTATION_(capability(x))
+
+#define NIMBLE_SCOPED_CAPABILITY NIMBLE_THREAD_ANNOTATION_(scoped_lockable)
+
+#define NIMBLE_GUARDED_BY(x) NIMBLE_THREAD_ANNOTATION_(guarded_by(x))
+
+#define NIMBLE_PT_GUARDED_BY(x) NIMBLE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define NIMBLE_ACQUIRED_BEFORE(...) \
+  NIMBLE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define NIMBLE_ACQUIRED_AFTER(...) \
+  NIMBLE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define NIMBLE_REQUIRES(...) \
+  NIMBLE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define NIMBLE_REQUIRES_SHARED(...) \
+  NIMBLE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define NIMBLE_ACQUIRE(...) \
+  NIMBLE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define NIMBLE_ACQUIRE_SHARED(...) \
+  NIMBLE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define NIMBLE_RELEASE(...) \
+  NIMBLE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define NIMBLE_RELEASE_SHARED(...) \
+  NIMBLE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define NIMBLE_RELEASE_GENERIC(...) \
+  NIMBLE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define NIMBLE_TRY_ACQUIRE(...) \
+  NIMBLE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define NIMBLE_EXCLUDES(...) NIMBLE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define NIMBLE_ASSERT_CAPABILITY(x) \
+  NIMBLE_THREAD_ANNOTATION_(assert_capability(x))
+
+#define NIMBLE_RETURN_CAPABILITY(x) NIMBLE_THREAD_ANNOTATION_(lock_returned(x))
+
+#define NIMBLE_NO_THREAD_SAFETY_ANALYSIS \
+  NIMBLE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // NIMBLE_COMMON_THREAD_ANNOTATIONS_H_

@@ -15,27 +15,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.Wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,9 +57,9 @@ void ThreadPool::RunParallel(std::vector<std::function<void()>> tasks) {
   struct Batch {
     std::vector<std::function<void()>> tasks;
     std::atomic<size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    size_t completed = 0;  // guarded by mutex
+    Mutex mutex{LockRank::kThreadPoolBatch, "thread_pool.batch"};
+    CondVar done_cv;
+    size_t completed NIMBLE_GUARDED_BY(mutex) = 0;
   };
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
@@ -70,8 +70,8 @@ void ThreadPool::RunParallel(std::vector<std::function<void()>> tasks) {
       size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       batch->tasks[i]();
-      std::lock_guard<std::mutex> lock(batch->mutex);
-      if (++batch->completed == total) batch->done_cv.notify_all();
+      MutexLock lock(batch->mutex);
+      if (++batch->completed == total) batch->done_cv.NotifyAll();
     }
   };
 
@@ -81,8 +81,8 @@ void ThreadPool::RunParallel(std::vector<std::function<void()>> tasks) {
   for (size_t i = 0; i < helpers; ++i) Submit(drain);
   drain();  // the caller participates — progress even with zero free workers
 
-  std::unique_lock<std::mutex> lock(batch->mutex);
-  batch->done_cv.wait(lock, [&] { return batch->completed == total; });
+  MutexLock lock(batch->mutex);
+  while (batch->completed != total) batch->done_cv.Wait(batch->mutex);
 }
 
 ThreadPool* ThreadPool::Shared() {

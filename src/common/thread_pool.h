@@ -1,13 +1,14 @@
 #ifndef NIMBLE_COMMON_THREAD_POOL_H_
 #define NIMBLE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nimble {
 
@@ -19,6 +20,10 @@ namespace nimble {
 /// thread drain its own batch, so a task running *on* the pool can itself
 /// call `RunParallel` without deadlocking even when every worker is busy
 /// (the call degrades to inline execution instead of blocking forever).
+///
+/// Locking: `mutex_` (rank kThreadPool) protects only the queue and the
+/// stop flag; tasks always execute with it released, so a task may acquire
+/// any other lock in the hierarchy.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -33,25 +38,28 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
   /// Enqueues fire-and-forget work.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NIMBLE_EXCLUDES(mutex_);
 
   /// Runs every task in `tasks` to completion before returning. Pool
   /// workers and the calling thread all pull from the batch; completion
   /// order is unspecified, so tasks must synchronise their own outputs
   /// (the engine writes each result into a caller-preallocated slot).
-  void RunParallel(std::vector<std::function<void()>> tasks);
+  void RunParallel(std::vector<std::function<void()>> tasks)
+      NIMBLE_EXCLUDES(mutex_);
 
   /// Process-wide pool sized to the hardware, created on first use.
   /// Shared by every engine instance that does not request a private pool.
   static ThreadPool* Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NIMBLE_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_{LockRank::kThreadPool, "thread_pool.queue"};
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ NIMBLE_GUARDED_BY(mutex_);
+  bool stopping_ NIMBLE_GUARDED_BY(mutex_) = false;
+  /// Immutable after construction (the spawning loop runs before any
+  /// worker can observe the vector).
   std::vector<std::thread> workers_;
 };
 

@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "relational/executor.h"
 #include "xml/node.h"
 
@@ -113,12 +114,12 @@ class Connector {
   virtual uint64_t DataVersion() = 0;
 
   /// Snapshot of cumulative transfer statistics since the last ResetStats().
-  virtual FetchStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  virtual FetchStats stats() const NIMBLE_EXCLUDES(stats_mutex_) {
+    MutexLock lock(stats_mutex_);
     return stats_;
   }
-  virtual void ResetStats() {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+  virtual void ResetStats() NIMBLE_EXCLUDES(stats_mutex_) {
+    MutexLock lock(stats_mutex_);
     stats_.Reset();
   }
 
@@ -139,16 +140,19 @@ class Connector {
 
   /// Thread-safe accumulation into the cumulative counters and, when the
   /// caller asked for per-call attribution, into `ctx.call_stats`.
-  void AddStats(const RequestContext& ctx, const FetchStats& delta) {
+  void AddStats(const RequestContext& ctx, const FetchStats& delta)
+      NIMBLE_EXCLUDES(stats_mutex_) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       stats_.Add(delta);
     }
     if (ctx.call_stats != nullptr) ctx.call_stats->Add(delta);
   }
 
-  mutable std::mutex stats_mutex_;
-  FetchStats stats_;  ///< guarded by stats_mutex_.
+  /// Innermost lock of the connector stack (rank kConnectorStats): held
+  /// only for the counter bump, never across source work.
+  mutable Mutex stats_mutex_{LockRank::kConnectorStats, "connector.stats"};
+  FetchStats stats_ NIMBLE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace connector

@@ -59,14 +59,14 @@ Status CsvConnector::PutCsv(const std::string& collection_name,
     }
     root->AddChild(std::move(row));
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   collections_[collection_name] = std::move(root);
   ++version_;
   return Status::OK();
 }
 
 std::vector<std::string> CsvConnector::Collections() {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [collection, doc] : collections_) {
@@ -80,7 +80,7 @@ Result<NodePtr> CsvConnector::FetchCollection(const std::string& collection,
   NIMBLE_RETURN_IF_ERROR(Admit(ctx));
   NodePtr clone;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     auto it = collections_.find(collection);
     if (it == collections_.end()) {
       return Status::NotFound("source '" + name_ + "' has no collection '" +

@@ -2,10 +2,11 @@
 #define NIMBLE_CONNECTOR_CSV_CONNECTOR_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 
 namespace nimble {
@@ -28,7 +29,7 @@ class CsvConnector : public Connector {
   Result<NodePtr> FetchCollection(const std::string& collection,
                                   const RequestContext& ctx) override;
   uint64_t DataVersion() override {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     return version_;
   }
 
@@ -39,9 +40,10 @@ class CsvConnector : public Connector {
 
  private:
   std::string name_;
-  mutable std::shared_mutex mutex_;  ///< reads shared, PutCsv exclusive.
-  std::map<std::string, NodePtr> collections_;
-  uint64_t version_ = 0;
+  /// Reads shared, PutCsv exclusive.
+  mutable SharedMutex mutex_{LockRank::kConnectorData, "csv_connector.data"};
+  std::map<std::string, NodePtr> collections_ NIMBLE_GUARDED_BY(mutex_);
+  uint64_t version_ NIMBLE_GUARDED_BY(mutex_) = 0;
 };
 
 /// Splits one CSV line honouring quotes; exposed for tests.

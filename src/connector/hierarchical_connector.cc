@@ -4,7 +4,7 @@ namespace nimble {
 namespace connector {
 
 std::vector<std::string> HierarchicalConnector::Collections() {
-  std::shared_lock<std::shared_mutex> lock(map_mutex_);
+  ReaderMutexLock lock(map_mutex_);
   std::vector<std::string> names;
   names.reserve(collection_paths_.size());
   for (const auto& [collection, path] : collection_paths_) {
@@ -18,7 +18,7 @@ Result<NodePtr> HierarchicalConnector::FetchCollection(
   NIMBLE_RETURN_IF_ERROR(Admit(ctx));
   std::string base_path;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    ReaderMutexLock lock(map_mutex_);
     auto it = collection_paths_.find(collection);
     if (it == collection_paths_.end()) {
       return Status::NotFound("source '" + name_ + "' has no collection '" +
@@ -36,7 +36,7 @@ Result<NodePtr> HierarchicalConnector::FetchCollection(
 
 void HierarchicalConnector::MapCollection(const std::string& collection_name,
                                           const std::string& base_path) {
-  std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  WriterMutexLock lock(map_mutex_);
   collection_paths_[collection_name] = base_path;
 }
 

@@ -2,10 +2,11 @@
 #define NIMBLE_CONNECTOR_HIERARCHICAL_CONNECTOR_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 #include "hierarchical/hstore.h"
 
@@ -46,8 +47,10 @@ class HierarchicalConnector : public Connector {
  private:
   std::string name_;
   hierarchical::HStore* store_;
-  mutable std::shared_mutex map_mutex_;
-  std::map<std::string, std::string> collection_paths_;
+  mutable SharedMutex map_mutex_{LockRank::kConnectorData,
+                                 "hierarchical_connector.map"};
+  std::map<std::string, std::string> collection_paths_
+      NIMBLE_GUARDED_BY(map_mutex_);
 };
 
 }  // namespace connector

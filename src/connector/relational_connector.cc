@@ -9,6 +9,8 @@ SourceCapabilities RelationalConnector::capabilities() const {
   caps.supports_predicates = true;
   caps.supports_joins = true;
   caps.supports_aggregates = true;
+  // The catalog walk below must not race with DDL through ExecuteSql.
+  ReaderMutexLock lock(db_mutex_);
   for (const std::string& table_name : db_->TableNames()) {
     const relational::Table* table = db_->GetTable(table_name);
     for (const auto& index : table->indexes()) {
@@ -20,7 +22,13 @@ SourceCapabilities RelationalConnector::capabilities() const {
 }
 
 std::vector<std::string> RelationalConnector::Collections() {
+  ReaderMutexLock lock(db_mutex_);
   return db_->TableNames();
+}
+
+uint64_t RelationalConnector::DataVersion() {
+  ReaderMutexLock lock(db_mutex_);
+  return db_->Version();
 }
 
 NodePtr RelationalConnector::ResultSetToXml(const relational::ResultSet& rs,
@@ -45,7 +53,7 @@ Result<NodePtr> RelationalConnector::FetchCollection(
   all.from.table = collection;
   relational::ResultSet rs;
   {
-    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    ReaderMutexLock lock(db_mutex_);
     NIMBLE_ASSIGN_OR_RETURN(rs, db_->Query(all));
   }
   FetchStats delta;
@@ -79,10 +87,10 @@ Result<relational::ResultSet> RelationalConnector::ExecuteSql(
   NIMBLE_RETURN_IF_ERROR(Admit(ctx));
   relational::ResultSet rs;
   if (IsSelect(sql)) {
-    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    ReaderMutexLock lock(db_mutex_);
     NIMBLE_ASSIGN_OR_RETURN(rs, db_->Execute(sql));
   } else {
-    std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    WriterMutexLock lock(db_mutex_);
     NIMBLE_ASSIGN_OR_RETURN(rs, db_->Execute(sql));
   }
   FetchStats delta;

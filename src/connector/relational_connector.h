@@ -2,10 +2,11 @@
 #define NIMBLE_CONNECTOR_RELATIONAL_CONNECTOR_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 #include "relational/database.h"
 
@@ -37,7 +38,7 @@ class RelationalConnector : public Connector {
                                   const RequestContext& ctx) override;
   Result<relational::ResultSet> ExecuteSql(const std::string& sql,
                                            const RequestContext& ctx) override;
-  uint64_t DataVersion() override { return db_->Version(); }
+  uint64_t DataVersion() override;
 
   relational::Database* database() { return db_; }
 
@@ -49,8 +50,12 @@ class RelationalConnector : public Connector {
 
  private:
   std::string name_;
-  relational::Database* db_;
-  mutable std::shared_mutex db_mutex_;
+  /// All reads of the database — including the catalog walks in
+  /// capabilities()/Collections()/DataVersion() — hold db_mutex_ shared;
+  /// DDL/DML through ExecuteSql holds it exclusive.
+  relational::Database* db_ NIMBLE_PT_GUARDED_BY(db_mutex_);
+  mutable SharedMutex db_mutex_{LockRank::kConnectorData,
+                                "relational_connector.db"};
 };
 
 }  // namespace connector

@@ -4,7 +4,7 @@ namespace nimble {
 namespace connector {
 
 Result<int64_t> SimulatedSource::AdmitRequest() {
-  std::lock_guard<std::mutex> lock(sim_mutex_);
+  MutexLock lock(sim_mutex_);
   if (fail_next_ > 0) {
     --fail_next_;
     return Status::Unavailable("source '" + name() + "' is offline");
@@ -19,7 +19,7 @@ Result<int64_t> SimulatedSource::AdmitRequest() {
 void SimulatedSource::ChargeRows(const RequestContext& ctx, size_t rows) {
   int64_t per_row;
   {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     per_row = config_.per_row_latency_micros;
   }
   int64_t cost = static_cast<int64_t>(rows) * per_row;
@@ -31,7 +31,7 @@ void SimulatedSource::ChargeRows(const RequestContext& ctx, size_t rows) {
 }
 
 Status SimulatedSource::Ping() {
-  std::lock_guard<std::mutex> lock(sim_mutex_);
+  MutexLock lock(sim_mutex_);
   bool up = forced_ ? online_ : rng_.Bernoulli(config_.availability);
   if (!up) {
     return Status::Unavailable("source '" + name() + "' is offline");

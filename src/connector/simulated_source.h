@@ -2,12 +2,13 @@
 #define NIMBLE_CONNECTOR_SIMULATED_SOURCE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 
 namespace nimble {
@@ -69,12 +70,12 @@ class SimulatedSource : public Connector {
   /// Forces the source on/offline, overriding the availability probability
   /// until ClearForcedState().
   void SetOnline(bool online) {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     forced_ = true;
     online_ = online;
   }
   void ClearForcedState() {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     forced_ = false;
   }
 
@@ -82,25 +83,26 @@ class SimulatedSource : public Connector {
   /// normal behaviour resumes. Deterministic — the backbone of the
   /// retry/backoff tests.
   void FailNextRequests(size_t n) {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     fail_next_ = n;
   }
 
   Connector* inner() { return inner_.get(); }
   SimulationConfig config() const {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     return config_;
   }
   void set_config(const SimulationConfig& config) {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
+    MutexLock lock(sim_mutex_);
     config_ = config;
   }
 
  private:
   /// Draws availability; Unavailable on failure. On success returns the
   /// fixed-latency cost to charge (charged by the caller outside the lock).
-  Result<int64_t> AdmitRequest();
-  void ChargeRows(const RequestContext& ctx, size_t rows);
+  Result<int64_t> AdmitRequest() NIMBLE_EXCLUDES(sim_mutex_);
+  void ChargeRows(const RequestContext& ctx, size_t rows)
+      NIMBLE_EXCLUDES(sim_mutex_);
   /// Builds the context forwarded to the wrapped connector: same deadline
   /// and cancellation flag, but no call_stats — the simulated wire charge,
   /// not the inner connector's bookkeeping, is this call's cost.
@@ -111,13 +113,15 @@ class SimulatedSource : public Connector {
   }
 
   std::unique_ptr<Connector> inner_;
-  mutable std::mutex sim_mutex_;  ///< guards config_, rng_, forced state.
-  SimulationConfig config_;
+  /// Rank kSimulatedSource: released before the clock charge and before the
+  /// inner connector runs, so a RealClock sleep never serialises fetches.
+  mutable Mutex sim_mutex_{LockRank::kSimulatedSource, "simulated_source.sim"};
+  SimulationConfig config_ NIMBLE_GUARDED_BY(sim_mutex_);
   Clock* clock_;
-  Rng rng_;
-  bool forced_ = false;
-  bool online_ = true;
-  size_t fail_next_ = 0;
+  Rng rng_ NIMBLE_GUARDED_BY(sim_mutex_);
+  bool forced_ NIMBLE_GUARDED_BY(sim_mutex_) = false;
+  bool online_ NIMBLE_GUARDED_BY(sim_mutex_) = true;
+  size_t fail_next_ NIMBLE_GUARDED_BY(sim_mutex_) = 0;
 };
 
 }  // namespace connector

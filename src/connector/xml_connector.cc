@@ -6,7 +6,7 @@ namespace nimble {
 namespace connector {
 
 std::vector<std::string> XmlConnector::Collections() {
-  std::shared_lock<std::shared_mutex> lock(doc_mutex_);
+  ReaderMutexLock lock(doc_mutex_);
   std::vector<std::string> names;
   names.reserve(documents_.size());
   for (const auto& [doc_name, doc] : documents_) names.push_back(doc_name);
@@ -18,7 +18,7 @@ Result<NodePtr> XmlConnector::FetchCollection(const std::string& collection,
   NIMBLE_RETURN_IF_ERROR(Admit(ctx));
   NodePtr clone;
   {
-    std::shared_lock<std::shared_mutex> lock(doc_mutex_);
+    ReaderMutexLock lock(doc_mutex_);
     auto it = documents_.find(collection);
     if (it == documents_.end()) {
       return Status::NotFound("source '" + name_ + "' has no document '" +
@@ -34,7 +34,7 @@ Result<NodePtr> XmlConnector::FetchCollection(const std::string& collection,
 }
 
 void XmlConnector::PutDocument(const std::string& doc_name, NodePtr document) {
-  std::unique_lock<std::shared_mutex> lock(doc_mutex_);
+  WriterMutexLock lock(doc_mutex_);
   documents_[doc_name] = std::move(document);
   ++version_;
 }
@@ -47,7 +47,7 @@ Status XmlConnector::PutDocumentText(const std::string& doc_name,
 }
 
 NodePtr XmlConnector::MutableDocument(const std::string& doc_name) {
-  std::unique_lock<std::shared_mutex> lock(doc_mutex_);
+  WriterMutexLock lock(doc_mutex_);
   auto it = documents_.find(doc_name);
   if (it == documents_.end()) return nullptr;
   ++version_;

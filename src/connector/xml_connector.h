@@ -2,10 +2,11 @@
 #define NIMBLE_CONNECTOR_XML_CONNECTOR_H_
 
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 
 namespace nimble {
@@ -32,7 +33,7 @@ class XmlConnector : public Connector {
   Result<NodePtr> FetchCollection(const std::string& collection,
                                   const RequestContext& ctx) override;
   uint64_t DataVersion() override {
-    std::shared_lock<std::shared_mutex> lock(doc_mutex_);
+    ReaderMutexLock lock(doc_mutex_);
     return version_;
   }
 
@@ -48,9 +49,9 @@ class XmlConnector : public Connector {
 
  private:
   std::string name_;
-  mutable std::shared_mutex doc_mutex_;
-  std::map<std::string, NodePtr> documents_;
-  uint64_t version_ = 0;
+  mutable SharedMutex doc_mutex_{LockRank::kConnectorData, "xml_connector.docs"};
+  std::map<std::string, NodePtr> documents_ NIMBLE_GUARDED_BY(doc_mutex_);
+  uint64_t version_ NIMBLE_GUARDED_BY(doc_mutex_) = 0;
 };
 
 }  // namespace connector

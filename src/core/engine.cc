@@ -62,13 +62,13 @@ std::string ExecutionReport::Summary() const {
 }
 
 const Result<QueryResult>& QueryHandle::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  while (!done_) cv_.Wait(mutex_);
   return *result_;
 }
 
 bool QueryHandle::done() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return done_;
 }
 
@@ -76,7 +76,7 @@ void QueryHandle::Cancel() {
   cancel_.store(true, std::memory_order_relaxed);
   std::shared_ptr<sched::QueryScheduler::Submission> submission;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     submission = submission_;
   }
   // Outside the lock: a successful queue-cancel fires Fulfill, which takes
@@ -86,12 +86,12 @@ void QueryHandle::Cancel() {
 
 void QueryHandle::Fulfill(Result<QueryResult> result) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (done_) return;
     result_ = std::move(result);
     done_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 IntegrationEngine::IntegrationEngine(metadata::Catalog* catalog,
@@ -231,7 +231,7 @@ QueryHandlePtr IntegrationEngine::Submit(std::string xmlql_text,
     return handle;
   }
   {
-    std::lock_guard<std::mutex> lock(handle->mutex_);
+    MutexLock lock(handle->mutex_);
     handle->submission_ = *submission;
   }
   return handle;

@@ -2,17 +2,17 @@
 #define NIMBLE_CORE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "algebra/operators.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/exec_context.h"
 #include "core/fragmenter.h"
@@ -186,14 +186,15 @@ class QueryHandle {
 
  private:
   friend class IntegrationEngine;
-  void Fulfill(Result<QueryResult> result);
+  void Fulfill(Result<QueryResult> result) NIMBLE_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  std::optional<Result<QueryResult>> result_;
+  mutable Mutex mutex_{LockRank::kQueryHandle, "query_handle.latch"};
+  CondVar cv_;
+  bool done_ NIMBLE_GUARDED_BY(mutex_) = false;
+  std::optional<Result<QueryResult>> result_ NIMBLE_GUARDED_BY(mutex_);
   std::atomic<bool> cancel_{false};
-  std::shared_ptr<sched::QueryScheduler::Submission> submission_;
+  std::shared_ptr<sched::QueryScheduler::Submission> submission_
+      NIMBLE_GUARDED_BY(mutex_);
 };
 using QueryHandlePtr = std::shared_ptr<QueryHandle>;
 

@@ -52,7 +52,7 @@ Result<std::shared_ptr<const CompiledProgram>> CompileProgram(
 
 std::shared_ptr<const CompiledProgram> PlanCache::Lookup(
     const std::string& canonical_text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(canonical_text);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -76,7 +76,7 @@ Result<std::shared_ptr<const CompiledProgram>> PlanCache::GetOrCompile(
 void PlanCache::Insert(const std::string& canonical_text,
                        std::shared_ptr<const CompiledProgram> compiled) {
   if (max_entries_ == 0 || compiled == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(canonical_text);
   if (it != entries_.end()) {
     it->second->compiled = std::move(compiled);
@@ -95,18 +95,18 @@ void PlanCache::Insert(const std::string& canonical_text,
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   entries_.clear();
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

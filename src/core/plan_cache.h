@@ -3,13 +3,14 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/fragmenter.h"
 #include "xmlql/ast.h"
 
@@ -75,10 +76,12 @@ class PlanCache {
   };
 
   size_t max_entries_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kPlanCache, "plan_cache.lru"};
+  /// front = most recently used.
+  std::list<Entry> lru_ NIMBLE_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_
+      NIMBLE_GUARDED_BY(mu_);
+  Stats stats_ NIMBLE_GUARDED_BY(mu_);
 };
 
 }  // namespace core

@@ -12,7 +12,7 @@ void LoadBalancer::AddEngine(std::unique_ptr<core::IntegrationEngine> engine) {
 }
 
 size_t LoadBalancer::PickEngine() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (policy_ == BalancePolicy::kRoundRobin) {
     size_t pick = next_round_robin_;
     next_round_robin_ = (next_round_robin_ + 1) % engines_.size();
@@ -34,7 +34,7 @@ Result<core::QueryResult> LoadBalancer::Execute(
   Result<core::QueryResult> result =
       engines_[pick]->ExecuteText(xmlql_text, options);
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     busy_micros_[pick] += result->report.source_latency_micros;
   }
   return result;
@@ -66,7 +66,7 @@ std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
   for (size_t i = 0; i < queries.size(); ++i) {
     results[i] = handles[i]->Wait();
     if (results[i].ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       busy_micros_[picks[i]] += results[i]->report.source_latency_micros;
     }
   }
@@ -74,7 +74,7 @@ std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
 }
 
 std::vector<int64_t> LoadBalancer::BusyMicrosPerEngine() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return busy_micros_;
 }
 
@@ -86,7 +86,7 @@ std::vector<uint64_t> LoadBalancer::QueriesPerEngine() const {
 }
 
 int64_t LoadBalancer::MakespanMicros() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int64_t makespan = 0;
   for (int64_t busy : busy_micros_) makespan = std::max(makespan, busy);
   return makespan;

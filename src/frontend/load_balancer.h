@@ -2,11 +2,12 @@
 #define NIMBLE_FRONTEND_LOAD_BALANCER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 
@@ -70,13 +71,16 @@ class LoadBalancer {
   int64_t MakespanMicros() const;
 
  private:
-  size_t PickEngine();
+  size_t PickEngine() NIMBLE_EXCLUDES(mutex_);
 
+  /// `policy_` and `engines_` are configure-before-serve (see the class
+  /// contract): AddEngine/set_policy run before queries flow, so they stay
+  /// unguarded by design (DESIGN.md section 2e).
   BalancePolicy policy_;
   std::vector<std::unique_ptr<core::IntegrationEngine>> engines_;
-  mutable std::mutex mutex_;  ///< guards busy_micros_ and next_round_robin_.
-  std::vector<int64_t> busy_micros_;
-  size_t next_round_robin_ = 0;
+  mutable Mutex mutex_{LockRank::kLoadBalancer, "load_balancer.dispatch"};
+  std::vector<int64_t> busy_micros_ NIMBLE_GUARDED_BY(mutex_);
+  size_t next_round_robin_ NIMBLE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace frontend

@@ -76,7 +76,7 @@ void ResultCache::InsertLocked(Shard& shard, const std::string& key,
 
 ConstNodePtr ResultCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return LookupLocked(shard, key, /*count_miss=*/true);
 }
 
@@ -91,7 +91,7 @@ void ResultCache::InsertSnapshot(const std::string& key, ConstNodePtr snapshot,
                                  int64_t ttl_micros) {
   if (snapshot == nullptr) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   InsertLocked(shard, key, std::move(snapshot), std::move(tags), ttl_micros);
 }
 
@@ -103,7 +103,7 @@ Result<ConstNodePtr> ResultCache::LookupOrCompute(const std::string& key,
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // Waiters do not count as misses — only the leader pays the fetch.
     ConstNodePtr snapshot = LookupLocked(shard, key, /*count_miss=*/false);
     if (snapshot != nullptr) return snapshot;
@@ -120,8 +120,8 @@ Result<ConstNodePtr> ResultCache::LookupOrCompute(const std::string& key,
   }
 
   if (!leader) {
-    std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    MutexLock wait_lock(flight->mu);
+    while (!flight->done) flight->cv.Wait(flight->mu);
     return *flight->outcome;
   }
 
@@ -130,7 +130,7 @@ Result<ConstNodePtr> ResultCache::LookupOrCompute(const std::string& key,
   std::optional<Result<ConstNodePtr>> outcome;
   if (computed.ok() && computed->document != nullptr) {
     ConstNodePtr snapshot = computed->document->Freeze();
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (computed->cacheable) {
       InsertLocked(shard, key, snapshot, std::move(computed->tags),
                    computed->ttl_micros);
@@ -141,22 +141,22 @@ Result<ConstNodePtr> ResultCache::LookupOrCompute(const std::string& key,
     Status error = computed.ok()
                        ? Status::Internal("compute returned no document")
                        : computed.status();
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.flights.erase(key);
     outcome = std::move(error);
   }
   {
-    std::lock_guard<std::mutex> publish_lock(flight->mu);
+    MutexLock publish_lock(flight->mu);
     flight->outcome = *outcome;
     flight->done = true;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   return *outcome;
 }
 
 bool ResultCache::Invalidate(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return false;
   ++shard.stats.invalidations;
@@ -167,7 +167,7 @@ bool ResultCache::Invalidate(const std::string& key) {
 size_t ResultCache::InvalidateTag(const std::string& tag) {
   size_t dropped = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       auto next = std::next(it);
       if (std::find(it->tags.begin(), it->tags.end(), tag) != it->tags.end()) {
@@ -183,7 +183,7 @@ size_t ResultCache::InvalidateTag(const std::string& tag) {
 
 void ResultCache::Clear() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stats.invalidations += shard->lru.size();
     shard->lru.clear();
     shard->entries.clear();
@@ -194,7 +194,7 @@ void ResultCache::Clear() {
 size_t ResultCache::size() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;
@@ -203,7 +203,7 @@ size_t ResultCache::size() const {
 size_t ResultCache::bytes() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->bytes;
   }
   return total;
@@ -212,7 +212,7 @@ size_t ResultCache::bytes() const {
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.coalesced += shard->stats.coalesced;
@@ -228,7 +228,7 @@ CacheStats ResultCache::stats() const {
 
 void ResultCache::ResetStats() {
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stats = CacheStats{};
   }
 }

@@ -1,19 +1,19 @@
 #ifndef NIMBLE_MATERIALIZE_RESULT_CACHE_H_
 #define NIMBLE_MATERIALIZE_RESULT_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "xml/node.h"
 
 namespace nimble {
@@ -141,32 +141,36 @@ class ResultCache {
 
   /// One singleflight slot: the leader publishes here and notifies.
   struct InFlight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::optional<Result<ConstNodePtr>> outcome;
+    Mutex mu{LockRank::kResultCacheFlight, "result_cache.flight"};
+    CondVar cv;
+    bool done NIMBLE_GUARDED_BY(mu) = false;
+    std::optional<Result<ConstNodePtr>> outcome NIMBLE_GUARDED_BY(mu);
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used.
-    std::unordered_map<std::string, std::list<Entry>::iterator> entries;
-    std::unordered_map<std::string, std::shared_ptr<InFlight>> flights;
-    size_t bytes = 0;
-    CacheStats stats;
+    mutable Mutex mu{LockRank::kResultCacheShard, "result_cache.shard"};
+    /// front = most recently used.
+    std::list<Entry> lru NIMBLE_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> entries
+        NIMBLE_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> flights
+        NIMBLE_GUARDED_BY(mu);
+    size_t bytes NIMBLE_GUARDED_BY(mu) = 0;
+    CacheStats stats NIMBLE_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
   /// Lookup with TTL handling and LRU promotion; caller holds `shard.mu`.
   /// `count_miss` controls whether an absence bumps the miss counter.
   ConstNodePtr LookupLocked(Shard& shard, const std::string& key,
-                            bool count_miss);
+                            bool count_miss) NIMBLE_REQUIRES(shard.mu);
   /// Insert/replace; caller holds `shard.mu`. Evicts LRU entries until the
   /// shard fits its budget.
   void InsertLocked(Shard& shard, const std::string& key,
                     ConstNodePtr snapshot, std::vector<std::string> tags,
-                    int64_t ttl_micros);
-  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+                    int64_t ttl_micros) NIMBLE_REQUIRES(shard.mu);
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it)
+      NIMBLE_REQUIRES(shard.mu);
   int64_t ExpiryFor(int64_t ttl_micros) const;
 
   ResultCacheOptions options_;

@@ -100,14 +100,14 @@ std::vector<std::string> Catalog::ViewNames() const {
 }
 
 uint64_t Catalog::AddUpdateListener(UpdateListener listener) {
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  MutexLock lock(listeners_mu_);
   uint64_t token = next_listener_token_++;
   listeners_.emplace_back(token, std::move(listener));
   return token;
 }
 
 void Catalog::RemoveUpdateListener(uint64_t token) {
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  MutexLock lock(listeners_mu_);
   listeners_.erase(
       std::remove_if(listeners_.begin(), listeners_.end(),
                      [token](const auto& entry) { return entry.first == token; }),
@@ -118,7 +118,7 @@ void Catalog::NotifySourceUpdated(const std::string& source_name) {
   // Copy under the lock so a listener removing itself cannot deadlock.
   std::vector<UpdateListener> to_notify;
   {
-    std::lock_guard<std::mutex> lock(listeners_mu_);
+    MutexLock lock(listeners_mu_);
     to_notify.reserve(listeners_.size());
     for (const auto& [token, listener] : listeners_) {
       to_notify.push_back(listener);

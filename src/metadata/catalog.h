@@ -5,11 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "connector/connector.h"
 #include "xmlql/ast.h"
 
@@ -78,11 +79,16 @@ class Catalog {
   void NotifySourceUpdated(const std::string& source_name);
 
  private:
+  /// Configure-before-serve (see the class contract): RegisterSource and
+  /// DefineView run during single-threaded setup, after which these maps
+  /// are read-only — the documented exemption from GUARDED_BY in
+  /// DESIGN.md section 2e.
   std::map<std::string, std::unique_ptr<connector::Connector>> sources_;
   std::map<std::string, MediatedView> views_;
-  mutable std::mutex listeners_mu_;
-  uint64_t next_listener_token_ = 1;
-  std::vector<std::pair<uint64_t, UpdateListener>> listeners_;
+  mutable Mutex listeners_mu_{LockRank::kCatalogListeners, "catalog.listeners"};
+  uint64_t next_listener_token_ NIMBLE_GUARDED_BY(listeners_mu_) = 1;
+  std::vector<std::pair<uint64_t, UpdateListener>> listeners_
+      NIMBLE_GUARDED_BY(listeners_mu_);
 };
 
 }  // namespace metadata

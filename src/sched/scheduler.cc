@@ -89,7 +89,7 @@ QueryScheduler::QueryScheduler(const SchedulerOptions& options, Clock* clock,
 QueryScheduler::~QueryScheduler() {
   std::vector<std::pair<EntryPtr, Status>> dropped;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
     for (auto& [id, entry] : live_) {
       if (entry->dropped) continue;
@@ -105,8 +105,8 @@ QueryScheduler::~QueryScheduler() {
     queue_depth_ = 0;
   }
   for (auto& [entry, status] : dropped) entry->drop(status);
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_.wait(lock, [this] { return inflight_queries_ == 0; });
+  MutexLock lock(mutex_);
+  while (inflight_queries_ != 0) drained_.Wait(mutex_);
 }
 
 uint32_t QueryScheduler::WeightOf(const std::string& tenant) const {
@@ -144,7 +144,7 @@ Result<std::shared_ptr<QueryScheduler::Submission>> QueryScheduler::Submit(
   std::vector<std::pair<EntryPtr, Status>> dropped;
   auto submission = std::make_shared<Submission>();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return Status::Cancelled("scheduler is shutting down");
     Tenant* tenant = GetTenantLocked(info.tenant);
     submitted_++;
@@ -326,7 +326,7 @@ void QueryScheduler::RunEntry(const EntryPtr& entry) {
   int64_t start = clock_->NowMicros();
   int64_t wait = std::max<int64_t>(start - entry->enqueue_micros, 0);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (wait_window_.size() < kWaitWindow) {
       wait_window_.push_back(wait);
     } else {
@@ -343,7 +343,7 @@ void QueryScheduler::RunEntry(const EntryPtr& entry) {
   std::vector<EntryPtr> to_run;
   std::vector<std::pair<EntryPtr, Status>> dropped;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     inflight_queries_--;
     inflight_bytes_ -= entry->info.estimated_bytes;
     completed_++;
@@ -353,7 +353,7 @@ void QueryScheduler::RunEntry(const EntryPtr& entry) {
             ? static_cast<double>(service)
             : 0.8 * avg_service_micros_ + 0.2 * static_cast<double>(service);
     DispatchLocked(&to_run, &dropped);
-    if (inflight_queries_ == 0) drained_.notify_all();
+    if (inflight_queries_ == 0) drained_.NotifyAll();
   }
   for (auto& [e, status] : dropped) e->drop(status);
   for (EntryPtr& e : to_run) {
@@ -364,7 +364,7 @@ void QueryScheduler::RunEntry(const EntryPtr& entry) {
 bool QueryScheduler::CancelEntry(size_t id) {
   EntryPtr entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = live_.find(id);
     if (it == live_.end()) return false;  // already dispatched or dropped
     entry = it->second;
@@ -384,7 +384,7 @@ SchedulerStats QueryScheduler::stats() const {
   SchedulerStats out;
   std::vector<int64_t> waits;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out.submitted = submitted_;
     out.admitted = admitted_;
     out.completed = completed_;

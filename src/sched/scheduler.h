@@ -2,19 +2,19 @@
 #define NIMBLE_SCHED_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace nimble {
@@ -159,9 +159,10 @@ class QueryScheduler {
   /// ResourceExhausted carrying a retry_after_micros hint and invokes
   /// neither callback.
   Result<std::shared_ptr<Submission>> Submit(const SubmitInfo& info,
-                                             RunFn run, DropFn drop);
+                                             RunFn run, DropFn drop)
+      NIMBLE_EXCLUDES(mutex_);
 
-  SchedulerStats stats() const;
+  SchedulerStats stats() const NIMBLE_EXCLUDES(mutex_);
   const SchedulerOptions& options() const { return options_; }
 
  private:
@@ -171,51 +172,59 @@ class QueryScheduler {
   using EntryPtr = std::shared_ptr<Entry>;
 
   uint32_t WeightOf(const std::string& tenant) const;
-  Tenant* GetTenantLocked(const std::string& name);
+  Tenant* GetTenantLocked(const std::string& name) NIMBLE_REQUIRES(mutex_);
   /// Expected time a new submission would spend queued, from the EWMA
   /// service time and the backlog ahead of it. 0 until a completion has
   /// seeded the estimate.
-  int64_t EstimatedQueueWaitLocked() const;
+  int64_t EstimatedQueueWaitLocked() const NIMBLE_REQUIRES(mutex_);
   /// Pops the next runnable entry by (priority class, DRR) order, moving
   /// expired/cancelled entries onto `dropped` instead of returning them.
-  EntryPtr PopNextLocked(std::vector<std::pair<EntryPtr, Status>>* dropped);
+  EntryPtr PopNextLocked(std::vector<std::pair<EntryPtr, Status>>* dropped)
+      NIMBLE_REQUIRES(mutex_);
   /// Claims tokens and collects dispatchable entries; the caller fires the
   /// callbacks and pool submissions after unlocking.
   void DispatchLocked(std::vector<EntryPtr>* to_run,
-                      std::vector<std::pair<EntryPtr, Status>>* dropped);
+                      std::vector<std::pair<EntryPtr, Status>>* dropped)
+      NIMBLE_REQUIRES(mutex_);
   /// Executes one admitted entry on a pool worker and releases its tokens.
-  void RunEntry(const EntryPtr& entry);
-  bool CancelEntry(size_t id);
+  void RunEntry(const EntryPtr& entry) NIMBLE_EXCLUDES(mutex_);
+  bool CancelEntry(size_t id) NIMBLE_EXCLUDES(mutex_);
 
   const SchedulerOptions options_;
   Clock* clock_;
   ThreadPool* pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable drained_;  ///< signalled when inflight hits 0.
-  bool stopping_ = false;
-  size_t next_id_ = 1;
-  std::map<size_t, EntryPtr> live_;  ///< queued entries by id (for Cancel).
+  mutable Mutex mutex_{LockRank::kScheduler, "scheduler.queue"};
+  CondVar drained_;  ///< signalled when inflight hits 0.
+  /// Entry/Tenant/ClassQueue contents are reached only through the guarded
+  /// containers below and are likewise protected by `mutex_`; an Entry's
+  /// immutable fields (info, enqueue_micros, run/drop) transfer to the
+  /// dispatching thread once claimed (DESIGN.md section 2e).
+  bool stopping_ NIMBLE_GUARDED_BY(mutex_) = false;
+  size_t next_id_ NIMBLE_GUARDED_BY(mutex_) = 1;
+  /// Queued entries by id (for Cancel).
+  std::map<size_t, EntryPtr> live_ NIMBLE_GUARDED_BY(mutex_);
   /// Strict priority: lowest class number first; DRR between tenants
   /// within a class.
-  std::map<int, ClassQueue> classes_;
-  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
-  size_t queue_depth_ = 0;
-  size_t inflight_queries_ = 0;
-  size_t inflight_bytes_ = 0;
+  std::map<int, ClassQueue> classes_ NIMBLE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_
+      NIMBLE_GUARDED_BY(mutex_);
+  size_t queue_depth_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  size_t inflight_queries_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  size_t inflight_bytes_ NIMBLE_GUARDED_BY(mutex_) = 0;
   /// EWMA of observed execution time, the queue-wait estimator's input.
-  double avg_service_micros_ = 0;
+  double avg_service_micros_ NIMBLE_GUARDED_BY(mutex_) = 0;
   /// Sliding window of recent queue waits for the percentile gauges.
-  std::vector<int64_t> wait_window_;
-  size_t wait_window_next_ = 0;
+  std::vector<int64_t> wait_window_ NIMBLE_GUARDED_BY(mutex_);
+  size_t wait_window_next_ NIMBLE_GUARDED_BY(mutex_) = 0;
 
-  uint64_t submitted_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t shed_queue_full_ = 0;
-  uint64_t shed_wait_deadline_ = 0;
-  uint64_t dropped_expired_ = 0;
-  uint64_t dropped_cancelled_ = 0;
+  uint64_t submitted_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t admitted_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t shed_queue_full_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t shed_wait_deadline_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_expired_ NIMBLE_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_cancelled_ NIMBLE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sched

@@ -1,0 +1,142 @@
+// Tests for the debug-build lock-rank deadlock detector
+// (src/common/lock_rank.h). The checks are compiled in only when
+// NIMBLE_LOCK_RANK_CHECKS is defined (CMAKE_BUILD_TYPE=Debug); in other
+// configurations the death tests are skipped and only the no-op contract
+// is exercised.
+
+#include "common/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+
+namespace nimble {
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NIMBLE_TSAN_BUILD 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define NIMBLE_TSAN_BUILD 1
+#endif
+
+#if defined(NIMBLE_LOCK_RANK_CHECKS)
+
+class LockRankDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if defined(NIMBLE_TSAN_BUILD)
+    // Forking death tests interact badly with TSan's runtime; the ASan
+    // Debug job provides the death-test coverage.
+    GTEST_SKIP() << "death tests skipped under ThreadSanitizer";
+#endif
+    // Death tests fork; "threadsafe" re-executes the binary so the child
+    // does not inherit this process's (possibly multi-threaded) state.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST(LockRankTest, InOrderAcquisitionSucceeds) {
+  Mutex outer(LockRank::kScheduler, "test.outer");
+  Mutex inner(LockRank::kPlanCache, "test.inner");
+  EXPECT_EQ(lock_rank::HeldDepth(), 0u);
+  {
+    MutexLock a(outer);
+    EXPECT_EQ(lock_rank::HeldDepth(), 1u);
+    {
+      MutexLock b(inner);
+      EXPECT_EQ(lock_rank::HeldDepth(), 2u);
+    }
+    EXPECT_EQ(lock_rank::HeldDepth(), 1u);
+  }
+  EXPECT_EQ(lock_rank::HeldDepth(), 0u);
+}
+
+TEST(LockRankTest, HandOverHandReleaseIsLegal) {
+  // Acquire A then B, release A first (non-LIFO) — allowed.
+  Mutex a(LockRank::kLoadBalancer, "test.a");
+  Mutex b(LockRank::kThreadPool, "test.b");
+  a.Lock();
+  b.Lock();
+  a.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 1u);
+  b.Unlock();
+  EXPECT_EQ(lock_rank::HeldDepth(), 0u);
+}
+
+TEST(LockRankTest, SharedAcquisitionsAreTracked) {
+  SharedMutex mu(LockRank::kConnectorData, "test.shared");
+  {
+    ReaderMutexLock lock(mu);
+    EXPECT_EQ(lock_rank::HeldDepth(), 1u);
+  }
+  EXPECT_EQ(lock_rank::HeldDepth(), 0u);
+}
+
+TEST(LockRankTest, CondVarWaitRestoresBookkeeping) {
+  // A Wait releases and reacquires in the registry; after a (trivially
+  // satisfied) wakeup the lock must still be recorded as held.
+  Mutex mu(LockRank::kQueryHandle, "test.cv");
+  CondVar cv;
+  cv.NotifyAll();  // no waiter yet — just proves Notify is lock-free
+  MutexLock lock(mu);
+  EXPECT_EQ(lock_rank::HeldDepth(), 1u);
+}
+
+TEST_F(LockRankDeathTest, OutOfRankOrderAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex inner(LockRank::kPlanCache, "test.inner");
+        Mutex outer(LockRank::kScheduler, "test.outer");
+        MutexLock a(inner);   // rank 500 first…
+        MutexLock b(outer);   // …then rank 300: out of order.
+      },
+      "out-of-rank-order");
+}
+
+TEST_F(LockRankDeathTest, SameRankNestingAborts) {
+  // Two kConnectorData locks on one thread: ranks must strictly increase,
+  // so same-rank nesting (a cross-connector call chain) is rejected.
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kConnectorData, "test.conn_a");
+        Mutex b(LockRank::kConnectorData, "test.conn_b");
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "out-of-rank-order");
+}
+
+TEST_F(LockRankDeathTest, ReentrantAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::kResultCacheShard, "test.reentry");
+        mu.Lock();
+        mu.Lock();  // same mutex, same thread: the singleflight re-entry bug
+      },
+      "re-entrant");
+}
+
+TEST_F(LockRankDeathTest, ReleasingUnheldLockAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::kPlanCache, "test.unheld");
+        mu.Unlock();
+      },
+      "does not");
+}
+
+#else  // !NIMBLE_LOCK_RANK_CHECKS
+
+TEST(LockRankTest, NoOpInReleaseBuilds) {
+  // The registry compiles to nothing: depth stays 0 even under a lock.
+  Mutex mu(LockRank::kPlanCache, "test.noop");
+  MutexLock lock(mu);
+  EXPECT_EQ(lock_rank::HeldDepth(), 0u);
+}
+
+#endif  // NIMBLE_LOCK_RANK_CHECKS
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,53 @@
+// Negative compile check for the Clang thread-safety annotations.
+//
+// This file is NOT part of any test binary. It is built only with
+// -DNIMBLE_TSA_NEGATIVE_TEST=ON (see tests/CMakeLists.txt), and every
+// function below contains a deliberate locking mistake that the analysis
+// must reject. tools/lint.sh builds this target under Clang with
+// -Werror=thread-safety and asserts that the build FAILS — proving the
+// annotation machinery is actually wired up, not silently compiled away.
+//
+// If this file ever compiles cleanly under Clang, the thread-safety gate
+// is broken.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace nimble {
+namespace {
+
+class Account {
+ public:
+  // VIOLATION 1: reads a guarded member without holding the lock.
+  int UnguardedRead() { return balance_; }
+
+  // VIOLATION 2: writes a guarded member without holding the lock.
+  void UnguardedWrite(int amount) { balance_ = amount; }
+
+  // VIOLATION 3: acquires but never releases (missing unlock on return).
+  void LeakedLock() NIMBLE_EXCLUDES(mu_) {
+    mu_.Lock();
+    balance_ += 1;
+  }
+
+  // VIOLATION 4: calls a REQUIRES method without the capability.
+  void MissingRequires() { AddLocked(1); }
+
+ private:
+  void AddLocked(int amount) NIMBLE_REQUIRES(mu_) { balance_ += amount; }
+
+  Mutex mu_{LockRank::kPlanCache, "tsa_negative.account"};
+  int balance_ NIMBLE_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the class is ODR-used and the violations are analysed.
+void Touch() {
+  Account account;
+  account.UnguardedRead();
+  account.UnguardedWrite(1);
+  account.LeakedLock();
+  account.MissingRequires();
+}
+
+}  // namespace
+}  // namespace nimble

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Static-analysis gate: Clang thread-safety analysis + negative compile
+# check + clang-tidy. CI runs this in the lint job; run it locally before
+# sending a review (needs clang and clang-tidy on PATH — if they are
+# missing the script skips loudly and exits 0 so GCC-only boxes are not
+# blocked).
+#
+# Usage: tools/lint.sh [build-dir]   (default: build-lint)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-lint}"
+
+CXX="${CLANG_CXX:-clang++}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "lint.sh: SKIPPED — $CXX not found (install clang to run the" \
+       "thread-safety gate locally; CI always runs it)" >&2
+  exit 0
+fi
+
+fail=0
+
+# ---- 1. Thread-safety analysis: full build, findings are errors --------
+echo "== [1/3] clang -Wthread-safety -Werror build =="
+cmake -S "$ROOT" -B "$BUILD_DIR" \
+      -DCMAKE_CXX_COMPILER="$CXX" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DNIMBLE_WERROR_THREAD_SAFETY=ON >/dev/null || exit 1
+if ! cmake --build "$BUILD_DIR" -j "$(nproc)"; then
+  echo "lint.sh: FAIL — thread-safety analysis reported errors" >&2
+  fail=1
+fi
+
+# ---- 2. Negative compile check: the violations file MUST fail ----------
+echo "== [2/3] thread-safety negative compile check (expect failure) =="
+NEG_DIR="$BUILD_DIR-tsa-negative"
+cmake -S "$ROOT" -B "$NEG_DIR" \
+      -DCMAKE_CXX_COMPILER="$CXX" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DNIMBLE_WERROR_THREAD_SAFETY=ON \
+      -DNIMBLE_TSA_NEGATIVE_TEST=ON >/dev/null || exit 1
+if cmake --build "$NEG_DIR" --target tsa_negative_check -j "$(nproc)" \
+      >/dev/null 2>&1; then
+  echo "lint.sh: FAIL — tests/tsa_negative_check.cc compiled cleanly;" \
+       "the thread-safety gate is not catching violations" >&2
+  fail=1
+else
+  echo "OK — negative check rejected as expected"
+fi
+
+# ---- 3. clang-tidy over src/ -------------------------------------------
+echo "== [3/3] clang-tidy =="
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found — skipping step 3" >&2
+else
+  # compile_commands.json was exported by the step-1 configure.
+  mapfile -t sources < <(find "$ROOT/src" -name '*.cc' | sort)
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "${sources[@]}"; then
+    echo "lint.sh: FAIL — clang-tidy reported errors" >&2
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint.sh: FAILED" >&2
+  exit 1
+fi
+echo "lint.sh: all gates passed"
