@@ -52,8 +52,14 @@ class Operator {
   /// Drains the operator: Open, collect all tuples, Close.
   Result<std::vector<Tuple>> Drain();
 
+  /// Read-only child views, in input order (left before right). Used by
+  /// Describe and the plan verifier.
+  const std::vector<const Operator*>& children() const {
+    return children_views_;
+  }
+
  protected:
-  std::vector<const Operator*> children_views_;  ///< for Describe only.
+  std::vector<const Operator*> children_views_;  ///< for Describe/verify.
 };
 
 /// Leaf yielding a pre-materialized tuple vector (the output of pattern
@@ -72,6 +78,8 @@ class MaterializedScan : public Operator {
   void Close() override {}
   std::string label() const override;
 
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
  private:
   TupleSchema schema_;
   std::vector<Tuple> tuples_;
@@ -89,6 +97,8 @@ class Filter : public Operator {
   Result<std::optional<Tuple>> Next() override;
   void Close() override { child_->Close(); }
   std::string label() const override;
+
+  const std::vector<BoundCondition>& conditions() const { return conditions_; }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -110,6 +120,10 @@ class HashJoin : public Operator {
 
   const std::vector<std::string>& join_variables() const {
     return join_variables_;
+  }
+  const std::vector<size_t>& left_key_slots() const { return left_key_slots_; }
+  const std::vector<size_t>& right_key_slots() const {
+    return right_key_slots_;
   }
 
  private:
@@ -144,6 +158,8 @@ class NestedLoopJoin : public Operator {
   void Close() override;
   std::string label() const override { return "NestedLoopJoin"; }
 
+  const std::vector<BoundCondition>& conditions() const { return conditions_; }
+
  private:
   Tuple Combine(const Tuple& left, const Tuple& right) const;
 
@@ -173,6 +189,8 @@ class Sort : public Operator {
   Result<std::optional<Tuple>> Next() override;
   void Close() override;
   std::string label() const override { return "Sort"; }
+
+  const std::vector<Key>& keys() const { return keys_; }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -225,6 +243,11 @@ class HashAggregate : public Operator {
   Result<std::optional<Tuple>> Next() override;
   void Close() override;
   std::string label() const override { return "HashAggregate"; }
+
+  const std::vector<std::string>& group_variables() const {
+    return group_variables_;
+  }
+  const std::vector<Spec>& specs() const { return specs_; }
 
  private:
   std::unique_ptr<Operator> child_;

@@ -1,0 +1,259 @@
+#include "algebra/verifier.h"
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace nimble {
+namespace algebra {
+
+namespace {
+
+/// Plans are compiler output; any violation is an engine bug, reported as
+/// kInternal so it can never be mistaken for a user error.
+Status Violation(const Operator& op, const std::string& what) {
+  return Status::Internal("plan verifier: " + op.label() + ": " + what);
+}
+
+/// I9: trees stay shallow (a query has a bounded number of patterns and
+/// clauses); a deeper tree indicates a cycle or runaway construction.
+constexpr int kMaxDepth = 512;
+
+/// I1: schema slot names are non-empty and unique — a duplicate name makes
+/// SlotOf ambiguous and every slot-based invariant meaningless.
+Status CheckSchemaWellFormed(const Operator& op) {
+  std::set<std::string> seen;
+  for (const std::string& variable : op.schema().variables()) {
+    if (variable.empty()) {
+      return Violation(op, "schema contains an empty variable name");
+    }
+    if (!seen.insert(variable).second) {
+      return Violation(op, "schema binds variable $" + variable + " twice");
+    }
+  }
+  return Status::OK();
+}
+
+/// I4: every BoundCondition slot is -1 (literal) or within `arity`; LIKE
+/// literal operands must be strings (the only operand typing the untyped
+/// schema lets us check statically).
+Status CheckConditionSlots(const Operator& op,
+                           const std::vector<BoundCondition>& conditions,
+                           size_t arity, const char* against) {
+  for (const BoundCondition& cond : conditions) {
+    for (int slot : {cond.lhs_slot, cond.rhs_slot}) {
+      if (slot < -1 || slot >= static_cast<int>(arity)) {
+        return Violation(op, "condition references slot " +
+                                 std::to_string(slot) + " but " + against +
+                                 " has arity " + std::to_string(arity));
+      }
+    }
+    if (cond.op == xmlql::Condition::Op::kLike) {
+      if (cond.lhs_slot == -1 && !cond.lhs_literal.is_string()) {
+        return Violation(op, "LIKE subject literal is not a string");
+      }
+      if (cond.rhs_slot == -1 && !cond.rhs_literal.is_string()) {
+        return Violation(op, "LIKE pattern literal is not a string");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyNode(const Operator& op, int depth) {
+  if (depth > kMaxDepth) {
+    return Violation(op, "plan deeper than " + std::to_string(kMaxDepth) +
+                             " operators (cycle?)");
+  }
+
+  // I9: tree shape — the expected child count per operator kind, and no
+  // null child views.
+  const std::vector<const Operator*>& children = op.children();
+  for (const Operator* child : children) {
+    if (child == nullptr) return Violation(op, "null child operator");
+  }
+  int expected = -1;
+  if (dynamic_cast<const MaterializedScan*>(&op) != nullptr) expected = 0;
+  if (dynamic_cast<const Filter*>(&op) != nullptr ||
+      dynamic_cast<const Sort*>(&op) != nullptr ||
+      dynamic_cast<const Limit*>(&op) != nullptr ||
+      dynamic_cast<const HashAggregate*>(&op) != nullptr) {
+    expected = 1;
+  }
+  if (dynamic_cast<const HashJoin*>(&op) != nullptr ||
+      dynamic_cast<const NestedLoopJoin*>(&op) != nullptr) {
+    expected = 2;
+  }
+  if (expected >= 0 && static_cast<int>(children.size()) != expected) {
+    return Violation(op, "expected " + std::to_string(expected) +
+                             " children, found " +
+                             std::to_string(children.size()));
+  }
+
+  NIMBLE_RETURN_IF_ERROR(CheckSchemaWellFormed(op));  // I1
+
+  if (const auto* scan = dynamic_cast<const MaterializedScan*>(&op)) {
+    // I2: every materialized tuple matches the scan's declared arity.
+    const size_t arity = scan->schema().size();
+    for (size_t i = 0; i < scan->tuples().size(); ++i) {
+      if (scan->tuples()[i].size() != arity) {
+        return Violation(
+            op, "tuple " + std::to_string(i) + " has " +
+                    std::to_string(scan->tuples()[i].size()) +
+                    " bindings but the schema declares " +
+                    std::to_string(arity));
+      }
+    }
+  }
+
+  if (const auto* filter = dynamic_cast<const Filter*>(&op)) {
+    const Operator& child = *children[0];
+    // I3: pass-through operators preserve their child's schema.
+    if (!(filter->schema() == child.schema())) {
+      return Violation(op, "schema " + filter->schema().ToString() +
+                               " differs from child schema " +
+                               child.schema().ToString());
+    }
+    NIMBLE_RETURN_IF_ERROR(CheckConditionSlots(
+        op, filter->conditions(), child.schema().size(), "the child schema"));
+  }
+
+  if (const auto* sort = dynamic_cast<const Sort*>(&op)) {
+    const Operator& child = *children[0];
+    if (!(sort->schema() == child.schema())) {  // I3
+      return Violation(op, "schema " + sort->schema().ToString() +
+                               " differs from child schema " +
+                               child.schema().ToString());
+    }
+    for (const Sort::Key& key : sort->keys()) {  // I4
+      if (key.slot >= child.schema().size()) {
+        return Violation(op, "sort key slot " + std::to_string(key.slot) +
+                                 " exceeds child arity " +
+                                 std::to_string(child.schema().size()));
+      }
+    }
+  }
+
+  if (const auto* limit = dynamic_cast<const Limit*>(&op)) {
+    if (!(limit->schema() == children[0]->schema())) {  // I3
+      return Violation(op, "schema " + limit->schema().ToString() +
+                               " differs from child schema " +
+                               children[0]->schema().ToString());
+    }
+  }
+
+  if (const auto* join = dynamic_cast<const HashJoin*>(&op)) {
+    const TupleSchema& left = children[0]->schema();
+    const TupleSchema& right = children[1]->schema();
+    // I5: a hash join needs at least one shared variable, and its key-slot
+    // lists must name that variable in each child's schema.
+    if (join->join_variables().empty()) {
+      return Violation(op, "hash join without shared variables (should be a "
+                           "NestedLoopJoin)");
+    }
+    if (join->left_key_slots().size() != join->join_variables().size() ||
+        join->right_key_slots().size() != join->join_variables().size()) {
+      return Violation(op, "key slot lists do not match join variables");
+    }
+    for (size_t i = 0; i < join->join_variables().size(); ++i) {
+      const std::string& variable = join->join_variables()[i];
+      const size_t ls = join->left_key_slots()[i];
+      const size_t rs = join->right_key_slots()[i];
+      if (ls >= left.size() || left.variables()[ls] != variable) {
+        return Violation(op, "left key slot " + std::to_string(ls) +
+                                 " does not bind $" + variable +
+                                 " in the left schema " + left.ToString());
+      }
+      if (rs >= right.size() || right.variables()[rs] != variable) {
+        return Violation(op, "right key slot " + std::to_string(rs) +
+                                 " does not bind $" + variable +
+                                 " in the right schema " + right.ToString());
+      }
+    }
+    // I6: join output is exactly the merged child schemas.
+    if (!(join->schema() == left.Merge(right))) {
+      return Violation(op, "schema " + join->schema().ToString() +
+                               " is not the merge of its children (" +
+                               left.Merge(right).ToString() + ")");
+    }
+  }
+
+  if (const auto* nlj = dynamic_cast<const NestedLoopJoin*>(&op)) {
+    const TupleSchema& left = children[0]->schema();
+    const TupleSchema& right = children[1]->schema();
+    if (!(nlj->schema() == left.Merge(right))) {  // I6
+      return Violation(op, "schema " + nlj->schema().ToString() +
+                               " is not the merge of its children (" +
+                               left.Merge(right).ToString() + ")");
+    }
+    // I4: residual conditions are evaluated on the *output* tuple.
+    NIMBLE_RETURN_IF_ERROR(CheckConditionSlots(
+        op, nlj->conditions(), nlj->schema().size(), "the join output"));
+  }
+
+  if (const auto* agg = dynamic_cast<const HashAggregate*>(&op)) {
+    const TupleSchema& child = children[0]->schema();
+    // I7: grouping keys and aggregate inputs must exist in the child.
+    for (const std::string& variable : agg->group_variables()) {
+      if (!child.SlotOf(variable).has_value()) {
+        return Violation(op, "group variable $" + variable +
+                                 " is not produced by the child schema " +
+                                 child.ToString());
+      }
+    }
+    for (const HashAggregate::Spec& spec : agg->specs()) {
+      if (spec.fn == HashAggregate::Fn::kCount && spec.input_variable.empty()) {
+        continue;  // count(*) needs no input slot
+      }
+      if (!child.SlotOf(spec.input_variable).has_value()) {
+        return Violation(op, "aggregate input $" + spec.input_variable +
+                                 " is not produced by the child schema " +
+                                 child.ToString());
+      }
+    }
+    // I8: output schema is exactly groups then aggregate outputs, with no
+    // name collisions (a collision silently folds two outputs into one
+    // slot).
+    TupleSchema expected;
+    for (const std::string& variable : agg->group_variables()) {
+      expected.AddVariable(variable);
+    }
+    for (const HashAggregate::Spec& spec : agg->specs()) {
+      expected.AddVariable(spec.output_variable);
+    }
+    if (expected.size() !=
+        agg->group_variables().size() + agg->specs().size()) {
+      return Violation(op, "duplicate output variable names in aggregate "
+                           "schema " +
+                               expected.ToString());
+    }
+    if (!(agg->schema() == expected)) {
+      return Violation(op, "schema " + agg->schema().ToString() +
+                               " does not match groups + outputs (" +
+                               expected.ToString() + ")");
+    }
+  }
+
+  for (const Operator* child : children) {
+    NIMBLE_RETURN_IF_ERROR(VerifyNode(*child, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyPlan(const Operator& root) { return VerifyNode(root, 0); }
+
+Status VerifyPlanProducesVariables(const Operator& root,
+                                   const std::vector<std::string>& required) {
+  for (const std::string& variable : required) {
+    if (!root.schema().SlotOf(variable).has_value()) {  // I10
+      return Violation(root, "plan does not produce $" + variable +
+                                 " required by the CONSTRUCT template");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace algebra
+}  // namespace nimble

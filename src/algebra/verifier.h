@@ -1,0 +1,31 @@
+#ifndef NIMBLE_ALGEBRA_VERIFIER_H_
+#define NIMBLE_ALGEBRA_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/operators.h"
+#include "common/status.h"
+
+namespace nimble {
+namespace algebra {
+
+/// Walks a physical operator tree checking the IR invariants documented in
+/// DESIGN.md §2f (I1–I9): schema well-formedness, scan arity, pass-through
+/// schemas, condition/sort slot ranges, join-key consistency, join/aggregate
+/// output schemas, and tree shape. A violation means the compiler built a
+/// broken plan, so the status code is kInternal — never a user error.
+[[nodiscard]] Status VerifyPlan(const Operator& root);
+
+/// Checks that the plan's root schema can supply every variable in
+/// `required` (the CONSTRUCT template's inputs — invariant I10). This is
+/// Nimble's UNION-compatibility condition: branch results are concatenated
+/// as XML rather than positionally unioned, so each branch plan need only
+/// cover its own template.
+[[nodiscard]] Status VerifyPlanProducesVariables(
+    const Operator& root, const std::vector<std::string>& required);
+
+}  // namespace algebra
+}  // namespace nimble
+
+#endif  // NIMBLE_ALGEBRA_VERIFIER_H_

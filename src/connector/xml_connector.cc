@@ -46,6 +46,13 @@ Status XmlConnector::PutDocumentText(const std::string& doc_name,
   return Status::OK();
 }
 
+bool XmlConnector::RemoveDocument(const std::string& doc_name) {
+  WriterMutexLock lock(doc_mutex_);
+  if (documents_.erase(doc_name) == 0) return false;
+  ++version_;
+  return true;
+}
+
 NodePtr XmlConnector::MutableDocument(const std::string& doc_name) {
   WriterMutexLock lock(doc_mutex_);
   auto it = documents_.find(doc_name);

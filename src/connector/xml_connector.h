@@ -47,6 +47,11 @@ class XmlConnector : public Connector {
   /// Mutable access for update simulations (bumps the data version).
   NodePtr MutableDocument(const std::string& doc_name);
 
+  /// Drops a document (bumps the data version). Returns true when it
+  /// existed. Simulates a source-side schema change: plans compiled while
+  /// the document existed become stale.
+  bool RemoveDocument(const std::string& doc_name);
+
  private:
   std::string name_;
   mutable SharedMutex doc_mutex_{LockRank::kConnectorData, "xml_connector.docs"};

@@ -6,6 +6,8 @@
 
 #include "algebra/construct.h"
 #include "algebra/pattern_match.h"
+#include "algebra/verifier.h"
+#include "core/plan_verifier.h"
 #include "core/sql_generator.h"
 #include "xmlql/parser.h"
 
@@ -183,8 +185,31 @@ Clock* IntegrationEngine::clock() {
 
 Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
     std::string_view text) {
-  if (plan_cache_ != nullptr) return plan_cache_->GetOrCompile(text);
-  return CompileProgram(text);
+  if (!options_.verify_plans) {
+    if (plan_cache_ != nullptr) return plan_cache_->GetOrCompile(text);
+    return CompileProgram(text);
+  }
+  if (plan_cache_ == nullptr) {
+    NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> compiled,
+                            CompileProgram(text));
+    NIMBLE_RETURN_IF_ERROR(VerifyCompiledProgram(*compiled, *catalog_));
+    return compiled;
+  }
+  // Cached plans are re-verified on every hit: a plan compiled against an
+  // older catalog (a collection dropped, a view redefined) is evicted and
+  // recompiled instead of executed.
+  std::string canonical = CanonicalizeQueryText(text);
+  std::shared_ptr<const CompiledProgram> cached =
+      plan_cache_->Lookup(canonical);
+  if (cached != nullptr) {
+    if (VerifyCompiledProgram(*cached, *catalog_).ok()) return cached;
+    plan_cache_->Erase(canonical);
+  }
+  NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> compiled,
+                          CompileProgram(text));
+  NIMBLE_RETURN_IF_ERROR(VerifyCompiledProgram(*compiled, *catalog_));
+  plan_cache_->Insert(canonical, compiled);
+  return compiled;
 }
 
 Result<QueryResult> IntegrationEngine::ExecuteText(
@@ -296,6 +321,17 @@ Result<QueryResult> IntegrationEngine::Execute(
   fragmentations.reserve(program.branches.size());
   for (const xmlql::Query& branch : program.branches) {
     fragmentations.push_back(FragmentQuery(branch));
+  }
+  if (options_.verify_plans) {
+    CatalogResolver resolver(*catalog_);
+    xmlql::AnalysisOptions analysis;
+    analysis.resolver = &resolver;
+    analysis.strict = true;
+    NIMBLE_RETURN_IF_ERROR(xmlql::AnalyzeProgram(program, analysis));
+    for (size_t i = 0; i < program.branches.size(); ++i) {
+      NIMBLE_RETURN_IF_ERROR(VerifyFragmentation(program.branches[i],
+                                                 fragmentations[i], *catalog_));
+    }
   }
   return ExecuteFragmented(program, fragmentations, query_options);
 }
@@ -593,6 +629,27 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
       std::move(fragment_results), fragmentation.cross_conditions, query);
   if (!plan.ok()) return plan.status();
   report->plan = (*plan)->Describe();
+
+  if (options_.verify_plans) {
+    // IR invariants over the freshly built tree, then I10: the root schema
+    // must supply everything the CONSTRUCT template consumes (for
+    // aggregations, the grouping keys plus the "<fn>_<var>" outputs).
+    NIMBLE_RETURN_IF_ERROR(algebra::VerifyPlan(**plan));
+    std::vector<std::string> required;
+    if (query.IsAggregation()) {
+      query.construct->CollectNonAggregateVariables(&required);
+      std::vector<std::pair<xmlql::AggregateFn, std::string>> calls;
+      query.construct->CollectAggregates(&calls);
+      for (const auto& [fn, var] : calls) {
+        required.push_back(std::string(xmlql::AggregateFnName(fn)) + "_" +
+                           var);
+      }
+    } else {
+      query.construct->CollectVariables(&required);
+    }
+    NIMBLE_RETURN_IF_ERROR(
+        algebra::VerifyPlanProducesVariables(**plan, required));
+  }
 
   // Drain the plan, instantiating the CONSTRUCT template per tuple.
   NIMBLE_RETURN_IF_ERROR((*plan)->Open());

@@ -82,6 +82,17 @@ struct EngineOptions {
   /// per-branch fragmentation); repeated queries and mediated-view
   /// expansions skip parse/fragment. 0 disables.
   size_t plan_cache_entries = 64;
+  /// Run the three-stage static-analysis pass (strict semantic analysis
+  /// with catalog resolution, fragmentation verification with SQL
+  /// round-trip, and operator-tree IR invariants — DESIGN.md §2f) on every
+  /// compiled program, on every plan-cache hit (stale plans are evicted and
+  /// recompiled), and on every built plan before it is drained. Defaults on
+  /// in Debug builds; release builds opt in.
+#ifdef NDEBUG
+  bool verify_plans = false;
+#else
+  bool verify_plans = true;
+#endif
 
   // --- Admission control & QoS (src/sched, DESIGN.md §2d) ---------------
   /// Token-based concurrency limiter: at most this many queries execute at

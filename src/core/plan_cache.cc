@@ -94,6 +94,15 @@ void PlanCache::Insert(const std::string& canonical_text,
   ++stats_.insertions;
 }
 
+void PlanCache::Erase(const std::string& canonical_text) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(canonical_text);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+  ++stats_.invalidations;
+}
+
 void PlanCache::Clear() {
   MutexLock lock(mu_);
   lru_.clear();

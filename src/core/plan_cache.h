@@ -57,6 +57,11 @@ class PlanCache {
   void Insert(const std::string& canonical_text,
               std::shared_ptr<const CompiledProgram> compiled);
 
+  /// Drops one entry (no-op when absent). Used by the engine when the plan
+  /// verifier rejects a cached plan that no longer matches the catalog;
+  /// counted as an invalidation, not an eviction.
+  void Erase(const std::string& canonical_text);
+
   void Clear();
 
   struct Stats {
@@ -64,6 +69,8 @@ class PlanCache {
     size_t misses = 0;
     size_t insertions = 0;
     size_t evictions = 0;
+    /// Entries dropped by Erase (verifier-rejected stale plans).
+    size_t invalidations = 0;
   };
   Stats stats() const;
   size_t size() const;

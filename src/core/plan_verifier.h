@@ -1,0 +1,55 @@
+#ifndef NIMBLE_CORE_PLAN_VERIFIER_H_
+#define NIMBLE_CORE_PLAN_VERIFIER_H_
+
+#include "common/status.h"
+#include "core/fragmenter.h"
+#include "core/plan_cache.h"
+#include "metadata/catalog.h"
+#include "xmlql/ast.h"
+#include "xmlql/semantic.h"
+
+namespace nimble {
+namespace core {
+
+/// CollectionResolver backed by the live Catalog: a bare name must resolve
+/// to a defined mediated view, and "source:collection" must name a
+/// registered source whose collection enumeration — when the source can
+/// enumerate at all — contains the collection. An empty enumeration (a
+/// source that is down, or one that does not expose a listing) resolves
+/// permissively: availability is a runtime concern, not a static one.
+class CatalogResolver : public xmlql::CollectionResolver {
+ public:
+  explicit CatalogResolver(const metadata::Catalog& catalog)
+      : catalog_(catalog) {}
+
+  [[nodiscard]] Status Resolve(const xmlql::SourceRef& ref) const override;
+
+ private:
+  const metadata::Catalog& catalog_;
+};
+
+/// Fragmentation invariants (F1–F4, DESIGN.md §2f) over one branch:
+///   F1  the fragments' patterns cover the query's patterns exactly once;
+///   F2  local + cross conditions cover the query's conditions exactly once;
+///   F3  every fragment's schema matches its pattern's recomputed schema;
+///   F4  pushdown legality — a fragment over a non-SQL source must not
+///       translate to SQL, and every SQL emission round-trips through our
+///       own relational parser (reparse, compare ToSql(), and check the
+///       projection arity against the fragment's variable mapping).
+/// Violations are kInternal: the fragmenter or SQL generator is broken.
+[[nodiscard]] Status VerifyFragmentation(const xmlql::Query& query,
+                                         const Fragmentation& fragmentation,
+                                         const metadata::Catalog& catalog);
+
+/// The full static-analysis pass over a compiled program: strict semantic
+/// analysis with catalog resolution (xmlql/semantic.h), then per-branch
+/// fragmentation verification. The engine runs this after compilation and
+/// again on every plan-cache hit, so a cached plan whose catalog has moved
+/// on is rejected (and evicted) instead of executed.
+[[nodiscard]] Status VerifyCompiledProgram(const CompiledProgram& compiled,
+                                           const metadata::Catalog& catalog);
+
+}  // namespace core
+}  // namespace nimble
+
+#endif  // NIMBLE_CORE_PLAN_VERIFIER_H_

@@ -14,6 +14,13 @@ std::vector<size_t> OrderedIndex::Range(const Value& lo, bool lo_inclusive,
                                         const Value& hi,
                                         bool hi_inclusive) const {
   std::vector<size_t> out;
+  // An inverted range (lo > hi, or lo == hi with an exclusive end) is empty.
+  // Without this guard `begin` can sit past `end` and the walk below never
+  // terminates.
+  if (!lo.is_null() && !hi.is_null()) {
+    int cmp = lo.Compare(hi);
+    if (cmp > 0 || (cmp == 0 && !(lo_inclusive && hi_inclusive))) return out;
+  }
   auto begin = lo.is_null() ? entries_.begin()
                : lo_inclusive ? entries_.lower_bound(lo)
                               : entries_.upper_bound(lo);

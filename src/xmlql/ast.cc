@@ -5,6 +5,11 @@
 namespace nimble {
 namespace xmlql {
 
+std::string SourcePos::ToString() const {
+  if (!known()) return "unknown position";
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
 void ElementPattern::CollectVariables(std::vector<std::string>* out) const {
   for (const AttrPattern& attr : attributes) {
     if (attr.is_variable) out->push_back(attr.variable);

@@ -11,6 +11,18 @@
 namespace nimble {
 namespace xmlql {
 
+/// 1-based position of a syntactic element in the query text. {0,0} means
+/// unknown (hand-built ASTs); parser-produced nodes always carry one, so
+/// semantic diagnostics can cite the offending binding or condition.
+struct SourcePos {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  /// "line L, column C", or "unknown position".
+  std::string ToString() const;
+};
+
 /// An attribute match inside an element pattern: either binds the attribute
 /// value to a variable (`year=$y`) or constrains it to a literal
 /// (`year="2001"`).
@@ -33,6 +45,7 @@ struct ElementPattern {
   /// `ELEMENT_AS $e`: binds the whole element node.
   std::string element_variable;
   std::vector<std::unique_ptr<ElementPattern>> children;
+  SourcePos pos;  ///< of the opening '<'.
 
   /// Collects every variable bound anywhere in this subtree.
   void CollectVariables(std::vector<std::string>* out) const;
@@ -55,6 +68,7 @@ struct SourceRef {
 struct PatternClause {
   ElementPattern root;
   SourceRef source;
+  SourcePos pos;  ///< of the pattern's opening '<'.
 };
 
 /// A comparison between variables and/or literals.
@@ -69,6 +83,7 @@ struct Condition {
 
   Op op = Op::kEq;
   Operand lhs, rhs;
+  SourcePos pos;  ///< of the first operand.
 
   /// Variables referenced by this condition.
   std::vector<std::string> Variables() const;
@@ -100,6 +115,7 @@ struct TemplateNode {
   AggregateFn aggregate = AggregateFn::kCount;  ///< kAggregate.
   Value text;            ///< kText.
   std::vector<std::unique_ptr<TemplateNode>> children;
+  SourcePos pos;
 
   void CollectVariables(std::vector<std::string>* out) const;
   bool ContainsAggregate() const;
@@ -113,6 +129,7 @@ struct TemplateNode {
 struct OrderSpec {
   std::string variable;
   bool descending = false;
+  SourcePos pos;
 };
 
 /// A parsed XML-QL query:
@@ -125,6 +142,8 @@ struct Query {
   /// GROUP BY variables; may be empty even for aggregation (one global
   /// group, as in `SELECT COUNT(*)` without GROUP BY).
   std::vector<std::string> group_by;
+  /// Positions parallel to `group_by` (empty for hand-built ASTs).
+  std::vector<SourcePos> group_by_pos;
   std::unique_ptr<TemplateNode> construct;
   std::vector<OrderSpec> order_by;
   int64_t limit = -1;

@@ -2,9 +2,9 @@
 
 #include <cctype>
 #include <cstdlib>
-#include <set>
 
 #include "common/strings.h"
+#include "xmlql/semantic.h"
 
 namespace nimble {
 namespace xmlql {
@@ -61,6 +61,8 @@ class Parser {
     if (ConsumeWord("GROUP")) {
       NIMBLE_RETURN_IF_ERROR(ExpectWord("BY"));
       while (true) {
+        SkipWhitespace();
+        query.group_by_pos.push_back(Pos());
         NIMBLE_ASSIGN_OR_RETURN(std::string var, ParseVariable());
         query.group_by.push_back(std::move(var));
         SkipWhitespace();
@@ -72,8 +74,9 @@ class Parser {
       NIMBLE_RETURN_IF_ERROR(ExpectWord("BY"));
       while (true) {
         SkipWhitespace();
-        NIMBLE_ASSIGN_OR_RETURN(std::string var, ParseVariable());
         OrderSpec spec;
+        spec.pos = Pos();
+        NIMBLE_ASSIGN_OR_RETURN(std::string var, ParseVariable());
         spec.variable = std::move(var);
         SkipWhitespace();
         if (ConsumeWord("DESC")) {
@@ -103,13 +106,24 @@ class Parser {
     return query;
   }
 
-  Status Error(const std::string& what) const {
-    size_t line = 1;
-    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
-      if (input_[i] == '\n') ++line;
+  /// Line/column of the cursor. The parser never backtracks, so the scan
+  /// cache only ever advances — position lookup is amortized O(1).
+  SourcePos Pos() {
+    while (scanned_ < pos_ && scanned_ < input_.size()) {
+      if (input_[scanned_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++scanned_;
     }
-    return Status::ParseError("XML-QL parse error at line " +
-                              std::to_string(line) + ": " + what);
+    return SourcePos{line_, column_};
+  }
+
+  Status Error(const std::string& what) {
+    return Status::ParseError("XML-QL parse error at " + Pos().ToString() +
+                              ": " + what);
   }
 
   char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
@@ -205,6 +219,7 @@ class Parser {
   Result<PatternClause> ParsePatternClause() {
     PatternClause clause;
     NIMBLE_ASSIGN_OR_RETURN(clause.root, ParseElementPattern());
+    clause.pos = clause.root.pos;
     NIMBLE_RETURN_IF_ERROR(ExpectWord("IN"));
     SkipWhitespace();
     std::string ref;
@@ -228,8 +243,10 @@ class Parser {
 
   Result<ElementPattern> ParseElementPattern() {
     SkipWhitespace();
+    SourcePos pos = Pos();
     if (!Consume('<')) return Error("expected '<' to open a pattern");
     ElementPattern pattern;
+    pattern.pos = pos;
     if (Peek() == '/') {
       // `<//tag>` descendant form.
       if (input_.substr(pos_, 2) != "//") {
@@ -335,6 +352,8 @@ class Parser {
 
   Result<Condition> ParseCondition() {
     Condition cond;
+    SkipWhitespace();
+    cond.pos = Pos();
     NIMBLE_ASSIGN_OR_RETURN(cond.lhs, ParseOperand());
     SkipWhitespace();
     if (ConsumeWord("LIKE")) {
@@ -365,8 +384,10 @@ class Parser {
 
   Result<std::unique_ptr<TemplateNode>> ParseTemplate() {
     SkipWhitespace();
+    SourcePos pos = Pos();
     if (!Consume('<')) return Error("CONSTRUCT requires an element template");
     auto node = std::make_unique<TemplateNode>();
+    node->pos = pos;
     node->kind = TemplateNode::Kind::kElement;
     NIMBLE_ASSIGN_OR_RETURN(node->tag, ParseName());
 
@@ -413,6 +434,7 @@ class Parser {
       }
       if (Peek() == '$') {
         auto var = std::make_unique<TemplateNode>();
+        var->pos = Pos();
         var->kind = TemplateNode::Kind::kVariable;
         NIMBLE_ASSIGN_OR_RETURN(var->variable, ParseVariable());
         node->children.push_back(std::move(var));
@@ -422,6 +444,7 @@ class Parser {
       std::optional<AggregateFn> aggregate = PeekAggregateCall();
       if (aggregate.has_value()) {
         auto agg = std::make_unique<TemplateNode>();
+        agg->pos = Pos();
         agg->kind = TemplateNode::Kind::kAggregate;
         agg->aggregate = *aggregate;
         // Consume "fn ( $var )".
@@ -485,62 +508,17 @@ class Parser {
 
   // ---- Validation -----------------------------------------------------------
 
-  Status Validate(const Query& query) const {
-    if (query.patterns.empty()) {
-      return Status::ParseError("query has no WHERE pattern");
-    }
-    std::vector<std::string> bound_list = query.BoundVariables();
-    std::set<std::string> bound(bound_list.begin(), bound_list.end());
-    auto check = [&](const std::vector<std::string>& used,
-                     const char* where) -> Status {
-      for (const std::string& var : used) {
-        if (bound.count(var) == 0) {
-          return Status::ParseError("variable $" + var + " used in " + where +
-                                    " is not bound by any pattern");
-        }
-      }
-      return Status::OK();
-    };
-    for (const Condition& cond : query.conditions) {
-      NIMBLE_RETURN_IF_ERROR(check(cond.Variables(), "a condition"));
-    }
-    std::vector<std::string> template_vars;
-    query.construct->CollectVariables(&template_vars);
-    NIMBLE_RETURN_IF_ERROR(check(template_vars, "CONSTRUCT"));
-    NIMBLE_RETURN_IF_ERROR(check(query.group_by, "GROUP BY"));
-    std::vector<std::string> order_vars;
-    for (const OrderSpec& spec : query.order_by) {
-      order_vars.push_back(spec.variable);
-    }
-    NIMBLE_RETURN_IF_ERROR(check(order_vars, "ORDER BY"));
-
-    // Aggregation semantics: every template/order variable used outside an
-    // aggregate call must be a grouping key.
-    if (query.IsAggregation()) {
-      std::set<std::string> groups(query.group_by.begin(),
-                                   query.group_by.end());
-      std::vector<std::string> plain_vars;
-      query.construct->CollectNonAggregateVariables(&plain_vars);
-      for (const std::string& var : plain_vars) {
-        if (groups.count(var) == 0) {
-          return Status::ParseError(
-              "variable $" + var +
-              " used outside an aggregate must appear in GROUP BY");
-        }
-      }
-      for (const std::string& var : order_vars) {
-        if (groups.count(var) == 0) {
-          return Status::ParseError(
-              "ORDER BY $" + var +
-              " must be a GROUP BY variable in an aggregation");
-        }
-      }
-    }
-    return Status::OK();
-  }
+  /// Structural validation is shared with the engine's verifier: the parser
+  /// runs the basic (non-strict, catalog-free) subset so every parse result
+  /// is at least structurally sound.
+  Status Validate(const Query& query) const { return AnalyzeQuery(query); }
 
   std::string_view input_;
   size_t pos_ = 0;
+  /// Incremental line/column scan cache for Pos().
+  size_t scanned_ = 0;
+  int line_ = 1;
+  int column_ = 1;
 };
 
 }  // namespace

@@ -72,7 +72,11 @@ class EngineTest : public ::testing::Test {
     org_conn->MapCollection("staff", "/corp");
     Must(catalog_->RegisterSource(std::move(org_conn)));
 
-    engine_ = std::make_unique<IntegrationEngine>(catalog_.get());
+    // The full static-analysis pass runs on every query in this suite,
+    // regardless of build type (NDEBUG defaults it off).
+    EngineOptions opts;
+    opts.verify_plans = true;
+    engine_ = std::make_unique<IntegrationEngine>(catalog_.get(), opts);
   }
 
   void Must(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "connector/hierarchical_connector.h"
+#include "connector/relational_connector.h"
+#include "connector/xml_connector.h"
+#include "core/engine.h"
+
+namespace nimble {
+namespace core {
+namespace {
+
+/// Golden EXPLAIN snapshots: `ExecutionReport::plan` is the operator tree's
+/// Describe() rendering, and these tests pin it for the representative query
+/// shapes so plan regressions (join order, pushdown decisions, operator
+/// placement) show up as a readable diff.
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crm_ = std::make_unique<relational::Database>("crm");
+    Must(crm_->Execute("CREATE TABLE customers (id INT PRIMARY KEY, "
+                       "name TEXT, city TEXT, segment TEXT)"));
+    Must(crm_->Execute(
+        "INSERT INTO customers VALUES (1, 'Ada Lovelace', 'Seattle', 'gold'), "
+        "(2, 'Bob Barker', 'Portland', 'bronze'), "
+        "(3, 'Cleo Patra', 'Seattle', 'gold'), "
+        "(4, 'Dan Druff', 'Boise', 'silver')"));
+    Must(crm_->Execute("CREATE INDEX idx_segment ON customers (segment)"));
+
+    sales_ = std::make_unique<relational::Database>("sales");
+    Must(sales_->Execute("CREATE TABLE orders (oid INT PRIMARY KEY, "
+                         "cust INT, total DOUBLE, sku TEXT)"));
+    Must(sales_->Execute("INSERT INTO orders VALUES "
+                         "(100, 1, 250.0, 'widget'), (101, 1, 80.0, 'gizmo'), "
+                         "(102, 3, 999.0, 'widget'), (103, 2, 5.0, 'gadget'), "
+                         "(104, 9, 1.0, 'widget')"));
+
+    auto products = std::make_unique<connector::XmlConnector>("feed");
+    Must(products->PutDocumentText(
+        "products",
+        "<products>"
+        "<product sku=\"widget\"><title>Widget Deluxe</title>"
+        "<price>25.0</price></product>"
+        "<product sku=\"gizmo\"><title>Gizmo</title><price>8.0</price>"
+        "</product>"
+        "<product sku=\"gadget\"><title>Gadget</title><price>1.0</price>"
+        "</product>"
+        "</products>"));
+
+    org_ = std::make_unique<hierarchical::HStore>("org");
+    Must(org_->Put("/corp/sales/ada",
+                   {{"employee", Value::String("Ada Lovelace")},
+                    {"role", Value::String("rep")}}));
+    Must(org_->Put("/corp/sales/eve",
+                   {{"employee", Value::String("Eve Adams")},
+                    {"role", Value::String("manager")}}));
+
+    catalog_ = std::make_unique<metadata::Catalog>();
+    Must(catalog_->RegisterSource(
+        std::make_unique<connector::RelationalConnector>("crm", crm_.get())));
+    Must(catalog_->RegisterSource(
+        std::make_unique<connector::RelationalConnector>("sales",
+                                                         sales_.get())));
+    Must(catalog_->RegisterSource(std::move(products)));
+    auto org_conn = std::make_unique<connector::HierarchicalConnector>(
+        "org", org_.get());
+    org_conn->MapCollection("staff", "/corp");
+    Must(catalog_->RegisterSource(std::move(org_conn)));
+    Must(catalog_->DefineView(
+        "gold_customers",
+        "WHERE <customers><row><id>$i</id><name>$n</name>"
+        "<segment>$s</segment></row></customers> IN \"crm:customers\", "
+        "$s = 'gold' "
+        "CONSTRUCT <gold><id>$i</id><name>$n</name></gold>"));
+
+    EngineOptions opts;
+    opts.verify_plans = true;
+    engine_ = std::make_unique<IntegrationEngine>(catalog_.get(), opts);
+  }
+
+  void Must(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
+  template <typename T>
+  void Must(const Result<T>& r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  std::string PlanFor(const std::string& text) {
+    Result<QueryResult> r = engine_->ExecuteText(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "<execution failed>";
+    return r->report.plan;
+  }
+
+  std::unique_ptr<relational::Database> crm_;
+  std::unique_ptr<relational::Database> sales_;
+  std::unique_ptr<hierarchical::HStore> org_;
+  std::unique_ptr<metadata::Catalog> catalog_;
+  std::unique_ptr<IntegrationEngine> engine_;
+};
+
+TEST_F(ExplainTest, SelectionPushdown) {
+  EXPECT_EQ(PlanFor("WHERE <customers><row><id>$i</id><name>$n</name>"
+                    "<segment>$s</segment></row></customers> "
+                    "IN \"crm:customers\", $s = 'gold' "
+                    "CONSTRUCT <gold><name>$n</name></gold>"),
+            "Scan(sql:crm:customers, 2 tuples) [$i, $n, $s]\n");
+}
+
+TEST_F(ExplainTest, CrossSourceJoinBindJoinsSecondFragment) {
+  EXPECT_EQ(PlanFor("WHERE <customers><row><id>$c</id><name>$n</name></row>"
+                    "</customers> IN \"crm:customers\", "
+                    "<orders><row><cust>$c</cust><total>$t</total></row>"
+                    "</orders> IN \"sales:orders\", $t > 100 "
+                    "CONSTRUCT <big><name>$n</name><total>$t</total></big>"),
+            "HashJoin($c) [$c, $n, $t]\n"
+            "  Scan(sql:crm:customers, 4 tuples) [$c, $n]\n"
+            "  Scan(sql+bind:sales:orders, 2 tuples) [$c, $t]\n");
+}
+
+TEST_F(ExplainTest, ThreeSourceJoinSmallestFirst) {
+  EXPECT_EQ(PlanFor("WHERE <customers><row><id>$c</id><name>$n</name></row>"
+                    "</customers> IN \"crm:customers\", "
+                    "<orders><row><cust>$c</cust><sku>$k</sku></row></orders> "
+                    "IN \"sales:orders\", "
+                    "<products><product sku=$k><title>$ti</title></product>"
+                    "</products> IN \"feed:products\" "
+                    "CONSTRUCT <line><name>$n</name><title>$ti</title></line>"),
+            "HashJoin($c) [$c, $n, $k, $ti]\n"
+            "  Scan(sql:crm:customers, 4 tuples) [$c, $n]\n"
+            "  HashJoin($k) [$k, $ti, $c]\n"
+            "    Scan(fetch:feed:products, 3 tuples) [$k, $ti]\n"
+            "    Scan(sql+bind:sales:orders, 4 tuples) [$c, $k]\n");
+}
+
+TEST_F(ExplainTest, AttributePatternFetchesAndFilters) {
+  EXPECT_EQ(PlanFor("WHERE <products><product sku=$k><price>$p</price>"
+                    "</product></products> IN \"feed:products\", $p < 10 "
+                    "CONSTRUCT <cheap><sku>$k</sku></cheap>"),
+            "Scan(fetch:feed:products, 2 tuples) [$k, $p]\n");
+}
+
+TEST_F(ExplainTest, DescendantAxisOverHierarchicalSource) {
+  EXPECT_EQ(PlanFor("WHERE <//entry><employee>$e</employee><role>$r</role>"
+                    "</entry> IN \"org:staff\", $r = 'manager' "
+                    "CONSTRUCT <mgr><who>$e</who></mgr>"),
+            "Scan(fetch:org:staff, 1 tuples) [$e, $r]\n");
+}
+
+TEST_F(ExplainTest, ElementAsBindsWholeElement) {
+  EXPECT_EQ(PlanFor("WHERE <products><product ELEMENT_AS $pe><title>$ti"
+                    "</title></product></products> IN \"feed:products\" "
+                    "CONSTRUCT <copy>$pe</copy>"),
+            "Scan(fetch:feed:products, 3 tuples) [$pe, $ti]\n");
+}
+
+TEST_F(ExplainTest, OrderByLimitAboveJoin) {
+  EXPECT_EQ(PlanFor("WHERE <customers><row><id>$c</id><name>$n</name></row>"
+                    "</customers> IN \"crm:customers\", "
+                    "<orders><row><cust>$c</cust><total>$t</total></row>"
+                    "</orders> IN \"sales:orders\" "
+                    "CONSTRUCT <o><name>$n</name><total>$t</total></o> "
+                    "ORDER BY $t DESC LIMIT 2"),
+            "Limit(2) [$c, $n, $t]\n"
+            "  Sort [$c, $n, $t]\n"
+            "    HashJoin($c) [$c, $n, $t]\n"
+            "      Scan(sql:crm:customers, 4 tuples) [$c, $n]\n"
+            "      Scan(sql+bind:sales:orders, 4 tuples) [$c, $t]\n");
+}
+
+TEST_F(ExplainTest, TopPushdownSingleFragment) {
+  // The LIMIT is pushed into the SQL fragment (3 tuples shipped), but the
+  // mediator keeps its own Sort+Limit for the final ordering guarantee.
+  EXPECT_EQ(PlanFor("WHERE <customers><row><id>$i</id><name>$n</name></row>"
+                    "</customers> IN \"crm:customers\" "
+                    "CONSTRUCT <c><name>$n</name></c> ORDER BY $i LIMIT 3"),
+            "Limit(3) [$i, $n]\n"
+            "  Sort [$i, $n]\n"
+            "    Scan(sql:crm:customers, 3 tuples) [$i, $n]\n");
+}
+
+TEST_F(ExplainTest, UnionProgramRendersEveryBranch) {
+  EXPECT_EQ(PlanFor("WHERE <customers><row><name>$n</name><segment>$s"
+                    "</segment></row></customers> IN \"crm:customers\", "
+                    "$s = 'gold' "
+                    "CONSTRUCT <hit><name>$n</name></hit> "
+                    "UNION "
+                    "WHERE <products><product><title>$n</title></product>"
+                    "</products> IN \"feed:products\" "
+                    "CONSTRUCT <hit><name>$n</name></hit>"),
+            "-- branch 0 --\n"
+            "Scan(sql:crm:customers, 2 tuples) [$n, $s]\n"
+            "\n"
+            "-- branch 1 --\n"
+            "Scan(fetch:feed:products, 3 tuples) [$n]\n");
+}
+
+TEST_F(ExplainTest, AggregationGroupBy) {
+  EXPECT_EQ(PlanFor("WHERE <orders><row><cust>$c</cust><total>$t</total>"
+                    "</row></orders> IN \"sales:orders\" "
+                    "CONSTRUCT <spend><cust>$c</cust><n>count($t)</n></spend> "
+                    "GROUP BY $c"),
+            "HashAggregate [$c, $count_t]\n"
+            "  Scan(sql:sales:orders, 5 tuples) [$c, $t]\n");
+}
+
+TEST_F(ExplainTest, ViewExpansionScan) {
+  EXPECT_EQ(PlanFor("WHERE <results><gold><id>$i</id><name>$n</name></gold>"
+                    "</results> IN \"gold_customers\" "
+                    "CONSTRUCT <vip><name>$n</name></vip>"),
+            "Scan(view:gold_customers, 2 tuples) [$i, $n]\n");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nimble

@@ -209,6 +209,20 @@ TEST_F(RelationalEdgeTest, OrderByRequiresProjectedKey) {
             StatusCode::kInvalidArgument);
 }
 
+// ---- Index range probes --------------------------------------------------------------
+
+TEST_F(RelationalEdgeTest, InvertedIndexRangeIsEmpty) {
+  // Found by the XML-QL grammar fuzzer: contradictory bounds on an indexed
+  // column (lo > hi) used to walk the index past its end and never return.
+  Exec("CREATE TABLE k (a INT PRIMARY KEY)");
+  Exec("INSERT INTO k VALUES (1), (2), (3)");
+  EXPECT_EQ(Exec("SELECT a FROM k WHERE a <= 0 AND a >= 5").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT a FROM k WHERE a > 2 AND a < 2").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT a FROM k WHERE a >= 2 AND a < 2").rows.size(), 0u);
+  // Degenerate-but-valid single-point range still answers.
+  EXPECT_EQ(Exec("SELECT a FROM k WHERE a >= 2 AND a <= 2").rows.size(), 1u);
+}
+
 // ---- Stats fidelity ------------------------------------------------------------------
 
 TEST_F(RelationalEdgeTest, RowsReturnedMatchesResult) {

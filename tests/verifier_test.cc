@@ -1,0 +1,223 @@
+#include "algebra/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/operators.h"
+
+namespace nimble {
+namespace algebra {
+namespace {
+
+std::unique_ptr<MaterializedScan> Scan(std::vector<std::string> variables,
+                                       size_t rows = 2) {
+  TupleSchema schema(variables);
+  std::vector<Tuple> tuples;
+  for (size_t r = 0; r < rows; ++r) {
+    Tuple tuple;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      tuple.emplace_back(Binding{Value::Int(static_cast<int64_t>(r + c))});
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  return std::make_unique<MaterializedScan>(std::move(schema),
+                                            std::move(tuples), "test");
+}
+
+void ExpectViolation(const Status& s, const std::string& needle) {
+  ASSERT_FALSE(s.ok()) << "expected a verifier violation";
+  EXPECT_EQ(s.code(), StatusCode::kInternal) << s.ToString();
+  EXPECT_NE(s.message().find("plan verifier"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find(needle), std::string::npos) << s.ToString();
+}
+
+/// Pass-through operator that reports a schema different from its child's
+/// (a compiler that forgot to propagate a projection would look like this).
+class LyingFilter : public Filter {
+ public:
+  LyingFilter(std::unique_ptr<Operator> child, TupleSchema lie)
+      : Filter(std::move(child), {}), lie_(std::move(lie)) {}
+  const TupleSchema& schema() const override { return lie_; }
+
+ private:
+  TupleSchema lie_;
+};
+
+/// HashJoin whose output schema is not the merge of its inputs.
+class LyingJoin : public HashJoin {
+ public:
+  LyingJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+            TupleSchema lie)
+      : HashJoin(std::move(left), std::move(right)), lie_(std::move(lie)) {}
+  const TupleSchema& schema() const override { return lie_; }
+
+ private:
+  TupleSchema lie_;
+};
+
+/// Leaf that claims a child it does not have (corrupt children_views_).
+class ExtraChildScan : public MaterializedScan {
+ public:
+  ExtraChildScan(const Operator* bogus)
+      : MaterializedScan(TupleSchema({"a"}), {}, "bad") {
+    children_views_.push_back(bogus);
+  }
+};
+
+// ---- A well-formed plan passes -------------------------------------------
+
+TEST(VerifierTest, ValidPlanPasses) {
+  auto join = std::make_unique<HashJoin>(Scan({"a", "b"}), Scan({"b", "c"}));
+  BoundCondition cond;
+  cond.op = xmlql::Condition::Op::kGt;
+  cond.lhs_slot = 0;
+  cond.rhs_slot = -1;
+  cond.rhs_literal = Value::Int(1);
+  auto filter =
+      std::make_unique<Filter>(std::move(join), std::vector<BoundCondition>{cond});
+  auto sort = std::make_unique<Sort>(
+      std::move(filter), std::vector<Sort::Key>{Sort::Key{2, true}});
+  auto limit = std::make_unique<Limit>(std::move(sort), 10);
+  EXPECT_TRUE(VerifyPlan(*limit).ok());
+
+  auto agg = std::make_unique<HashAggregate>(
+      Scan({"k", "v"}), std::vector<std::string>{"k"},
+      std::vector<HashAggregate::Spec>{
+          {HashAggregate::Fn::kSum, "v", "sum_v"}});
+  EXPECT_TRUE(VerifyPlan(*agg).ok());
+}
+
+// ---- I1: schema well-formedness ------------------------------------------
+
+TEST(VerifierTest, I1_DuplicateSchemaVariable) {
+  MaterializedScan scan(TupleSchema({"a", "a"}), {}, "dup");
+  ExpectViolation(VerifyPlan(scan), "twice");
+}
+
+TEST(VerifierTest, I1_EmptySchemaVariableName) {
+  MaterializedScan scan(TupleSchema({"a", ""}), {}, "empty");
+  ExpectViolation(VerifyPlan(scan), "empty variable name");
+}
+
+// ---- I2: scan tuple arity ------------------------------------------------
+
+TEST(VerifierTest, I2_TupleArityMismatch) {
+  std::vector<Tuple> tuples;
+  tuples.push_back(Tuple{Binding{Value::Int(1)}});  // 1 binding, arity 2
+  MaterializedScan scan(TupleSchema({"a", "b"}), std::move(tuples), "short");
+  ExpectViolation(VerifyPlan(scan), "schema declares 2");
+}
+
+// ---- I3: pass-through schema preservation --------------------------------
+
+TEST(VerifierTest, I3_FilterSchemaDiffersFromChild) {
+  LyingFilter filter(Scan({"a", "b"}), TupleSchema({"a"}));
+  ExpectViolation(VerifyPlan(filter), "differs from child schema");
+}
+
+// ---- I4: condition / sort-key slot ranges --------------------------------
+
+TEST(VerifierTest, I4_FilterConditionSlotOutOfRange) {
+  BoundCondition cond;
+  cond.lhs_slot = 5;  // child arity is 1
+  cond.rhs_slot = -1;
+  cond.rhs_literal = Value::Int(1);
+  Filter filter(Scan({"a"}), {cond});
+  ExpectViolation(VerifyPlan(filter), "slot 5");
+}
+
+TEST(VerifierTest, I4_SortKeySlotOutOfRange) {
+  Sort sort(Scan({"a"}), {Sort::Key{7, false}});
+  ExpectViolation(VerifyPlan(sort), "sort key slot 7");
+}
+
+TEST(VerifierTest, I4_NestedLoopConditionSlotOutOfRange) {
+  BoundCondition cond;
+  cond.lhs_slot = 10;  // output arity is 2
+  cond.rhs_slot = -1;
+  cond.rhs_literal = Value::Int(1);
+  NestedLoopJoin join(Scan({"a"}), Scan({"b"}), {cond});
+  ExpectViolation(VerifyPlan(join), "slot 10");
+}
+
+TEST(VerifierTest, I4_LikeWithNonStringLiteral) {
+  BoundCondition cond;
+  cond.op = xmlql::Condition::Op::kLike;
+  cond.lhs_slot = 0;
+  cond.rhs_slot = -1;
+  cond.rhs_literal = Value::Int(42);
+  Filter filter(Scan({"a"}), {cond});
+  ExpectViolation(VerifyPlan(filter), "LIKE pattern");
+}
+
+// ---- I5: hash-join key consistency ---------------------------------------
+
+TEST(VerifierTest, I5_HashJoinWithoutSharedVariables) {
+  HashJoin join(Scan({"a"}), Scan({"b"}));
+  ExpectViolation(VerifyPlan(join), "without shared variables");
+}
+
+// ---- I6: join output schema ----------------------------------------------
+
+TEST(VerifierTest, I6_JoinSchemaNotMergeOfChildren) {
+  LyingJoin join(Scan({"a", "b"}), Scan({"b", "c"}), TupleSchema({"a"}));
+  ExpectViolation(VerifyPlan(join), "not the merge");
+}
+
+// ---- I7: aggregate inputs exist ------------------------------------------
+
+TEST(VerifierTest, I7_GroupVariableMissingFromChild) {
+  HashAggregate agg(Scan({"a"}), {"ghost"}, {});
+  ExpectViolation(VerifyPlan(agg), "group variable $ghost");
+}
+
+TEST(VerifierTest, I7_AggregateInputMissingFromChild) {
+  HashAggregate agg(Scan({"a"}), {},
+                    {{HashAggregate::Fn::kSum, "ghost", "sum_ghost"}});
+  ExpectViolation(VerifyPlan(agg), "aggregate input $ghost");
+}
+
+TEST(VerifierTest, I7_CountStarNeedsNoInput) {
+  HashAggregate agg(Scan({"a"}), {"a"}, {{HashAggregate::Fn::kCount, "", "n"}});
+  EXPECT_TRUE(VerifyPlan(agg).ok());
+}
+
+// ---- I8: aggregate output schema -----------------------------------------
+
+TEST(VerifierTest, I8_DuplicateAggregateOutputNames) {
+  HashAggregate agg(Scan({"a"}), {},
+                    {{HashAggregate::Fn::kCount, "", "n"},
+                     {HashAggregate::Fn::kSum, "a", "n"}});
+  ExpectViolation(VerifyPlan(agg), "duplicate output");
+}
+
+// ---- I9: tree shape ------------------------------------------------------
+
+TEST(VerifierTest, I9_LeafClaimsAChild) {
+  auto other = Scan({"x"});
+  ExtraChildScan scan(other.get());
+  ExpectViolation(VerifyPlan(scan), "expected 0 children");
+}
+
+TEST(VerifierTest, I9_NullChildView) {
+  ExtraChildScan scan(nullptr);
+  ExpectViolation(VerifyPlan(scan), "null child");
+}
+
+// ---- I10: root covers the template ---------------------------------------
+
+TEST(VerifierTest, I10_RootSchemaMissingRequiredVariable) {
+  auto scan = Scan({"a", "b"});
+  EXPECT_TRUE(VerifyPlanProducesVariables(*scan, {"a", "b"}).ok());
+  ExpectViolation(VerifyPlanProducesVariables(*scan, {"z"}),
+                  "does not produce $z");
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace nimble

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Static-analysis gate: Clang thread-safety analysis + negative compile
-# check + clang-tidy. CI runs this in the lint job; run it locally before
-# sending a review (needs clang and clang-tidy on PATH — if they are
-# missing the script skips loudly and exits 0 so GCC-only boxes are not
-# blocked).
+# check + clang-tidy + a short deterministic run of the XML-QL grammar
+# fuzzer. CI runs this in the lint job; run it locally before sending a
+# review (needs clang and clang-tidy on PATH — if they are missing the
+# script skips loudly and exits 0 so GCC-only boxes are not blocked).
 #
 # Usage: tools/lint.sh [build-dir]   (default: build-lint)
 set -u
@@ -23,7 +23,7 @@ fi
 fail=0
 
 # ---- 1. Thread-safety analysis: full build, findings are errors --------
-echo "== [1/3] clang -Wthread-safety -Werror build =="
+echo "== [1/4] clang -Wthread-safety -Werror build =="
 cmake -S "$ROOT" -B "$BUILD_DIR" \
       -DCMAKE_CXX_COMPILER="$CXX" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -34,7 +34,7 @@ if ! cmake --build "$BUILD_DIR" -j "$(nproc)"; then
 fi
 
 # ---- 2. Negative compile check: the violations file MUST fail ----------
-echo "== [2/3] thread-safety negative compile check (expect failure) =="
+echo "== [2/4] thread-safety negative compile check (expect failure) =="
 NEG_DIR="$BUILD_DIR-tsa-negative"
 cmake -S "$ROOT" -B "$NEG_DIR" \
       -DCMAKE_CXX_COMPILER="$CXX" \
@@ -51,7 +51,7 @@ else
 fi
 
 # ---- 3. clang-tidy over src/ -------------------------------------------
-echo "== [3/3] clang-tidy =="
+echo "== [3/4] clang-tidy =="
 if ! command -v "$TIDY" >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found — skipping step 3" >&2
 else
@@ -61,6 +61,18 @@ else
     echo "lint.sh: FAIL — clang-tidy reported errors" >&2
     fail=1
   fi
+fi
+
+# ---- 4. Grammar fuzzer: build + short deterministic smoke ---------------
+echo "== [4/4] XML-QL grammar fuzzer smoke =="
+if ! cmake --build "$BUILD_DIR" --target grammar_fuzz_test -j "$(nproc)"; then
+  echo "lint.sh: FAIL — grammar_fuzz_test does not build" >&2
+  fail=1
+elif ! NIMBLE_FUZZ_ITERS=200 "$BUILD_DIR/tests/grammar_fuzz_test" \
+      --gtest_filter='GrammarFuzzTest.NoInputReachesInternalError' \
+      --gtest_brief=1; then
+  echo "lint.sh: FAIL — grammar fuzzer smoke found a verifier escape" >&2
+  fail=1
 fi
 
 if [ "$fail" -ne 0 ]; then
