@@ -7,11 +7,21 @@
 //  (c) ablation A3: the "slightly more structured" typed data model vs
 //      modelling everything as generic text (pure-XML strawman) — typed
 //      ingestion makes joins and comparisons cheaper (no re-parsing) at a
-//      small parse-time cost.
+//      small parse-time cost;
+//  (d) vectorization: rows/sec for scan+filter, hash join and aggregation
+//      across batch sizes {1, 64, 1024, 4096}, against the tuple-at-a-time
+//      baseline (batch size 1 drained through the row adapter — the old
+//      Volcano discipline). PASS gates: >= 2x on scan+filter and hash join
+//      at batch size 1024, and the vectorized default must never fall
+//      below the tuple baseline. Used as a CI smoke gate (exit 1 on FAIL).
 //
-// Uses google-benchmark; run the binary directly for full output.
+// The (d) sweep runs first; the google-benchmark suites follow.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/workload.h"
 
 #include "algebra/construct.h"
 #include "algebra/operators.h"
@@ -201,7 +211,144 @@ void BM_Serialize(benchmark::State& state) {
 }
 BENCHMARK(BM_Serialize)->Arg(1000);
 
+// ---- E7(d): batch-size sweep over the vectorized operators ----------------
+
+constexpr size_t kSweepSizes[] = {1, 64, 1024, 4096};
+
+/// One sweep workload: a plan factory plus how many input rows one drain
+/// consumes (the rows/sec numerator).
+struct SweepCase {
+  const char* name;
+  size_t input_rows;
+  std::unique_ptr<algebra::Operator> (*make)();
+};
+
+constexpr size_t kScanRows = 200000;
+constexpr size_t kJoinRows = 50000;
+constexpr size_t kAggRows = 200000;
+
+std::unique_ptr<algebra::Operator> MakeScanFilter() {
+  auto scan = MakeIntScan("k", "l", kScanRows, 1, kScanRows);
+  xmlql::Condition cond;
+  cond.op = xmlql::Condition::Op::kLt;
+  cond.lhs.is_variable = true;
+  cond.lhs.variable = "k";
+  cond.rhs.literal = Value::Int(static_cast<int64_t>(kScanRows / 2));
+  auto bc = algebra::BoundCondition::Bind(cond, scan->schema());
+  return std::make_unique<algebra::Filter>(
+      std::move(scan), std::vector<algebra::BoundCondition>{*bc});
+}
+
+std::unique_ptr<algebra::Operator> MakeJoinPlan() {
+  return std::make_unique<algebra::HashJoin>(
+      MakeIntScan("k", "l", kJoinRows, 1, kJoinRows),
+      MakeIntScan("k", "r", kJoinRows, 2, kJoinRows));
+}
+
+std::unique_ptr<algebra::Operator> MakeAggPlan() {
+  return std::make_unique<algebra::HashAggregate>(
+      MakeIntScan("k", "l", kAggRows, 1, 16),
+      std::vector<std::string>{"k"},
+      std::vector<algebra::HashAggregate::Spec>{
+          {algebra::HashAggregate::Fn::kCount, "", "n"},
+          {algebra::HashAggregate::Fn::kSum, "l", "total"}});
+}
+
+constexpr SweepCase kSweepCases[] = {
+    {"scan+filter", kScanRows, MakeScanFilter},
+    {"hash_join", kJoinRows * 2, MakeJoinPlan},
+    {"aggregate", kAggRows, MakeAggPlan},
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Drains one fresh plan; row_adapter selects Next() (the tuple-at-a-time
+/// consumer) over NextBatch(). Returns elapsed milliseconds, best of 3.
+double TimeDrain(const SweepCase& sweep, size_t batch_size,
+                 bool row_adapter) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::unique_ptr<algebra::Operator> plan = sweep.make();
+    plan->SetBatchSize(batch_size);
+    double start = NowMs();
+    if (plan->Open().ok()) {
+      if (row_adapter) {
+        while (true) {
+          auto tuple = plan->Next();
+          if (!tuple.ok() || !tuple->has_value()) break;
+          benchmark::DoNotOptimize(*tuple);
+        }
+      } else {
+        while (true) {
+          auto batch = plan->NextBatch();
+          if (!batch.ok() || !batch->has_value()) break;
+          benchmark::DoNotOptimize(*batch);
+        }
+      }
+    }
+    plan->Close();
+    best = std::min(best, NowMs() - start);
+  }
+  return best;
+}
+
+double RowsPerSec(size_t rows, double ms) {
+  return static_cast<double>(rows) / std::max(ms, 1e-6) * 1000.0;
+}
+
+/// Runs the sweep, prints the table, and evaluates the PASS gates.
+/// Returns false on any gate failure.
+bool RunBatchSweep() {
+  std::printf("E7(d): vectorized batch execution — rows/sec by batch size\n"
+              "(baseline = batch size 1 drained row-at-a-time through the "
+              "Next() adapter)\n\n");
+  bench::PrintRow({"workload", "batch", "rows/sec", "vs baseline"});
+  bench::PrintRule(4);
+  bool pass = true;
+  for (const SweepCase& sweep : kSweepCases) {
+    const double baseline_ms = TimeDrain(sweep, 1, /*row_adapter=*/true);
+    const double baseline_rps = RowsPerSec(sweep.input_rows, baseline_ms);
+    bench::PrintRow({sweep.name, "1 (rows)",
+                     bench::FmtInt(static_cast<int64_t>(baseline_rps)),
+                     "1.0x"});
+    double speedup_at_default = 0.0;
+    for (size_t batch_size : kSweepSizes) {
+      const double ms = TimeDrain(sweep, batch_size, /*row_adapter=*/false);
+      const double rps = RowsPerSec(sweep.input_rows, ms);
+      const double speedup = rps / std::max(baseline_rps, 1e-9);
+      if (batch_size == 1024) speedup_at_default = speedup;
+      bench::PrintRow({sweep.name, bench::FmtInt(static_cast<int64_t>(
+                                       batch_size)),
+                       bench::FmtInt(static_cast<int64_t>(rps)),
+                       bench::Fmt(speedup, 1) + "x"});
+    }
+    bench::PrintRule(4);
+    // Gates: the default batch size must beat tuple-at-a-time by >= 2x on
+    // the scan-shaped and join-shaped workloads, and must never regress
+    // below the baseline anywhere.
+    const bool needs_2x = std::string(sweep.name) != "aggregate";
+    const double floor = needs_2x ? 2.0 : 1.0;
+    const bool ok = speedup_at_default >= floor;
+    std::printf("%s at batch 1024: %.1fx %s\n\n", sweep.name,
+                speedup_at_default,
+                ok ? (needs_2x ? "(PASS: >= 2x)" : "(PASS: >= baseline)")
+                   : (needs_2x ? "(FAIL: expected >= 2x)"
+                               : "(FAIL: regressed below baseline)"));
+    pass = pass && ok;
+  }
+  return pass;
+}
+
 }  // namespace
 }  // namespace nimble
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!nimble::RunBatchSweep()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -37,17 +37,25 @@ Result<BoundCondition> BoundCondition::Bind(const xmlql::Condition& condition,
   return bound;
 }
 
-bool BoundCondition::Evaluate(const Tuple& tuple) const {
-  Value lhs = lhs_slot >= 0 ? tuple[static_cast<size_t>(lhs_slot)].AsScalar()
-                            : lhs_literal;
-  Value rhs = rhs_slot >= 0 ? tuple[static_cast<size_t>(rhs_slot)].AsScalar()
-                            : rhs_literal;
-  if (op == xmlql::Condition::Op::kLike) {
+namespace {
+
+/// Shared comparison core: `binding_at(slot)` yields the Binding for a
+/// variable operand. All three entry points (row, batch row, join pair)
+/// funnel through here so null semantics and LIKE stay identical.
+template <typename BindingAt>
+bool EvalBound(const BoundCondition& c, BindingAt&& binding_at) {
+  const Value& lhs = c.lhs_slot >= 0
+                         ? binding_at(static_cast<size_t>(c.lhs_slot)).AsScalar()
+                         : c.lhs_literal;
+  const Value& rhs = c.rhs_slot >= 0
+                         ? binding_at(static_cast<size_t>(c.rhs_slot)).AsScalar()
+                         : c.rhs_literal;
+  if (c.op == xmlql::Condition::Op::kLike) {
     return relational::LikeMatch(lhs.ToString(), rhs.ToString());
   }
   if (lhs.is_null() || rhs.is_null()) return false;
   int cmp = lhs.Compare(rhs);
-  switch (op) {
+  switch (c.op) {
     case xmlql::Condition::Op::kEq:
       return cmp == 0;
     case xmlql::Condition::Op::kNe:
@@ -66,28 +74,114 @@ bool BoundCondition::Evaluate(const Tuple& tuple) const {
   return false;
 }
 
+}  // namespace
+
+bool BoundCondition::Evaluate(const Tuple& tuple) const {
+  return EvalBound(*this,
+                   [&tuple](size_t slot) -> const Binding& { return tuple[slot]; });
+}
+
+bool BoundCondition::EvaluateAt(const TupleBatch& batch, size_t i) const {
+  const size_t phys = batch.PhysicalRow(i);
+  return EvalBound(*this, [&batch, phys](size_t slot) -> const Binding& {
+    return batch.column(slot)[phys];
+  });
+}
+
 // ---- Operator ----------------------------------------------------------------
 
-std::string Operator::Describe(int indent) const {
+Status Operator::Open() {
+  batches_produced_ = 0;
+  rows_produced_ = 0;
+  adapter_batch_.reset();
+  adapter_pos_ = 0;
+  return DoOpen();
+}
+
+Result<std::optional<TupleBatch>> Operator::NextBatch() {
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch, DoNextBatch());
+    if (!batch.has_value()) return batch;
+    if (batch->empty()) continue;  // fully filtered batch: pull again
+#ifndef NDEBUG
+    // Runtime shape invariants (mirrors verifier I11/I12): slot count
+    // matches the schema, the batch respects the configured capacity, and
+    // every selection entry addresses a physical row.
+    assert(batch->num_slots() == schema().size() &&
+           "batch arity disagrees with operator schema");
+    assert(batch->size() <= batch_size() && "batch exceeds batch_size");
+    if (batch->has_selection()) {
+      for (uint32_t phys : batch->selection()) {
+        assert(phys < batch->num_rows() && "selection index out of bounds");
+      }
+    }
+#endif
+    ++batches_produced_;
+    rows_produced_ += batch->size();
+    return batch;
+  }
+}
+
+Result<std::optional<Tuple>> Operator::Next() {
+  while (true) {
+    if (adapter_batch_.has_value() && adapter_pos_ < adapter_batch_->size()) {
+      return std::optional<Tuple>(
+          adapter_batch_->MaterializeTuple(adapter_pos_++));
+    }
+    NIMBLE_ASSIGN_OR_RETURN(adapter_batch_, NextBatch());
+    adapter_pos_ = 0;
+    if (!adapter_batch_.has_value()) return std::optional<Tuple>{};
+  }
+}
+
+void Operator::Close() {
+  adapter_batch_.reset();
+  adapter_pos_ = 0;
+  // Counters survive Close so EXPLAIN can report them post-execution.
+  DoClose();
+}
+
+std::string Operator::DescribeImpl(int indent, bool with_stats) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += label();
-  out += " " + schema().ToString() + "\n";
+  out += " " + schema().ToString();
+  if (with_stats) {
+    out += " {batches=" + std::to_string(batches_produced_) +
+           ", rows=" + std::to_string(rows_produced_) + "}";
+  }
+  out += "\n";
   for (const Operator* child : children_views_) {
-    out += child->Describe(indent + 1);
+    out += child->DescribeImpl(indent + 1, with_stats);
   }
   return out;
+}
+
+std::string Operator::Describe(int indent) const {
+  return DescribeImpl(indent, /*with_stats=*/false);
+}
+
+std::string Operator::DescribeWithStats(int indent) const {
+  return DescribeImpl(indent, /*with_stats=*/true);
 }
 
 Result<std::vector<Tuple>> Operator::Drain() {
   NIMBLE_RETURN_IF_ERROR(Open());
   std::vector<Tuple> out;
   while (true) {
-    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, Next());
-    if (!tuple.has_value()) break;
-    out.push_back(std::move(*tuple));
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch, NextBatch());
+    if (!batch.has_value()) break;
+    out.reserve(out.size() + batch->size());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      out.push_back(batch->MaterializeTuple(i));
+    }
   }
   Close();
   return out;
+}
+
+void Operator::SetBatchSize(size_t rows) {
+  batch_size_ = rows == 0 ? 1 : rows;
+  for (Operator* child : children_) child->SetBatchSize(rows);
 }
 
 // ---- MaterializedScan ---------------------------------------------------------
@@ -96,16 +190,29 @@ MaterializedScan::MaterializedScan(TupleSchema schema,
                                    std::vector<Tuple> tuples,
                                    std::string source_label)
     : schema_(std::move(schema)),
-      tuples_(std::move(tuples)),
+      data_(TupleBatch::FromTuples(schema_.size(), tuples)),
       source_label_(std::move(source_label)) {}
 
-Result<std::optional<Tuple>> MaterializedScan::Next() {
-  if (position_ >= tuples_.size()) return std::optional<Tuple>{};
-  return std::optional<Tuple>(tuples_[position_++]);
+MaterializedScan::MaterializedScan(TupleSchema schema, TupleBatch data,
+                                   std::string source_label)
+    : schema_(std::move(schema)),
+      data_(std::move(data)),
+      source_label_(std::move(source_label)) {
+  assert(data_.num_slots() == schema_.size() &&
+         "columnar scan data arity disagrees with schema");
+}
+
+Result<std::optional<TupleBatch>> MaterializedScan::DoNextBatch() {
+  const size_t total = data_.size();
+  if (position_ >= total) return std::optional<TupleBatch>{};
+  const size_t n = std::min(batch_size(), total - position_);
+  TupleBatch out = data_.Slice(position_, n);
+  position_ += n;
+  return std::optional<TupleBatch>(std::move(out));
 }
 
 std::string MaterializedScan::label() const {
-  return "Scan(" + source_label_ + ", " + std::to_string(tuples_.size()) +
+  return "Scan(" + source_label_ + ", " + std::to_string(data_.size()) +
          " tuples)";
 }
 
@@ -114,21 +221,36 @@ std::string MaterializedScan::label() const {
 Filter::Filter(std::unique_ptr<Operator> child,
                std::vector<BoundCondition> conds)
     : child_(std::move(child)), conditions_(std::move(conds)) {
-  children_views_.push_back(child_.get());
+  AddChild(child_.get());
 }
 
-Result<std::optional<Tuple>> Filter::Next() {
+Result<std::optional<TupleBatch>> Filter::DoNextBatch() {
   while (true) {
-    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, child_->Next());
-    if (!tuple.has_value()) return tuple;
-    bool pass = true;
-    for (const BoundCondition& cond : conditions_) {
-      if (!cond.Evaluate(*tuple)) {
-        pass = false;
-        break;
-      }
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                            child_->NextBatch());
+    if (!batch.has_value()) return batch;
+    // Condition-major evaluation: each predicate compacts the surviving
+    // physical row set in place. Survivors are never copied — the child's
+    // columns are reused with a shrunk selection.
+    std::vector<uint32_t> selection;
+    selection.reserve(batch->size());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      selection.push_back(static_cast<uint32_t>(batch->PhysicalRow(i)));
     }
-    if (pass) return tuple;
+    for (const BoundCondition& cond : conditions_) {
+      size_t kept = 0;
+      for (uint32_t phys : selection) {
+        bool pass = EvalBound(cond, [&batch, phys](size_t slot) -> const Binding& {
+          return batch->column(slot)[phys];
+        });
+        if (pass) selection[kept++] = phys;
+      }
+      selection.resize(kept);
+      if (selection.empty()) break;
+    }
+    if (selection.empty()) continue;  // try the next child batch
+    batch->SetSelection(std::move(selection));
+    return batch;
   }
 }
 
@@ -141,8 +263,8 @@ std::string Filter::label() const {
 HashJoin::HashJoin(std::unique_ptr<Operator> left,
                    std::unique_ptr<Operator> right)
     : left_(std::move(left)), right_(std::move(right)) {
-  children_views_.push_back(left_.get());
-  children_views_.push_back(right_.get());
+  AddChild(left_.get());
+  AddChild(right_.get());
   schema_ = left_->schema().Merge(right_->schema());
   for (const std::string& var : left_->schema().variables()) {
     std::optional<size_t> right_slot = right_->schema().SlotOf(var);
@@ -155,60 +277,111 @@ HashJoin::HashJoin(std::unique_ptr<Operator> left,
   for (const std::string& var : right_->schema().variables()) {
     right_output_slots_.push_back(*schema_.SlotOf(var));
   }
+  // Output slot sources: left columns first, then right columns overriding
+  // shared slots (the right binding wins on join keys, as the historical
+  // row-combine did).
+  slot_source_.assign(schema_.size(), {0, 0});
+  for (size_t i = 0; i < left_->schema().size(); ++i) {
+    slot_source_[i] = {0, i};
+  }
+  for (size_t j = 0; j < right_output_slots_.size(); ++j) {
+    slot_source_[right_output_slots_[j]] = {1, j};
+  }
 }
 
-Status HashJoin::Open() {
+Status HashJoin::DoOpen() {
   NIMBLE_RETURN_IF_ERROR(left_->Open());
-  // Build side: drain right into hash buckets.
-  constexpr size_t kBuckets = 1024;
-  hash_buckets_.assign(kBuckets, {});
+  // Build side: compact right into one column store.
+  build_ = TupleBatch(right_->schema().size());
   NIMBLE_RETURN_IF_ERROR(right_->Open());
   while (true) {
-    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, right_->Next());
-    if (!tuple.has_value()) break;
-    size_t bucket = HashSlots(*tuple, right_key_slots_) % kBuckets;
-    hash_buckets_[bucket].push_back(std::move(*tuple));
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                            right_->NextBatch());
+    if (!batch.has_value()) break;
+    // No per-batch Reserve: an exact reserve every batch degrades to a
+    // reallocation per row at small batch sizes; push_back growth is
+    // amortized O(1) regardless of how the input is chopped up.
+    for (size_t i = 0; i < batch->size(); ++i) build_.AppendRowFrom(*batch, i);
   }
   right_->Close();
-  current_left_.reset();
-  current_bucket_ = nullptr;
-  bucket_pos_ = 0;
+  // Chained hash table (head/next index arrays) over the build columns,
+  // sized to a load factor of at most 0.5.
+  const size_t n = build_.num_rows();
+  size_t buckets = 1;
+  while (buckets < n * 2) buckets <<= 1;
+  bucket_mask_ = buckets - 1;
+  heads_.assign(buckets, kNone);
+  next_.assign(n, kNone);
+  // Insert back to front so each chain iterates in build (right input)
+  // order, matching the historical per-bucket vector order.
+  for (size_t r = n; r-- > 0;) {
+    const size_t h = HashBatchSlots(build_, r, right_key_slots_) & bucket_mask_;
+    next_[r] = heads_[h];
+    heads_[h] = static_cast<uint32_t>(r);
+  }
+  probe_.reset();
+  probe_row_ = 0;
+  chain_ = kNone;
   return Status::OK();
 }
 
-Tuple HashJoin::Combine(const Tuple& left, const Tuple& right) const {
-  Tuple out(schema_.size());
-  for (size_t i = 0; i < left.size(); ++i) out[i] = left[i];
-  for (size_t i = 0; i < right.size(); ++i) {
-    out[right_output_slots_[i]] = right[i];
+void HashJoin::StartChain(size_t i) {
+  if (build_.num_rows() == 0) {
+    chain_ = kNone;
+    return;
   }
-  return out;
+  chain_ = heads_[HashBatchSlots(*probe_, i, left_key_slots_) & bucket_mask_];
 }
 
-Result<std::optional<Tuple>> HashJoin::Next() {
+void HashJoin::AppendJoined(const TupleBatch& probe, size_t i,
+                            uint32_t build_row, TupleBatch* out) const {
+  const size_t phys = probe.PhysicalRow(i);
+  for (size_t slot = 0; slot < slot_source_.size(); ++slot) {
+    const auto& [side, col] = slot_source_[slot];
+    const Binding& binding =
+        side == 0 ? probe.column(col)[phys] : build_.column(col)[build_row];
+    out->MutableColumn(slot).push_back(binding);
+  }
+  out->SetNumRows(out->num_rows() + 1);
+}
+
+Result<std::optional<TupleBatch>> HashJoin::DoNextBatch() {
+  TupleBatch out(schema_.size());
+  out.Reserve(batch_size());
   while (true) {
-    if (current_left_.has_value() && current_bucket_ != nullptr) {
-      while (bucket_pos_ < current_bucket_->size()) {
-        const Tuple& candidate = (*current_bucket_)[bucket_pos_++];
-        if (SlotsEqual(*current_left_, left_key_slots_, candidate,
-                       right_key_slots_)) {
-          return std::optional<Tuple>(Combine(*current_left_, candidate));
+    if (probe_.has_value()) {
+      while (probe_row_ < probe_->size()) {
+        while (chain_ != kNone) {
+          const uint32_t candidate = chain_;
+          chain_ = next_[candidate];
+          if (BatchSlotsEqual(*probe_, probe_row_, left_key_slots_, build_,
+                              candidate, right_key_slots_)) {
+            AppendJoined(*probe_, probe_row_, candidate, &out);
+            if (out.num_rows() >= batch_size()) {
+              return std::optional<TupleBatch>(std::move(out));
+            }
+          }
         }
+        ++probe_row_;
+        if (probe_row_ < probe_->size()) StartChain(probe_row_);
       }
+      probe_.reset();
     }
-    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> left, left_->Next());
-    if (!left.has_value()) return std::optional<Tuple>{};
-    current_left_ = std::move(left);
-    size_t bucket =
-        HashSlots(*current_left_, left_key_slots_) % hash_buckets_.size();
-    current_bucket_ = &hash_buckets_[bucket];
-    bucket_pos_ = 0;
+    NIMBLE_ASSIGN_OR_RETURN(probe_, left_->NextBatch());
+    if (!probe_.has_value()) break;
+    probe_row_ = 0;
+    StartChain(0);
   }
+  if (out.num_rows() == 0) return std::optional<TupleBatch>{};
+  return std::optional<TupleBatch>(std::move(out));
 }
 
-void HashJoin::Close() {
+void HashJoin::DoClose() {
   left_->Close();
-  hash_buckets_.clear();
+  build_ = TupleBatch();
+  heads_.clear();
+  next_.clear();
+  probe_.reset();
 }
 
 std::string HashJoin::label() const {
@@ -228,72 +401,129 @@ NestedLoopJoin::NestedLoopJoin(std::unique_ptr<Operator> left,
     : left_(std::move(left)),
       right_(std::move(right)),
       conditions_(std::move(conditions)) {
-  children_views_.push_back(left_.get());
-  children_views_.push_back(right_.get());
+  AddChild(left_.get());
+  AddChild(right_.get());
   schema_ = left_->schema().Merge(right_->schema());
   for (const std::string& var : right_->schema().variables()) {
     right_output_slots_.push_back(*schema_.SlotOf(var));
   }
+  slot_source_.assign(schema_.size(), {0, 0});
+  for (size_t i = 0; i < left_->schema().size(); ++i) {
+    slot_source_[i] = {0, i};
+  }
+  for (size_t j = 0; j < right_output_slots_.size(); ++j) {
+    slot_source_[right_output_slots_[j]] = {1, j};
+  }
 }
 
-Status NestedLoopJoin::Open() {
+Status NestedLoopJoin::DoOpen() {
   NIMBLE_RETURN_IF_ERROR(left_->Open());
-  NIMBLE_ASSIGN_OR_RETURN(right_rows_, right_->Drain());
-  current_left_.reset();
+  right_data_ = TupleBatch(right_->schema().size());
+  NIMBLE_RETURN_IF_ERROR(right_->Open());
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                            right_->NextBatch());
+    if (!batch.has_value()) break;
+    // push_back growth only — see the HashJoin build note on why an exact
+    // per-batch Reserve is quadratic at small batch sizes.
+    for (size_t i = 0; i < batch->size(); ++i) {
+      right_data_.AppendRowFrom(*batch, i);
+    }
+  }
+  right_->Close();
+  probe_.reset();
+  probe_row_ = 0;
   right_pos_ = 0;
   return Status::OK();
 }
 
-Tuple NestedLoopJoin::Combine(const Tuple& left, const Tuple& right) const {
-  Tuple out(schema_.size());
-  for (size_t i = 0; i < left.size(); ++i) out[i] = left[i];
-  for (size_t i = 0; i < right.size(); ++i) {
-    out[right_output_slots_[i]] = right[i];
-  }
-  return out;
+const Binding& NestedLoopJoin::BindingAt(size_t slot, const TupleBatch& probe,
+                                         size_t i, size_t r) const {
+  const auto& [side, col] = slot_source_[slot];
+  return side == 0 ? probe.column(col)[probe.PhysicalRow(i)]
+                   : right_data_.column(col)[r];
 }
 
-Result<std::optional<Tuple>> NestedLoopJoin::Next() {
+Result<std::optional<TupleBatch>> NestedLoopJoin::DoNextBatch() {
+  TupleBatch out(schema_.size());
   while (true) {
-    if (current_left_.has_value()) {
-      while (right_pos_ < right_rows_.size()) {
-        Tuple combined = Combine(*current_left_, right_rows_[right_pos_++]);
-        bool pass = true;
-        for (const BoundCondition& cond : conditions_) {
-          if (!cond.Evaluate(combined)) {
-            pass = false;
-            break;
+    if (probe_.has_value()) {
+      while (probe_row_ < probe_->size()) {
+        while (right_pos_ < right_data_.num_rows()) {
+          const size_t r = right_pos_++;
+          bool pass = true;
+          for (const BoundCondition& cond : conditions_) {
+            const bool ok = EvalBound(
+                cond, [this, r](size_t slot) -> const Binding& {
+                  return BindingAt(slot, *probe_, probe_row_, r);
+                });
+            if (!ok) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          // Append the combined row (rejected pairs are never built).
+          for (size_t slot = 0; slot < schema_.size(); ++slot) {
+            out.MutableColumn(slot).push_back(
+                BindingAt(slot, *probe_, probe_row_, r));
+          }
+          out.SetNumRows(out.num_rows() + 1);
+          if (out.num_rows() >= batch_size()) {
+            return std::optional<TupleBatch>(std::move(out));
           }
         }
-        if (pass) return std::optional<Tuple>(std::move(combined));
+        right_pos_ = 0;
+        ++probe_row_;
       }
+      probe_.reset();
     }
-    NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> left, left_->Next());
-    if (!left.has_value()) return std::optional<Tuple>{};
-    current_left_ = std::move(left);
+    NIMBLE_ASSIGN_OR_RETURN(probe_, left_->NextBatch());
+    if (!probe_.has_value()) break;
+    probe_row_ = 0;
     right_pos_ = 0;
   }
+  if (out.num_rows() == 0) return std::optional<TupleBatch>{};
+  return std::optional<TupleBatch>(std::move(out));
 }
 
-void NestedLoopJoin::Close() {
+void NestedLoopJoin::DoClose() {
   left_->Close();
-  right_rows_.clear();
+  right_data_ = TupleBatch();
+  probe_.reset();
 }
 
 // ---- Sort -----------------------------------------------------------------------
 
 Sort::Sort(std::unique_ptr<Operator> child, std::vector<Key> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {
-  children_views_.push_back(child_.get());
+  AddChild(child_.get());
 }
 
-Status Sort::Open() {
-  NIMBLE_ASSIGN_OR_RETURN(sorted_, child_->Drain());
-  std::stable_sort(sorted_.begin(), sorted_.end(),
-                   [this](const Tuple& a, const Tuple& b) {
+Status Sort::DoOpen() {
+  data_ = TupleBatch(child_->schema().size());
+  NIMBLE_RETURN_IF_ERROR(child_->Open());
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                            child_->NextBatch());
+    if (!batch.has_value()) break;
+    // push_back growth only — an exact per-batch Reserve is quadratic at
+    // small batch sizes (see the HashJoin build note).
+    for (size_t i = 0; i < batch->size(); ++i) data_.AppendRowFrom(*batch, i);
+  }
+  child_->Close();
+  // Sort a permutation of physical rows; emitted batches are selection
+  // views in sorted order over the (unmoved) columns.
+  order_.resize(data_.num_rows());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](uint32_t a, uint32_t b) {
                      for (const Key& key : keys_) {
-                       int cmp = a[key.slot].AsScalar().Compare(
-                           b[key.slot].AsScalar());
+                       const std::vector<Binding>& column = data_.column(key.slot);
+                       int cmp = column[a].AsScalar().Compare(
+                           column[b].AsScalar());
                        if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
                      }
                      return false;
@@ -302,25 +532,37 @@ Status Sort::Open() {
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> Sort::Next() {
-  if (position_ >= sorted_.size()) return std::optional<Tuple>{};
-  return std::optional<Tuple>(sorted_[position_++]);
+Result<std::optional<TupleBatch>> Sort::DoNextBatch() {
+  if (position_ >= order_.size()) return std::optional<TupleBatch>{};
+  const size_t n = std::min(batch_size(), order_.size() - position_);
+  std::vector<uint32_t> selection(order_.begin() + static_cast<long>(position_),
+                                  order_.begin() +
+                                      static_cast<long>(position_ + n));
+  position_ += n;
+  return std::optional<TupleBatch>(data_.Select(std::move(selection)));
 }
 
-void Sort::Close() { sorted_.clear(); }
+void Sort::DoClose() {
+  data_ = TupleBatch();
+  order_.clear();
+}
 
 // ---- Limit ----------------------------------------------------------------------
 
 Limit::Limit(std::unique_ptr<Operator> child, size_t limit)
     : child_(std::move(child)), limit_(limit) {
-  children_views_.push_back(child_.get());
+  AddChild(child_.get());
 }
 
-Result<std::optional<Tuple>> Limit::Next() {
-  if (emitted_ >= limit_) return std::optional<Tuple>{};
-  NIMBLE_ASSIGN_OR_RETURN(std::optional<Tuple> tuple, child_->Next());
-  if (tuple.has_value()) ++emitted_;
-  return tuple;
+Result<std::optional<TupleBatch>> Limit::DoNextBatch() {
+  if (emitted_ >= limit_) return std::optional<TupleBatch>{};
+  NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                          child_->NextBatch());
+  if (!batch.has_value()) return batch;
+  const size_t remaining = limit_ - emitted_;
+  if (batch->size() > remaining) *batch = batch->Slice(0, remaining);
+  emitted_ += batch->size();
+  return batch;
 }
 
 std::string Limit::label() const {
@@ -335,14 +577,12 @@ HashAggregate::HashAggregate(std::unique_ptr<Operator> child,
     : child_(std::move(child)),
       group_variables_(std::move(group_variables)),
       specs_(std::move(specs)) {
-  children_views_.push_back(child_.get());
+  AddChild(child_.get());
   for (const std::string& var : group_variables_) schema_.AddVariable(var);
   for (const Spec& spec : specs_) schema_.AddVariable(spec.output_variable);
 }
 
-Status HashAggregate::Open() {
-  NIMBLE_ASSIGN_OR_RETURN(std::vector<Tuple> input, child_->Drain());
-
+Status HashAggregate::DoOpen() {
   std::vector<size_t> group_slots;
   for (const std::string& var : group_variables_) {
     std::optional<size_t> slot = child_->schema().SlotOf(var);
@@ -365,91 +605,117 @@ Status HashAggregate::Open() {
     input_slots.push_back(static_cast<int>(*slot));
   }
 
-  // Group rows. Keys ordered by first appearance.
-  struct GroupState {
-    std::vector<const Tuple*> rows;
+  // Single streaming pass: per-group accumulators updated batch by batch.
+  // Input rows are never buffered. Groups keyed by the serialized scalar
+  // views (value + type), ordered by first appearance.
+  struct Accum {
+    int64_t count = 0;
+    double sum = 0;
+    bool any = false;
+    Value min_v, max_v;
   };
-  std::map<std::vector<std::string>, GroupState> groups;  // serialized keys
-  std::vector<std::vector<std::string>> order;
-  std::map<std::vector<std::string>, Tuple> key_tuples;
-  for (const Tuple& tuple : input) {
-    std::vector<std::string> key;
-    key.reserve(group_slots.size());
-    for (size_t slot : group_slots) {
-      key.push_back(tuple[slot].AsScalar().ToString() + "\x1f" +
-                    ValueTypeName(tuple[slot].AsScalar().type()));
-    }
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      order.push_back(key);
-      Tuple key_tuple;
-      for (size_t slot : group_slots) key_tuple.push_back(tuple[slot]);
-      key_tuples[key] = std::move(key_tuple);
-    }
-    it->second.rows.push_back(&tuple);
-  }
+  struct Group {
+    Tuple key_bindings;
+    std::vector<Accum> accums;
+  };
+  std::map<std::vector<std::string>, size_t> index;
+  std::vector<Group> groups;
+  static const Value kOne = Value::Int(1);
 
-  results_.clear();
-  for (const std::vector<std::string>& key : order) {
-    const GroupState& group = groups[key];
-    Tuple out(schema_.size());
-    const Tuple& key_tuple = key_tuples[key];
-    for (size_t i = 0; i < key_tuple.size(); ++i) out[i] = key_tuple[i];
-    for (size_t s = 0; s < specs_.size(); ++s) {
-      const Spec& spec = specs_[s];
-      size_t out_slot = *schema_.SlotOf(spec.output_variable);
-      int in_slot = input_slots[s];
-      int64_t count = 0;
-      double sum = 0;
-      bool any = false;
-      Value min_v, max_v;
-      for (const Tuple* row : group.rows) {
-        Value v = in_slot < 0 ? Value::Int(1)
-                              : (*row)[static_cast<size_t>(in_slot)].AsScalar();
+  NIMBLE_RETURN_IF_ERROR(child_->Open());
+  while (true) {
+    NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
+                            child_->NextBatch());
+    if (!batch.has_value()) break;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      std::vector<std::string> key;
+      key.reserve(group_slots.size());
+      for (size_t slot : group_slots) {
+        const Value& v = batch->binding(slot, i).AsScalar();
+        key.push_back(v.ToString() + "\x1f" + ValueTypeName(v.type()));
+      }
+      auto [it, inserted] = index.try_emplace(std::move(key), groups.size());
+      if (inserted) {
+        Group group;
+        for (size_t slot : group_slots) {
+          group.key_bindings.push_back(batch->binding(slot, i));
+        }
+        group.accums.resize(specs_.size());
+        groups.push_back(std::move(group));
+      }
+      Group& group = groups[it->second];
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        const int in_slot = input_slots[s];
+        const Value& v =
+            in_slot < 0
+                ? kOne
+                : batch->binding(static_cast<size_t>(in_slot), i).AsScalar();
         if (in_slot >= 0 && v.is_null()) continue;
-        ++count;
-        if (v.is_numeric()) sum += v.NumericValue();
-        if (!any) {
-          min_v = v;
-          max_v = v;
-          any = true;
+        Accum& a = group.accums[s];
+        ++a.count;
+        if (v.is_numeric()) a.sum += v.NumericValue();
+        if (!a.any) {
+          a.min_v = v;
+          a.max_v = v;
+          a.any = true;
         } else {
-          if (v.Compare(min_v) < 0) min_v = v;
-          if (v.Compare(max_v) > 0) max_v = v;
+          if (v.Compare(a.min_v) < 0) a.min_v = v;
+          if (v.Compare(a.max_v) > 0) a.max_v = v;
         }
       }
-      switch (spec.fn) {
+    }
+  }
+  child_->Close();
+
+  std::vector<size_t> out_slots;
+  for (const Spec& spec : specs_) {
+    out_slots.push_back(*schema_.SlotOf(spec.output_variable));
+  }
+  results_ = TupleBatch(schema_.size());
+  results_.Reserve(groups.size());
+  for (const Group& group : groups) {
+    Tuple out(schema_.size());
+    for (size_t i = 0; i < group.key_bindings.size(); ++i) {
+      out[i] = group.key_bindings[i];
+    }
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const Accum& a = group.accums[s];
+      switch (specs_[s].fn) {
         case Fn::kCount:
-          out[out_slot] = Binding{Value::Int(count)};
+          out[out_slots[s]] = Binding{Value::Int(a.count)};
           break;
         case Fn::kSum:
-          out[out_slot] = Binding{any ? Value::Double(sum) : Value::Null()};
+          out[out_slots[s]] =
+              Binding{a.any ? Value::Double(a.sum) : Value::Null()};
           break;
         case Fn::kMin:
-          out[out_slot] = Binding{any ? min_v : Value::Null()};
+          out[out_slots[s]] = Binding{a.any ? a.min_v : Value::Null()};
           break;
         case Fn::kMax:
-          out[out_slot] = Binding{any ? max_v : Value::Null()};
+          out[out_slots[s]] = Binding{a.any ? a.max_v : Value::Null()};
           break;
         case Fn::kAvg:
-          out[out_slot] =
-              Binding{any ? Value::Double(sum / static_cast<double>(count))
-                          : Value::Null()};
+          out[out_slots[s]] = Binding{
+              a.any ? Value::Double(a.sum / static_cast<double>(a.count))
+                    : Value::Null()};
           break;
       }
     }
-    results_.push_back(std::move(out));
+    results_.AppendTuple(out);
   }
   position_ = 0;
   return Status::OK();
 }
 
-Result<std::optional<Tuple>> HashAggregate::Next() {
-  if (position_ >= results_.size()) return std::optional<Tuple>{};
-  return std::optional<Tuple>(results_[position_++]);
+Result<std::optional<TupleBatch>> HashAggregate::DoNextBatch() {
+  if (position_ >= results_.num_rows()) return std::optional<TupleBatch>{};
+  const size_t n = std::min(batch_size(), results_.num_rows() - position_);
+  TupleBatch out = results_.Slice(position_, n);
+  position_ += n;
+  return std::optional<TupleBatch>(std::move(out));
 }
 
-void HashAggregate::Close() { results_.clear(); }
+void HashAggregate::DoClose() { results_ = TupleBatch(); }
 
 }  // namespace algebra
 }  // namespace nimble

@@ -1,9 +1,11 @@
 #ifndef NIMBLE_ALGEBRA_OPERATORS_H_
 #define NIMBLE_ALGEBRA_OPERATORS_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algebra/tuple.h"
@@ -26,31 +28,66 @@ struct BoundCondition {
                                      const TupleSchema& schema);
 
   bool Evaluate(const Tuple& tuple) const;
+
+  /// Evaluates against active row `i` of `batch` without materializing a
+  /// tuple (the vectorized Filter path).
+  bool EvaluateAt(const TupleBatch& batch, size_t i) const;
 };
 
-/// Volcano-style iterator. Open() may do bulk work (builds, sorts);
-/// Next() yields tuples until nullopt. Operators own their children.
+/// Batch-at-a-time Volcano iterator. Open() may do bulk work (builds,
+/// sorts); NextBatch() yields column-major TupleBatches of up to
+/// batch_size() active rows until nullopt. Operators own their children.
 ///
 /// The paper deliberately ships only a *physical* algebra (§3.1): query
 /// plans are built directly in terms of these operators, with no logical
-/// algebra in between.
+/// algebra in between. The iteration model is vectorized (DESIGN.md §2g):
+/// predicates shrink a selection vector over shared column storage, joins
+/// build and probe in batch, and a thin row adapter (`Next()`) keeps
+/// tuple-at-a-time callers (CONSTRUCT, tests, tools) working unchanged.
 class Operator {
  public:
+  /// Default rows per batch; EngineOptions::batch_size overrides per plan.
+  static constexpr size_t kDefaultBatchSize = 1024;
+
   virtual ~Operator() = default;
 
   virtual const TupleSchema& schema() const = 0;
-  virtual Status Open() = 0;
-  virtual Result<std::optional<Tuple>> Next() = 0;
-  virtual void Close() = 0;
-
-  /// Operator name plus parameters, e.g. "HashJoin($id)".
   virtual std::string label() const = 0;
+
+  /// Resets iteration state (including the row adapter and the batch
+  /// counters) and performs the operator's bulk work.
+  Status Open();
+
+  /// Yields the next non-empty batch, or nullopt at end of stream. The
+  /// returned batch never has more than batch_size() active rows.
+  Result<std::optional<TupleBatch>> NextBatch();
+
+  /// Row adapter over NextBatch(): yields one tuple at a time so
+  /// tuple-oriented callers migrate without a flag day. Mixing Next() and
+  /// NextBatch() on the same operator between Open/Close is not supported.
+  Result<std::optional<Tuple>> Next();
+
+  void Close();
 
   /// Indented plan tree rendering (for EXPLAIN-style output).
   std::string Describe(int indent = 0) const;
 
+  /// Like Describe(), with per-operator execution counters appended
+  /// ("{batches=N, rows=M}"). Meaningful after the plan has been drained;
+  /// counters reset on Open().
+  std::string DescribeWithStats(int indent = 0) const;
+
   /// Drains the operator: Open, collect all tuples, Close.
   Result<std::vector<Tuple>> Drain();
+
+  /// Rows per emitted batch; applied to this operator and all children.
+  /// Clamped to at least 1.
+  void SetBatchSize(size_t rows);
+  size_t batch_size() const { return batch_size_; }
+
+  /// Batches / rows this operator has emitted since Open().
+  size_t batches_produced() const { return batches_produced_; }
+  size_t rows_produced() const { return rows_produced_; }
 
   /// Read-only child views, in input order (left before right). Used by
   /// Describe and the plan verifier.
@@ -59,46 +96,81 @@ class Operator {
   }
 
  protected:
+  virtual Status DoOpen() = 0;
+  /// May return empty batches; the NextBatch() wrapper skips them.
+  virtual Result<std::optional<TupleBatch>> DoNextBatch() = 0;
+  virtual void DoClose() = 0;
+
+  /// Registers `child` for Describe/verify and batch-size propagation.
+  void AddChild(Operator* child) {
+    children_views_.push_back(child);
+    children_.push_back(child);
+  }
+
   std::vector<const Operator*> children_views_;  ///< for Describe/verify.
+
+ private:
+  std::string DescribeImpl(int indent, bool with_stats) const;
+
+  std::vector<Operator*> children_;  ///< for SetBatchSize propagation.
+  size_t batch_size_ = kDefaultBatchSize;
+  size_t batches_produced_ = 0;
+  size_t rows_produced_ = 0;
+  /// Row-adapter state.
+  std::optional<TupleBatch> adapter_batch_;
+  size_t adapter_pos_ = 0;
 };
 
-/// Leaf yielding a pre-materialized tuple vector (the output of pattern
+/// Leaf yielding a pre-materialized columnar table (the output of pattern
 /// matching a fetched collection, or of a pushed-down SQL fragment).
+/// Row-major tuple input is transposed once at construction; emitted
+/// batches are zero-copy views (shared columns + a selection window).
 class MaterializedScan : public Operator {
  public:
   MaterializedScan(TupleSchema schema, std::vector<Tuple> tuples,
                    std::string source_label = "materialized");
+  /// Columnar construction: `data` must have one column per schema slot.
+  MaterializedScan(TupleSchema schema, TupleBatch data,
+                   std::string source_label = "materialized");
 
   const TupleSchema& schema() const override { return schema_; }
-  Status Open() override {
+  std::string label() const override;
+
+  /// The backing column store (full table, no selection).
+  const TupleBatch& data() const { return data_; }
+  size_t tuple_count() const { return data_.num_rows(); }
+
+ protected:
+  Status DoOpen() override {
     position_ = 0;
     return Status::OK();
   }
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override {}
-  std::string label() const override;
-
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override {}
 
  private:
   TupleSchema schema_;
-  std::vector<Tuple> tuples_;
+  TupleBatch data_;
   size_t position_ = 0;
   std::string source_label_;
 };
 
-/// σ: drops tuples failing any bound condition.
+/// σ: drops tuples failing any bound condition. Vectorized: evaluates the
+/// conditions over the child batch's columns and emits the same batch with
+/// a shrunk selection vector — survivors are never copied.
 class Filter : public Operator {
  public:
   Filter(std::unique_ptr<Operator> child, std::vector<BoundCondition> conds);
 
   const TupleSchema& schema() const override { return child_->schema(); }
-  Status Open() override { return child_->Open(); }
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override { child_->Close(); }
   std::string label() const override;
 
   const std::vector<BoundCondition>& conditions() const { return conditions_; }
+
+ protected:
+  Status DoOpen() override { return child_->Open(); }
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override { child_->Close(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -107,15 +179,15 @@ class Filter : public Operator {
 
 /// ⋈: hash join on the variables shared between the two inputs (natural
 /// join over variable names — XML-QL joins are expressed by repeating a
-/// variable across patterns). Builds on the right input.
+/// variable across patterns). Builds on the right input: the build side is
+/// compacted into one column store with a chained hash table (head/next
+/// index arrays); probing consumes left batches and emits combined rows in
+/// batch.
 class HashJoin : public Operator {
  public:
   HashJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right);
 
   const TupleSchema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override;
   std::string label() const override;
 
   const std::vector<std::string>& join_variables() const {
@@ -126,8 +198,19 @@ class HashJoin : public Operator {
     return right_key_slots_;
   }
 
+ protected:
+  Status DoOpen() override;
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override;
+
  private:
-  Tuple Combine(const Tuple& left, const Tuple& right) const;
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  /// Appends probe row `i` combined with build row `build_row` to `out`.
+  void AppendJoined(const TupleBatch& probe, size_t i, uint32_t build_row,
+                    TupleBatch* out) const;
+  /// Positions chain_ at the bucket head for probe row `i`.
+  void StartChain(size_t i);
 
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
@@ -137,15 +220,24 @@ class HashJoin : public Operator {
   std::vector<size_t> right_key_slots_;
   /// right-slot → output-slot mapping.
   std::vector<size_t> right_output_slots_;
+  /// output-slot → (side, source column): side 0 = left, 1 = right. Shared
+  /// variables resolve to the right side, preserving the historical
+  /// "right binding wins" combine semantics.
+  std::vector<std::pair<int, size_t>> slot_source_;
 
-  std::vector<std::vector<Tuple>> hash_buckets_;
-  std::optional<Tuple> current_left_;
-  const std::vector<Tuple>* current_bucket_ = nullptr;
-  size_t bucket_pos_ = 0;
+  TupleBatch build_;                ///< compacted build side.
+  std::vector<uint32_t> heads_;     ///< bucket heads (kNone = empty).
+  std::vector<uint32_t> next_;      ///< chain links per build row.
+  size_t bucket_mask_ = 0;
+  std::optional<TupleBatch> probe_;  ///< current left batch.
+  size_t probe_row_ = 0;             ///< active-row cursor into probe_.
+  uint32_t chain_ = kNone;           ///< next build candidate for probe_row_.
 };
 
 /// Nested-loop join for inputs with no shared variables (cartesian) or
-/// with extra non-equi conditions. Right side is materialized on Open.
+/// with extra non-equi conditions. Right side is materialized (columnar)
+/// on Open; conditions are evaluated against the pair's columns directly,
+/// so rejected combinations are never materialized.
 class NestedLoopJoin : public Operator {
  public:
   NestedLoopJoin(std::unique_ptr<Operator> left,
@@ -153,28 +245,38 @@ class NestedLoopJoin : public Operator {
                  std::vector<BoundCondition> conditions_on_output);
 
   const TupleSchema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override;
   std::string label() const override { return "NestedLoopJoin"; }
 
   const std::vector<BoundCondition>& conditions() const { return conditions_; }
 
+ protected:
+  Status DoOpen() override;
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override;
+
  private:
-  Tuple Combine(const Tuple& left, const Tuple& right) const;
+  /// Binding at output slot `slot` for the pair (probe row i, right row r).
+  const Binding& BindingAt(size_t slot, const TupleBatch& probe, size_t i,
+                           size_t r) const;
 
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
   TupleSchema schema_;
   std::vector<size_t> right_output_slots_;
+  /// output-slot → (side, source column), as in HashJoin.
+  std::vector<std::pair<int, size_t>> slot_source_;
   std::vector<BoundCondition> conditions_;
-  std::vector<Tuple> right_rows_;
-  std::optional<Tuple> current_left_;
+
+  TupleBatch right_data_;            ///< compacted right side.
+  std::optional<TupleBatch> probe_;  ///< current left batch.
+  size_t probe_row_ = 0;
   size_t right_pos_ = 0;
 };
 
 /// Sort by variables (stable; document order preserved among equals —
-/// XML ordering, §4).
+/// XML ordering, §4). Materializes the child into one column store, sorts
+/// a permutation vector, and emits zero-copy selection views in sorted
+/// order.
 class Sort : public Operator {
  public:
   struct Key {
@@ -185,33 +287,39 @@ class Sort : public Operator {
   Sort(std::unique_ptr<Operator> child, std::vector<Key> keys);
 
   const TupleSchema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override;
   std::string label() const override { return "Sort"; }
 
   const std::vector<Key>& keys() const { return keys_; }
 
+ protected:
+  Status DoOpen() override;
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override;
+
  private:
   std::unique_ptr<Operator> child_;
   std::vector<Key> keys_;
-  std::vector<Tuple> sorted_;
+  TupleBatch data_;                   ///< compacted child output.
+  std::vector<uint32_t> order_;       ///< physical rows in sorted order.
   size_t position_ = 0;
 };
 
-/// Emits at most `limit` tuples.
+/// Emits at most `limit` tuples; pass-through batches are trimmed by
+/// slicing the selection window, never copied.
 class Limit : public Operator {
  public:
   Limit(std::unique_ptr<Operator> child, size_t limit);
 
   const TupleSchema& schema() const override { return child_->schema(); }
-  Status Open() override {
+  std::string label() const override;
+
+ protected:
+  Status DoOpen() override {
     emitted_ = 0;
     return child_->Open();
   }
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override { child_->Close(); }
-  std::string label() const override;
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override { child_->Close(); }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -223,7 +331,9 @@ class Limit : public Operator {
 /// aggregate per spec into a fresh output variable. Not reachable from the
 /// XML-QL surface subset but part of the physical algebra (the paper's
 /// engine is "equivalent to a standard SQL query engine", §4) and used by
-/// the frontend and benchmarks.
+/// the frontend and benchmarks. Vectorized: one pass over the child's
+/// batches updates per-group accumulators column by column — input rows
+/// are never buffered.
 class HashAggregate : public Operator {
  public:
   enum class Fn { kCount, kSum, kMin, kMax, kAvg };
@@ -239,9 +349,6 @@ class HashAggregate : public Operator {
                 std::vector<Spec> specs);
 
   const TupleSchema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<std::optional<Tuple>> Next() override;
-  void Close() override;
   std::string label() const override { return "HashAggregate"; }
 
   const std::vector<std::string>& group_variables() const {
@@ -249,12 +356,17 @@ class HashAggregate : public Operator {
   }
   const std::vector<Spec>& specs() const { return specs_; }
 
+ protected:
+  Status DoOpen() override;
+  Result<std::optional<TupleBatch>> DoNextBatch() override;
+  void DoClose() override;
+
  private:
   std::unique_ptr<Operator> child_;
   std::vector<std::string> group_variables_;
   std::vector<Spec> specs_;
   TupleSchema schema_;
-  std::vector<Tuple> results_;
+  TupleBatch results_;  ///< one row per group, first-appearance order.
   size_t position_ = 0;
 };
 

@@ -3,26 +3,14 @@
 namespace nimble {
 namespace algebra {
 
-Value Binding::AsScalar() const {
-  switch (kind_) {
-    case Kind::kUnset:
-      return Value::Null();
-    case Kind::kScalar:
-      return scalar_;
-    case Kind::kNode:
-      return node_->ScalarValue();
-  }
-  return Value::Null();
-}
-
 bool Binding::EqualsForJoin(const Binding& other) const {
   if (is_unset() || other.is_unset()) return false;
   if (is_node() && other.is_node()) {
     // Two node bindings unify when structurally equal.
     return node_->DeepEquals(*other.node_);
   }
-  Value a = AsScalar();
-  Value b = other.AsScalar();
+  const Value& a = AsScalar();
+  const Value& b = other.AsScalar();
   // SQL-style semantics: null never equi-joins, not even with null.
   if (a.is_null() || b.is_null()) return false;
   return a == b;
@@ -59,6 +47,75 @@ std::string TupleSchema::ToString() const {
   return out + "]";
 }
 
+// ---- TupleBatch -------------------------------------------------------------
+
+TupleBatch TupleBatch::Select(std::vector<uint32_t> selection) const {
+  TupleBatch view = *this;  // shares columns_
+  view.selection_ = std::move(selection);
+  view.has_selection_ = true;
+  return view;
+}
+
+TupleBatch TupleBatch::Slice(size_t begin, size_t count) const {
+  std::vector<uint32_t> selection;
+  selection.reserve(count);
+  for (size_t i = begin; i < begin + count; ++i) {
+    selection.push_back(static_cast<uint32_t>(PhysicalRow(i)));
+  }
+  return Select(std::move(selection));
+}
+
+void TupleBatch::Reserve(size_t rows) {
+  assert(columns_.use_count() == 1 && "mutating shared batch storage");
+  for (std::vector<Binding>& column : *columns_) column.reserve(rows);
+}
+
+void TupleBatch::AppendTuple(const Tuple& tuple) {
+  assert(columns_.use_count() == 1 && "mutating shared batch storage");
+  assert(tuple.size() == columns_->size());
+  for (size_t slot = 0; slot < tuple.size(); ++slot) {
+    (*columns_)[slot].push_back(tuple[slot]);
+  }
+  ++num_rows_;
+}
+
+void TupleBatch::AppendRowFrom(const TupleBatch& src, size_t i) {
+  assert(columns_.use_count() == 1 && "mutating shared batch storage");
+  assert(src.num_slots() == columns_->size());
+  const size_t phys = src.PhysicalRow(i);
+  for (size_t slot = 0; slot < columns_->size(); ++slot) {
+    (*columns_)[slot].push_back(src.column(slot)[phys]);
+  }
+  ++num_rows_;
+}
+
+Tuple TupleBatch::MaterializeTuple(size_t i) const {
+  const size_t phys = PhysicalRow(i);
+  Tuple tuple;
+  tuple.reserve(num_slots());
+  for (size_t slot = 0; slot < num_slots(); ++slot) {
+    tuple.push_back((*columns_)[slot][phys]);
+  }
+  return tuple;
+}
+
+TupleBatch TupleBatch::FromTuples(size_t num_slots,
+                                  const std::vector<Tuple>& tuples) {
+  TupleBatch batch(num_slots);
+  batch.Reserve(tuples.size());
+  for (const Tuple& tuple : tuples) {
+    // Tolerates ragged input: a tuple shorter than the schema leaves its
+    // missing columns short, which the plan verifier reports (I12) rather
+    // than this constructor silently papering over a compiler bug.
+    const size_t n = std::min(num_slots, tuple.size());
+    for (size_t slot = 0; slot < n; ++slot) {
+      (*batch.columns_)[slot].push_back(tuple[slot]);
+    }
+    ++batch.num_rows_;
+  }
+  return batch;
+}
+
 size_t HashSlots(const Tuple& tuple, const std::vector<size_t>& slots) {
   size_t h = 0xcbf29ce484222325ULL;
   for (size_t slot : slots) {
@@ -73,6 +130,31 @@ bool SlotsEqual(const Tuple& a, const std::vector<size_t>& slots_a,
   if (slots_a.size() != slots_b.size()) return false;
   for (size_t i = 0; i < slots_a.size(); ++i) {
     if (!a[slots_a[i]].EqualsForJoin(b[slots_b[i]])) return false;
+  }
+  return true;
+}
+
+size_t HashBatchSlots(const TupleBatch& batch, size_t i,
+                      const std::vector<size_t>& slots) {
+  const size_t phys = batch.PhysicalRow(i);
+  size_t h = 0xcbf29ce484222325ULL;
+  for (size_t slot : slots) {
+    h ^= batch.column(slot)[phys].Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool BatchSlotsEqual(const TupleBatch& a, size_t ai,
+                     const std::vector<size_t>& slots_a, const TupleBatch& b,
+                     size_t bi, const std::vector<size_t>& slots_b) {
+  if (slots_a.size() != slots_b.size()) return false;
+  const size_t pa = a.PhysicalRow(ai);
+  const size_t pb = b.PhysicalRow(bi);
+  for (size_t i = 0; i < slots_a.size(); ++i) {
+    if (!a.column(slots_a[i])[pa].EqualsForJoin(b.column(slots_b[i])[pb])) {
+      return false;
+    }
   }
   return true;
 }

@@ -93,16 +93,46 @@ Status VerifyNode(const Operator& op, int depth) {
   NIMBLE_RETURN_IF_ERROR(CheckSchemaWellFormed(op));  // I1
 
   if (const auto* scan = dynamic_cast<const MaterializedScan*>(&op)) {
-    // I2: every materialized tuple matches the scan's declared arity.
-    const size_t arity = scan->schema().size();
-    for (size_t i = 0; i < scan->tuples().size(); ++i) {
-      if (scan->tuples()[i].size() != arity) {
-        return Violation(
-            op, "tuple " + std::to_string(i) + " has " +
-                    std::to_string(scan->tuples()[i].size()) +
-                    " bindings but the schema declares " +
-                    std::to_string(arity));
+    const TupleBatch& data = scan->data();
+    // I2: the scan's column store matches the declared arity.
+    if (data.num_slots() != scan->schema().size()) {
+      return Violation(op, "column store has " +
+                               std::to_string(data.num_slots()) +
+                               " columns but the schema declares " +
+                               std::to_string(scan->schema().size()));
+    }
+    // I12: columnar well-formedness — every column holds exactly num_rows
+    // bindings (a ragged column set makes PhysicalRow indexing UB), and
+    // every selection entry addresses a physical row.
+    for (size_t slot = 0; slot < data.num_slots(); ++slot) {
+      if (data.column(slot).size() != data.num_rows()) {
+        return Violation(op, "column " + std::to_string(slot) + " has " +
+                                 std::to_string(data.column(slot).size()) +
+                                 " bindings but the batch declares " +
+                                 std::to_string(data.num_rows()) + " rows");
       }
+    }
+    if (data.has_selection()) {
+      for (uint32_t phys : data.selection()) {
+        if (phys >= data.num_rows()) {
+          return Violation(op, "selection index " + std::to_string(phys) +
+                                   " exceeds physical row count " +
+                                   std::to_string(data.num_rows()));
+        }
+      }
+    }
+  }
+
+  // I11: batch-size agreement — every operator in the tree produces batches
+  // of the same configured capacity. A mismatch means SetBatchSize was
+  // applied to a subtree only, so a parent sized for N rows could receive
+  // child batches of more than N.
+  for (const Operator* child : children) {
+    if (child->batch_size() != op.batch_size()) {
+      return Violation(op, "batch size " + std::to_string(op.batch_size()) +
+                               " disagrees with child " + child->label() +
+                               " batch size " +
+                               std::to_string(child->batch_size()));
     }
   }
 

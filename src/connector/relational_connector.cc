@@ -48,19 +48,33 @@ NodePtr RelationalConnector::ResultSetToXml(const relational::ResultSet& rs,
 Result<NodePtr> RelationalConnector::FetchCollection(
     const std::string& collection, const RequestContext& ctx) {
   NIMBLE_RETURN_IF_ERROR(Admit(ctx));
-  relational::SelectStmt all;
-  all.select_star = true;
-  all.from.table = collection;
-  relational::ResultSet rs;
+  // A collection fetch is SELECT * in disguise; emit the XML records
+  // straight from the table's column arrays instead of routing through the
+  // SQL executor and materializing an intermediate ResultSet row per record.
+  NodePtr root = Node::Element(collection);
+  size_t shipped = 0;
   {
     ReaderMutexLock lock(db_mutex_);
-    NIMBLE_ASSIGN_OR_RETURN(rs, db_->Query(all));
+    const relational::Table* table = db_->GetTable(collection);
+    if (table == nullptr) {
+      return Status::NotFound("no table '" + collection + "' in database '" +
+                              db_->name() + "'");
+    }
+    const std::vector<relational::Column>& columns = table->schema().columns();
+    table->ForEachLiveRow([&](size_t id) {
+      NodePtr record = Node::Element("row");
+      for (size_t c = 0; c < columns.size(); ++c) {
+        record->AddScalarChild(columns[c].name, table->at(id, c));
+      }
+      root->AddChild(std::move(record));
+      ++shipped;
+    });
   }
   FetchStats delta;
   delta.calls = 1;
-  delta.rows_shipped = rs.rows.size();
+  delta.rows_shipped = shipped;
   AddStats(ctx, delta);
-  return ResultSetToXml(rs, collection, "row");
+  return root;
 }
 
 namespace {

@@ -16,11 +16,12 @@ namespace core {
 
 namespace {
 
-/// Applies bound conditions in place over a materialized tuple vector.
-Result<size_t> FilterTuples(const std::vector<const xmlql::Condition*>& conds,
-                            const algebra::TupleSchema& schema,
-                            std::vector<algebra::Tuple>* tuples) {
-  if (conds.empty()) return tuples->size();
+/// Applies bound conditions over a fragment batch by shrinking its
+/// selection vector; surviving rows stay in the shared columns, unmoved.
+Result<size_t> FilterBatch(const std::vector<const xmlql::Condition*>& conds,
+                           const algebra::TupleSchema& schema,
+                           algebra::TupleBatch* batch) {
+  if (conds.empty()) return batch->size();
   std::vector<algebra::BoundCondition> bound;
   bound.reserve(conds.size());
   for (const xmlql::Condition* cond : conds) {
@@ -28,20 +29,20 @@ Result<size_t> FilterTuples(const std::vector<const xmlql::Condition*>& conds,
                             algebra::BoundCondition::Bind(*cond, schema));
     bound.push_back(bc);
   }
-  std::vector<algebra::Tuple> kept;
-  kept.reserve(tuples->size());
-  for (algebra::Tuple& tuple : *tuples) {
+  std::vector<uint32_t> kept;
+  kept.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
     bool pass = true;
     for (const algebra::BoundCondition& bc : bound) {
-      if (!bc.Evaluate(tuple)) {
+      if (!bc.EvaluateAt(*batch, i)) {
         pass = false;
         break;
       }
     }
-    if (pass) kept.push_back(std::move(tuple));
+    if (pass) kept.push_back(static_cast<uint32_t>(batch->PhysicalRow(i)));
   }
-  *tuples = std::move(kept);
-  return tuples->size();
+  batch->SetSelection(std::move(kept));
+  return batch->size();
 }
 
 void AddUnique(std::vector<std::string>* list, const std::string& item) {
@@ -414,6 +415,14 @@ Result<QueryResult> IntegrationEngine::ExecuteInternal(
       }
       report.plan += branch_report.plan;
     }
+    if (!branch_report.plan_with_stats.empty()) {
+      if (!report.plan_with_stats.empty()) report.plan_with_stats += "\n";
+      if (num_branches > 1) {
+        report.plan_with_stats +=
+            "-- branch " + std::to_string(branch) + " --\n";
+      }
+      report.plan_with_stats += branch_report.plan_with_stats;
+    }
 
     const Status& status = branch_status[branch];
     if (status.ok()) {
@@ -478,8 +487,8 @@ void IntegrationEngine::HarvestBindValues(
     std::set<std::string> seen;
     std::vector<Value> distinct;
     bool usable = true;
-    for (const algebra::Tuple& tuple : fr.tuples) {
-      const algebra::Binding& binding = tuple[slot];
+    for (size_t i = 0; i < fr.data.size(); ++i) {
+      const algebra::Binding& binding = fr.data.binding(slot, i);
       if (binding.is_node()) {
         usable = false;
         break;
@@ -628,6 +637,7 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
   Result<std::unique_ptr<algebra::Operator>> plan = BuildPlan(
       std::move(fragment_results), fragmentation.cross_conditions, query);
   if (!plan.ok()) return plan.status();
+  (*plan)->SetBatchSize(options_.batch_size);
   report->plan = (*plan)->Describe();
 
   if (options_.verify_plans) {
@@ -651,18 +661,24 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
         algebra::VerifyPlanProducesVariables(**plan, required));
   }
 
-  // Drain the plan, instantiating the CONSTRUCT template per tuple.
+  // Drain the plan batch-at-a-time, instantiating the CONSTRUCT template
+  // per result row.
   NIMBLE_RETURN_IF_ERROR((*plan)->Open());
   while (true) {
-    Result<std::optional<algebra::Tuple>> tuple = (*plan)->Next();
-    if (!tuple.ok()) return tuple.status();
-    if (!tuple->has_value()) break;
-    Result<NodePtr> instance = algebra::InstantiateTemplate(
-        *query.construct, (*plan)->schema(), **tuple);
-    if (!instance.ok()) return instance.status();
-    out_root->AddChild(std::move(*instance));
+    Result<std::optional<algebra::TupleBatch>> batch = (*plan)->NextBatch();
+    if (!batch.ok()) return batch.status();
+    if (!(*batch).has_value()) break;
+    for (size_t i = 0; i < (*batch)->size(); ++i) {
+      Result<NodePtr> instance = algebra::InstantiateTemplate(
+          *query.construct, (*plan)->schema(), (*batch)->MaterializeTuple(i));
+      if (!instance.ok()) return instance.status();
+      out_root->AddChild(std::move(*instance));
+    }
   }
   (*plan)->Close();
+  // Counters survive Close(); render the executed plan with per-operator
+  // batch/row production for EXPLAIN.
+  report->plan_with_stats = (*plan)->DescribeWithStats();
   return Status::OK();
 }
 
@@ -728,10 +744,12 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
     out.rows_shipped = nested.rows_shipped;
     out.schema = fragment.schema;
     NIMBLE_ASSIGN_OR_RETURN(
-        out.tuples, algebra::MatchPattern(fragment.pattern->root,
-                                          view_result->document, out.schema));
+        std::vector<algebra::Tuple> matched,
+        algebra::MatchPattern(fragment.pattern->root, view_result->document,
+                              out.schema));
+    out.data = algebra::TupleBatch::FromTuples(out.schema.size(), matched);
     NIMBLE_RETURN_IF_ERROR(
-        FilterTuples(fragment.local_conditions, out.schema, &out.tuples)
+        FilterBatch(fragment.local_conditions, out.schema, &out.data)
             .status());
     out.label = "view:" + source_ref.collection;
     return out;
@@ -782,13 +800,16 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
         return rs.status();
       }
       algebra::TupleSchema schema(translation->variables);
-      std::vector<algebra::Tuple> tuples;
-      tuples.reserve(rs->rows.size());
-      for (const relational::Row& row : rs->rows) {
-        algebra::Tuple tuple;
-        tuple.reserve(row.size());
-        for (const Value& v : row) tuple.emplace_back(algebra::Binding{v});
-        tuples.push_back(std::move(tuple));
+      // Transpose the shipped rows straight into batch columns (moving the
+      // values) — the plan's scan then serves slices of these columns.
+      algebra::TupleBatch data(schema.size());
+      data.Reserve(rs->rows.size());
+      for (relational::Row& row : rs->rows) {
+        const size_t n = std::min(schema.size(), row.size());
+        for (size_t c = 0; c < n; ++c) {
+          data.MutableColumn(c).push_back(algebra::Binding{std::move(row[c])});
+        }
+        data.SetNumRows(data.num_rows() + 1);
       }
       // Apply local conditions the translation did not consume.
       std::vector<const xmlql::Condition*> residual;
@@ -802,11 +823,10 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
         }
         if (!consumed) residual.push_back(cond);
       }
-      NIMBLE_RETURN_IF_ERROR(
-          FilterTuples(residual, schema, &tuples).status());
+      NIMBLE_RETURN_IF_ERROR(FilterBatch(residual, schema, &data).status());
 
       out.schema = std::move(schema);
-      out.tuples = std::move(tuples);
+      out.data = std::move(data);
       out.rows_shipped = call_stats.rows_shipped;
       out.latency_micros = call_stats.latency_micros;
       out.pushed_down = true;
@@ -833,11 +853,11 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
   }
   out.schema = fragment.schema;
   NIMBLE_ASSIGN_OR_RETURN(
-      out.tuples,
+      std::vector<algebra::Tuple> matched,
       algebra::MatchPattern(fragment.pattern->root, *tree, out.schema));
+  out.data = algebra::TupleBatch::FromTuples(out.schema.size(), matched);
   NIMBLE_RETURN_IF_ERROR(
-      FilterTuples(fragment.local_conditions, out.schema, &out.tuples)
-          .status());
+      FilterBatch(fragment.local_conditions, out.schema, &out.data).status());
   out.rows_shipped = call_stats.rows_shipped;
   out.latency_micros = call_stats.latency_micros;
   out.label = "fetch:" + source_ref.ToString();
@@ -858,10 +878,10 @@ Result<std::unique_ptr<algebra::Operator>> IntegrationEngine::BuildPlan(
   std::vector<PlanEntry> entries;
   entries.reserve(fragments.size());
   for (FragmentResult& fr : fragments) {
-    double size = static_cast<double>(fr.tuples.size());
+    double size = static_cast<double>(fr.data.size());
     entries.push_back(PlanEntry{
         std::make_unique<algebra::MaterializedScan>(
-            std::move(fr.schema), std::move(fr.tuples), fr.label),
+            std::move(fr.schema), std::move(fr.data), fr.label),
         size});
   }
   if (entries.empty()) {

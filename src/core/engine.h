@@ -69,6 +69,10 @@ struct EngineOptions {
   uint64_t retry_jitter_seed = 17;
   /// Maximum depth of mediated-view expansion (cycle guard).
   int max_view_depth = 16;
+  /// Rows per TupleBatch flowing between physical-algebra operators
+  /// (DESIGN.md §2g). Larger batches amortize per-operator dispatch;
+  /// smaller ones bound peak memory per pipeline stage. Clamped to >= 1.
+  size_t batch_size = algebra::Operator::kDefaultBatchSize;
   /// Engine-side result cache byte budget (0 = disabled). Complete answers
   /// from ExecuteText are cached as frozen snapshots keyed by canonicalized
   /// query text; hits are O(1) (the snapshot is shared, not cloned) and
@@ -158,6 +162,10 @@ struct ExecutionReport {
   /// Physical plan rendering; UNION programs concatenate every branch's
   /// plan under "-- branch N --" headers.
   std::string plan;
+  /// The same plan annotated with per-operator execution counters
+  /// ("{batches=N, rows=M}"), rendered after the plan was drained. Empty
+  /// when no mediator plan ran (e.g. result-cache hits).
+  std::string plan_with_stats;
 
   std::string Summary() const;
 };
@@ -270,10 +278,12 @@ class IntegrationEngine {
   }
 
  private:
-  /// The tuples produced for one fragment plus accounting.
+  /// The tuples produced for one fragment plus accounting, held
+  /// column-major so the scan at the bottom of the mediator plan shares
+  /// the columns instead of re-transposing row-major tuples.
   struct FragmentResult {
     algebra::TupleSchema schema;
-    std::vector<algebra::Tuple> tuples;
+    algebra::TupleBatch data;
     size_t rows_shipped = 0;
     int64_t latency_micros = 0;
     bool pushed_down = false;

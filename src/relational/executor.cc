@@ -535,15 +535,33 @@ Result<ResultSet> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
     }
     for (size_t id : row_ids) {
       if (base->IsLive(id)) {
-        current.push_back(base->row(id));
+        current.push_back(base->MaterializeRow(id));
         ++stats.rows_scanned;
       }
     }
-  } else {
-    base->Scan([&](size_t, const Row& row) {
-      current.push_back(row);
+  } else if (stmt.joins.empty() && stmt.where != nullptr) {
+    // Single-table predicate pushdown straight over the column arrays:
+    // candidates are evaluated in a reused scratch row, so rows failing the
+    // WHERE clause are never materialized.
+    const size_t n = base->physical_size();
+    const bool dense = base->dense();
+    Row scratch;
+    for (size_t id = 0; id < n; ++id) {
+      if (!dense && !base->IsLive(id)) continue;
+      base->CopyRowInto(id, &scratch);
       ++stats.rows_scanned;
-    });
+      NIMBLE_ASSIGN_OR_RETURN(Value v,
+                              Evaluate(*stmt.where, scope, scratch, nullptr));
+      if (v.Truthy()) current.push_back(scratch);
+    }
+  } else {
+    const size_t n = base->physical_size();
+    const bool dense = base->dense();
+    for (size_t id = 0; id < n; ++id) {
+      if (!dense && !base->IsLive(id)) continue;
+      current.push_back(base->MaterializeRow(id));
+      ++stats.rows_scanned;
+    }
   }
 
   // ---- Joins ----------------------------------------------------------------
@@ -560,15 +578,16 @@ Result<ResultSet> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
 
     std::vector<Row> next;
     if (!keys.left_slots.empty()) {
-      // Hash join: build on the right side.
-      std::unordered_map<std::vector<Value>, std::vector<const Row*>,
+      // Hash join: build on the right side, reading key columns directly —
+      // build rows are identified by row id and materialized only on match.
+      std::unordered_map<std::vector<Value>, std::vector<size_t>,
                          ValueVectorHash, ValueVectorEq>
           hash_table;
-      right->Scan([&](size_t, const Row& row) {
+      right->ForEachLiveRow([&](size_t id) {
         std::vector<Value> key;
         key.reserve(keys.right_columns.size());
-        for (size_t c : keys.right_columns) key.push_back(row[c]);
-        hash_table[std::move(key)].push_back(&row);
+        for (size_t c : keys.right_columns) key.push_back(right->at(id, c));
+        hash_table[std::move(key)].push_back(id);
         ++stats.rows_scanned;
       });
       const size_t right_width = right->schema().num_columns();
@@ -584,10 +603,12 @@ Result<ResultSet> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
         if (!has_null) {  // SQL semantics: null never equi-joins.
           auto it = hash_table.find(key);
           if (it != hash_table.end()) {
-            for (const Row* right_row : it->second) {
+            for (size_t right_id : it->second) {
               Row combined = left_row;
-              combined.insert(combined.end(), right_row->begin(),
-                              right_row->end());
+              combined.reserve(combined.size() + right_width);
+              for (size_t c = 0; c < right_width; ++c) {
+                combined.push_back(right->at(right_id, c));
+              }
               // Residual predicates.
               bool keep = true;
               for (const SqlExpr* residual : keys.residual) {
@@ -613,19 +634,22 @@ Result<ResultSet> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
         }
       }
     } else {
-      // Nested-loop join with the full ON condition.
-      std::vector<const Row*> right_rows;
-      right->Scan([&](size_t, const Row& row) {
-        right_rows.push_back(&row);
+      // Nested-loop join with the full ON condition; right rows are
+      // appended column-wise per pair, never materialized standalone.
+      std::vector<size_t> right_ids;
+      right->ForEachLiveRow([&](size_t id) {
+        right_ids.push_back(id);
         ++stats.rows_scanned;
       });
       const size_t right_width = right->schema().num_columns();
       for (const Row& left_row : current) {
         size_t matches = 0;
-        for (const Row* right_row : right_rows) {
+        for (size_t right_id : right_ids) {
           Row combined = left_row;
-          combined.insert(combined.end(), right_row->begin(),
-                          right_row->end());
+          combined.reserve(combined.size() + right_width);
+          for (size_t c = 0; c < right_width; ++c) {
+            combined.push_back(right->at(right_id, c));
+          }
           NIMBLE_ASSIGN_OR_RETURN(
               Value v,
               Evaluate(*join.condition, joined_scope, combined, nullptr));

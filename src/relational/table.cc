@@ -16,8 +16,9 @@ Status Table::Insert(Row row) {
                                      " in table '" + schema_.name() + "'");
       }
     } else {
-      for (size_t i = 0; i < rows_.size(); ++i) {
-        if (!tombstones_[i] && rows_[i][pk] == key) {
+      const std::vector<Value>& pk_column = columns_[pk];
+      for (size_t i = 0; i < num_rows_; ++i) {
+        if (!tombstones_[i] && pk_column[i] == key) {
           return Status::AlreadyExists("duplicate primary key " +
                                        key.ToString() + " in table '" +
                                        schema_.name() + "'");
@@ -25,28 +26,51 @@ Status Table::Insert(Row row) {
       }
     }
   }
-  size_t row_id = rows_.size();
+  size_t row_id = num_rows_;
   for (auto& index : indexes_) {
     index->Insert(row[index->column()], row_id);
   }
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+  ++num_rows_;
   tombstones_.push_back(false);
   ++live_rows_;
   ++version_;
   return Status::OK();
 }
 
-void Table::Scan(const std::function<void(size_t, const Row&)>& fn) const {
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (!tombstones_[i]) fn(i, rows_[i]);
+Row Table::MaterializeRow(size_t row_id) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const std::vector<Value>& column : columns_) {
+    row.push_back(column[row_id]);
+  }
+  return row;
+}
+
+void Table::CopyRowInto(size_t row_id, Row* out) const {
+  out->resize(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    (*out)[c] = columns_[c][row_id];
+  }
+}
+
+void Table::StoreRow(size_t row_id, const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c][row_id] = row[c];
   }
 }
 
 size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
   size_t removed = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (!tombstones_[i] && predicate(rows_[i])) {
+  Row scratch;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (tombstones_[i]) continue;
+    CopyRowInto(i, &scratch);
+    if (predicate(scratch)) {
       tombstones_[i] = true;
+      ++tombstone_count_;
       --live_rows_;
       ++removed;
     }
@@ -62,11 +86,17 @@ Result<size_t> Table::UpdateWhere(
     const std::function<bool(const Row&)>& predicate,
     const std::function<void(Row*)>& mutate) {
   size_t updated = 0;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (!tombstones_[i] && predicate(rows_[i])) {
-      mutate(&rows_[i]);
-      schema_.CoerceRow(&rows_[i]);
-      Status status = schema_.ValidateRow(rows_[i]);
+  Row scratch;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (tombstones_[i]) continue;
+    CopyRowInto(i, &scratch);
+    if (predicate(scratch)) {
+      mutate(&scratch);
+      schema_.CoerceRow(&scratch);
+      // Store before validating: historically the mutation was applied in
+      // place, so even the offending row keeps its new value on abort.
+      StoreRow(i, scratch);
+      Status status = schema_.ValidateRow(scratch);
       if (!status.ok()) return status;
       ++updated;
     }
@@ -91,9 +121,8 @@ Status Table::CreateIndex(const std::string& index_name,
     }
   }
   auto index = std::make_unique<OrderedIndex>(index_name, *col);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (!tombstones_[i]) index->Insert(rows_[i][*col], i);
-  }
+  const std::vector<Value>& values = columns_[*col];
+  ForEachLiveRow([&](size_t i) { index->Insert(values[i], i); });
   indexes_.push_back(std::move(index));
   return Status::OK();
 }
@@ -114,9 +143,8 @@ const OrderedIndex* Table::FindIndexOn(size_t column) const {
 void Table::RebuildIndexes() {
   for (auto& index : indexes_) {
     index->Clear();
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      if (!tombstones_[i]) index->Insert(rows_[i][index->column()], i);
-    }
+    const std::vector<Value>& values = columns_[index->column()];
+    ForEachLiveRow([&](size_t i) { index->Insert(values[i], i); });
   }
 }
 

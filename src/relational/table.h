@@ -1,6 +1,7 @@
 #ifndef NIMBLE_RELATIONAL_TABLE_H_
 #define NIMBLE_RELATIONAL_TABLE_H_
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,12 +13,17 @@
 namespace nimble {
 namespace relational {
 
-/// An in-memory heap table with optional secondary indexes. Deleted rows
-/// are tombstoned (cheap deletes) and skipped by scans; indexes are rebuilt
-/// lazily after deletions.
+/// An in-memory column-store table with optional secondary indexes: one
+/// Value vector per schema column, so scans and join builds read the
+/// columns they need without materializing intermediate Rows. Deleted rows
+/// are tombstoned in a bitmap (cheap deletes); the live tombstone count is
+/// tracked so scans over a dense table (the common case) skip the bitmap
+/// entirely. Indexes are rebuilt lazily after deletions.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {
+    columns_.resize(schema_.num_columns());
+  }
 
   const TableSchema& schema() const { return schema_; }
 
@@ -28,13 +34,49 @@ class Table {
   /// Number of live rows.
   size_t size() const { return live_rows_; }
 
-  /// Calls `fn(row_id, row)` for every live row.
-  void Scan(const std::function<void(size_t, const Row&)>& fn) const;
+  /// Physical row count, including tombstoned rows. Row ids range over
+  /// [0, physical_size()).
+  size_t physical_size() const { return num_rows_; }
 
-  /// Access a row by id. The caller must know the id is live.
-  const Row& row(size_t row_id) const { return rows_[row_id]; }
+  /// True when no row is tombstoned — every row id in [0, physical_size())
+  /// is live and scans need not consult the bitmap.
+  bool dense() const { return tombstone_count_ == 0; }
+
+  /// The full value array of one column (indexed by physical row id,
+  /// tombstoned slots included).
+  const std::vector<Value>& column_values(size_t column) const {
+    return columns_[column];
+  }
+
+  /// Value at (physical row id, column).
+  const Value& at(size_t row_id, size_t column) const {
+    return columns_[column][row_id];
+  }
+
+  /// Materializes a physical row id as a row-major Row. The caller must
+  /// know the id is live.
+  Row MaterializeRow(size_t row_id) const;
+
+  /// Overwrites `*out` (resized to the table arity) with row `row_id`,
+  /// reusing its capacity — the allocation-free variant of MaterializeRow
+  /// for tight scan loops.
+  void CopyRowInto(size_t row_id, Row* out) const;
+
   bool IsLive(size_t row_id) const {
-    return row_id < rows_.size() && !tombstones_[row_id];
+    return row_id < num_rows_ && !tombstones_[row_id];
+  }
+
+  /// Calls `fn(row_id)` for every live row. When the table is dense the
+  /// tombstone bitmap is never consulted.
+  template <typename Fn>
+  void ForEachLiveRow(Fn&& fn) const {
+    if (tombstone_count_ == 0) {
+      for (size_t i = 0; i < num_rows_; ++i) fn(i);
+      return;
+    }
+    for (size_t i = 0; i < num_rows_; ++i) {
+      if (!tombstones_[i]) fn(i);
+    }
   }
 
   /// Deletes all rows matching `predicate`; returns the count removed.
@@ -63,10 +105,14 @@ class Table {
 
  private:
   void RebuildIndexes();
+  /// Writes `row` back into the column arrays at `row_id`.
+  void StoreRow(size_t row_id, const Row& row);
 
   TableSchema schema_;
-  std::vector<Row> rows_;
+  std::vector<std::vector<Value>> columns_;  ///< [column][physical row].
+  size_t num_rows_ = 0;
   std::vector<bool> tombstones_;
+  size_t tombstone_count_ = 0;
   size_t live_rows_ = 0;
   std::vector<std::unique_ptr<OrderedIndex>> indexes_;
   uint64_t version_ = 0;

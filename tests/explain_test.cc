@@ -212,6 +212,44 @@ TEST_F(ExplainTest, ViewExpansionScan) {
             "Scan(view:gold_customers, 2 tuples) [$i, $n]\n");
 }
 
+// `plan_with_stats` is the same tree annotated with post-execution batch
+// counters: at the default batch size every operator here produces its
+// whole result in one batch.
+TEST_F(ExplainTest, PlanWithStatsAnnotatesBatchCounters) {
+  Result<QueryResult> r = engine_->ExecuteText(
+      "WHERE <customers><row><id>$c</id><name>$n</name></row>"
+      "</customers> IN \"crm:customers\", "
+      "<orders><row><cust>$c</cust><total>$t</total></row>"
+      "</orders> IN \"sales:orders\", $t > 100 "
+      "CONSTRUCT <big><name>$n</name><total>$t</total></big>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->report.plan_with_stats,
+            "HashJoin($c) [$c, $n, $t] {batches=1, rows=2}\n"
+            "  Scan(sql:crm:customers, 4 tuples) [$c, $n] "
+            "{batches=1, rows=4}\n"
+            "  Scan(sql+bind:sales:orders, 2 tuples) [$c, $t] "
+            "{batches=1, rows=2}\n");
+}
+
+// Shrinking EngineOptions::batch_size changes batch accounting but never
+// results: the same scan now produces one batch per row.
+TEST_F(ExplainTest, BatchSizeOptionControlsBatchCount) {
+  EngineOptions opts;
+  opts.verify_plans = true;
+  opts.batch_size = 1;
+  IntegrationEngine tiny(catalog_.get(), opts);
+  Result<QueryResult> r = tiny.ExecuteText(
+      "WHERE <customers><row><id>$i</id><name>$n</name>"
+      "<segment>$s</segment></row></customers> "
+      "IN \"crm:customers\", $s = 'gold' "
+      "CONSTRUCT <gold><name>$n</name></gold>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->report.result_count, 2u);
+  EXPECT_EQ(r->report.plan_with_stats,
+            "Scan(sql:crm:customers, 2 tuples) [$i, $n, $s] "
+            "{batches=2, rows=2}\n");
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace nimble

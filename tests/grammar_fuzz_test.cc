@@ -6,14 +6,17 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "connector/relational_connector.h"
-#include "connector/xml_connector.h"
 #include "core/engine.h"
-#include "relational/database.h"
+#include "query_generator.h"
 
 namespace nimble {
 namespace core {
 namespace {
+
+using testgen::FuzzIters;
+using testgen::FuzzSeed;
+using testgen::GenProgram;
+using testgen::Mutate;
 
 /// Deterministic grammar fuzzer for the XML-QL compiler (ISSUE 5 tentpole).
 ///
@@ -25,250 +28,30 @@ namespace {
 /// engine logic errors; every fuzzed input must either execute or fail
 /// with a user-class code (parse/type/not-found/…).
 ///
-/// Seeded via common/rng so every run is reproducible; no wall-clock input.
-/// Knobs: NIMBLE_FUZZ_ITERS (default 5000), NIMBLE_FUZZ_SEED.
+/// The program generator and fixture live in tests/query_generator.h,
+/// shared with the batch/row differential test so any repro case replays
+/// through both harnesses. Seeded via common/rng; knobs: NIMBLE_FUZZ_ITERS
+/// (default 5000), NIMBLE_FUZZ_SEED.
 class GrammarFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<relational::Database>("db");
-    Must(db_->Execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT, "
-                      "c DOUBLE)"));
-    Must(db_->Execute("INSERT INTO t VALUES (1, 'alpha', 1.5), "
-                      "(2, 'beta', 2.5), (3, 'gamma', 3.5), "
-                      "(4, 'alpha', 0.25)"));
-
-    auto feed = std::make_unique<connector::XmlConnector>("feed");
-    Must(feed->PutDocumentText(
-        "products",
-        "<products>"
-        "<product><title>alpha</title><price>9.5</price></product>"
-        "<product><title>delta</title><price>2.0</price></product>"
-        "</products>"));
-
-    catalog_ = std::make_unique<metadata::Catalog>();
-    Must(catalog_->RegisterSource(
-        std::make_unique<connector::RelationalConnector>("db", db_.get())));
-    Must(catalog_->RegisterSource(std::move(feed)));
-    Must(catalog_->DefineView(
-        "named",
-        "WHERE <t><row><a>$a</a><b>$b</b></row></t> IN \"db:t\" "
-        "CONSTRUCT <item><b>$b</b></item>"));
+    fixture_ = testgen::MakeGeneratorFixture();
+    ASSERT_NE(fixture_.catalog, nullptr) << "generator fixture setup failed";
 
     EngineOptions opts;
     opts.verify_plans = true;
     opts.plan_cache_entries = 8;  // small: force evictions + revalidation
-    engine_ = std::make_unique<IntegrationEngine>(catalog_.get(), opts);
+    engine_ =
+        std::make_unique<IntegrationEngine>(fixture_.catalog.get(), opts);
   }
 
-  void Must(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
-  template <typename T>
-  void Must(const Result<T>& r) {
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-  }
-
-  std::unique_ptr<relational::Database> db_;
-  std::unique_ptr<metadata::Catalog> catalog_;
+  testgen::GeneratorFixture fixture_;
   std::unique_ptr<IntegrationEngine> engine_;
 };
 
-size_t FuzzIters() {
-  const char* env = std::getenv("NIMBLE_FUZZ_ITERS");
-  if (env != nullptr && *env != '\0') {
-    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
-  }
-  return 5000;
-}
-
-uint64_t FuzzSeed() {
-  const char* env = std::getenv("NIMBLE_FUZZ_SEED");
-  if (env != nullptr && *env != '\0') {
-    return std::strtoull(env, nullptr, 10);
-  }
-  return 0xD1CEu;
-}
-
-/// A variable the generator has bound, with its scalar type.
-struct BoundVar {
-  std::string name;
-  char type;  // 'i' int, 's' string, 'd' double
-};
-
-std::string Literal(Rng& rng, char type) {
-  switch (type) {
-    case 'i':
-      return std::to_string(rng.UniformInt(0, 5));
-    case 'd':
-      return std::to_string(rng.UniformInt(0, 9)) + "." +
-             std::to_string(rng.UniformInt(0, 9));
-    default: {
-      static const char* kWords[] = {"alpha", "beta", "gamma", "delta", "zz"};
-      return "'" + std::string(kWords[rng.Index(5)]) + "'";
-    }
-  }
-}
-
-/// One WHERE pattern over a random source; appends the variables it binds.
-std::string GenPattern(Rng& rng, int* next_var, std::vector<BoundVar>* vars) {
-  switch (rng.Index(3)) {
-    case 0: {  // relational, SQL pushdown path
-      struct Col {
-        const char* name;
-        char type;
-      };
-      static constexpr Col kCols[] = {{"a", 'i'}, {"b", 's'}, {"c", 'd'}};
-      std::string body;
-      size_t mask = 1 + rng.Index(7);  // non-empty subset of 3 columns
-      for (size_t i = 0; i < 3; ++i) {
-        if ((mask & (1u << i)) == 0) continue;
-        BoundVar v{"$v" + std::to_string((*next_var)++), kCols[i].type};
-        body += std::string("<") + kCols[i].name + ">" + v.name + "</" +
-                kCols[i].name + ">";
-        vars->push_back(v);
-      }
-      return "<t><row>" + body + "</row></t> IN \"db:t\"";
-    }
-    case 1: {  // XML feed, fetch+match path
-      std::string body;
-      size_t mask = 1 + rng.Index(3);  // subset of {title, price}
-      if (mask & 1u) {
-        BoundVar v{"$v" + std::to_string((*next_var)++), 's'};
-        body += "<title>" + v.name + "</title>";
-        vars->push_back(v);
-      }
-      if (mask & 2u) {
-        BoundVar v{"$v" + std::to_string((*next_var)++), 'd'};
-        body += "<price>" + v.name + "</price>";
-        vars->push_back(v);
-      }
-      return "<products><product>" + body +
-             "</product></products> IN \"feed:products\"";
-    }
-    default: {  // mediated view expansion
-      BoundVar v{"$v" + std::to_string((*next_var)++), 's'};
-      vars->push_back(v);
-      return "<results><item><b>" + v.name +
-             "</b></item></results> IN \"named\"";
-    }
-  }
-}
-
-/// A grammar-valid query: patterns, optional conditions (typed literals, or
-/// an occasional deliberate type clash), CONSTRUCT, aggregation, ORDER BY,
-/// LIMIT.
-std::string GenQuery(Rng& rng) {
-  int next_var = 0;
-  std::vector<BoundVar> vars;
-  std::string where = GenPattern(rng, &next_var, &vars);
-  if (rng.Bernoulli(0.4)) {
-    std::vector<BoundVar> more;
-    std::string second = GenPattern(rng, &next_var, &more);
-    // Half the time, join: rename one compatible variable pair.
-    if (rng.Bernoulli(0.5)) {
-      for (BoundVar& m : more) {
-        for (const BoundVar& v : vars) {
-          if (v.type == m.type) {
-            size_t at = second.find(m.name);
-            while (at != std::string::npos) {
-              second.replace(at, m.name.size(), v.name);
-              at = second.find(m.name, at + v.name.size());
-            }
-            m.name = v.name;
-            goto joined;
-          }
-        }
-      }
-    joined:;
-    }
-    for (const BoundVar& m : more) vars.push_back(m);
-    where += ",\n      " + second;
-  }
-
-  size_t n_conditions = rng.Index(3);
-  for (size_t i = 0; i < n_conditions; ++i) {
-    const BoundVar& v = vars[rng.Index(vars.size())];
-    static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
-    if (v.type == 's' && rng.Bernoulli(0.3)) {
-      where += ", " + v.name + " LIKE 'a%'";
-    } else {
-      // 10%: deliberately mistyped literal — must fail cleanly, not crash.
-      char lit_type = rng.Bernoulli(0.1) ? "isd"[rng.Index(3)] : v.type;
-      where += ", " + v.name + " " + kOps[rng.Index(6)] + " " +
-               Literal(rng, lit_type);
-    }
-  }
-
-  bool aggregate = rng.Bernoulli(0.15) && vars.size() >= 2;
-  std::string tail;
-  std::string construct;
-  if (aggregate) {
-    const BoundVar& group = vars[0];
-    const BoundVar& input = vars[1];
-    const char* fn = input.type == 's' ? "count" : "sum";
-    construct = "<out><k>" + group.name + "</k><agg>" + std::string(fn) +
-                "(" + input.name + ")</agg></out>";
-    tail = " GROUP BY " + group.name;
-  } else {
-    construct = "<out>";
-    size_t keep = 1 + rng.Index(vars.size());
-    for (size_t i = 0; i < keep; ++i) {
-      construct += "<f" + std::to_string(i) + ">" + vars[i].name + "</f" +
-                   std::to_string(i) + ">";
-    }
-    construct += "</out>";
-    if (rng.Bernoulli(0.3)) {
-      tail += " ORDER BY " + vars[rng.Index(vars.size())].name;
-      if (rng.Bernoulli(0.5)) tail += " DESC";
-    }
-    if (rng.Bernoulli(0.3)) {
-      tail += " LIMIT " + std::to_string(rng.UniformInt(1, 5));
-    }
-  }
-  return "WHERE " + where + "\nCONSTRUCT " + construct + tail;
-}
-
-std::string GenProgram(Rng& rng) {
-  std::string text = GenQuery(rng);
-  if (rng.Bernoulli(0.15)) text += "\nUNION\n" + GenQuery(rng);
-  return text;
-}
-
-/// Random text-level mutation: the result is usually ungrammatical — the
-/// parser and verifier must reject it cleanly.
-std::string Mutate(Rng& rng, std::string text) {
-  static const char kNoise[] = "<>$\"'=,()WHERE ";
-  size_t rounds = 1 + rng.Index(3);
-  for (size_t i = 0; i < rounds && !text.empty(); ++i) {
-    switch (rng.Index(5)) {
-      case 0:  // delete a character
-        text.erase(rng.Index(text.size()), 1);
-        break;
-      case 1:  // insert noise
-        text.insert(rng.Index(text.size() + 1), 1,
-                    kNoise[rng.Index(sizeof(kNoise) - 1)]);
-        break;
-      case 2:  // truncate
-        text.resize(rng.Index(text.size()) + 1);
-        break;
-      case 3: {  // swap two characters
-        size_t a = rng.Index(text.size());
-        size_t b = rng.Index(text.size());
-        std::swap(text[a], text[b]);
-        break;
-      }
-      default: {  // duplicate a chunk
-        size_t at = rng.Index(text.size());
-        size_t len = 1 + rng.Index(std::min<size_t>(8, text.size() - at));
-        text.insert(at, text.substr(at, len));
-        break;
-      }
-    }
-  }
-  return text;
-}
-
 TEST_F(GrammarFuzzTest, NoInputReachesInternalError) {
   Rng rng(FuzzSeed());
-  const size_t iters = FuzzIters();
+  const size_t iters = FuzzIters(/*fallback=*/5000);
   size_t ok_count = 0;
   size_t rejected = 0;
   std::string previous;

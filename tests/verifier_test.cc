@@ -64,7 +64,7 @@ class LyingJoin : public HashJoin {
 class ExtraChildScan : public MaterializedScan {
  public:
   ExtraChildScan(const Operator* bogus)
-      : MaterializedScan(TupleSchema({"a"}), {}, "bad") {
+      : MaterializedScan(TupleSchema({"a"}), std::vector<Tuple>{}, "bad") {
     children_views_.push_back(bogus);
   }
 };
@@ -95,22 +95,31 @@ TEST(VerifierTest, ValidPlanPasses) {
 // ---- I1: schema well-formedness ------------------------------------------
 
 TEST(VerifierTest, I1_DuplicateSchemaVariable) {
-  MaterializedScan scan(TupleSchema({"a", "a"}), {}, "dup");
+  MaterializedScan scan(TupleSchema({"a", "a"}), std::vector<Tuple>{}, "dup");
   ExpectViolation(VerifyPlan(scan), "twice");
 }
 
 TEST(VerifierTest, I1_EmptySchemaVariableName) {
-  MaterializedScan scan(TupleSchema({"a", ""}), {}, "empty");
+  MaterializedScan scan(TupleSchema({"a", ""}), std::vector<Tuple>{}, "empty");
   ExpectViolation(VerifyPlan(scan), "empty variable name");
 }
 
-// ---- I2: scan tuple arity ------------------------------------------------
+// ---- I2/I12: scan column-store well-formedness ---------------------------
 
 TEST(VerifierTest, I2_TupleArityMismatch) {
   std::vector<Tuple> tuples;
   tuples.push_back(Tuple{Binding{Value::Int(1)}});  // 1 binding, arity 2
   MaterializedScan scan(TupleSchema({"a", "b"}), std::move(tuples), "short");
-  ExpectViolation(VerifyPlan(scan), "schema declares 2");
+  // The short tuple leaves column 1 ragged; the columnar check reports it.
+  ExpectViolation(VerifyPlan(scan), "column 1 has 0 bindings");
+}
+
+TEST(VerifierTest, I12_SelectionIndexOutOfBounds) {
+  TupleBatch data = TupleBatch::FromTuples(
+      1, {Tuple{Binding{Value::Int(1)}}, Tuple{Binding{Value::Int(2)}}});
+  data.SetSelection({5});  // only 2 physical rows
+  MaterializedScan scan(TupleSchema({"a"}), std::move(data), "oob");
+  ExpectViolation(VerifyPlan(scan), "selection index 5");
 }
 
 // ---- I3: pass-through schema preservation --------------------------------
@@ -207,6 +216,21 @@ TEST(VerifierTest, I9_LeafClaimsAChild) {
 TEST(VerifierTest, I9_NullChildView) {
   ExtraChildScan scan(nullptr);
   ExpectViolation(VerifyPlan(scan), "null child");
+}
+
+// ---- I11: batch-size agreement -------------------------------------------
+
+TEST(VerifierTest, I11_BatchSizeDisagreesWithChild) {
+  auto scan = Scan({"a"});
+  scan->SetBatchSize(7);  // parent Filter keeps the default
+  Filter filter(std::move(scan), {});
+  ExpectViolation(VerifyPlan(filter), "batch size");
+}
+
+TEST(VerifierTest, I11_UniformBatchSizePasses) {
+  auto filter = std::make_unique<Filter>(Scan({"a"}), std::vector<BoundCondition>{});
+  filter->SetBatchSize(7);  // propagates to the scan
+  EXPECT_TRUE(VerifyPlan(*filter).ok());
 }
 
 // ---- I10: root covers the template ---------------------------------------
