@@ -1,6 +1,7 @@
 #include "algebra/operators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "relational/executor.h"  // for LikeMatch
@@ -146,7 +147,13 @@ std::string Operator::DescribeImpl(int indent, bool with_stats) const {
   out += label();
   out += " " + schema().ToString();
   if (with_stats) {
-    out += " {batches=" + std::to_string(batches_produced_) +
+    out += " {";
+    if (estimated_rows_ >= 0.0) {
+      out += "est_rows=" +
+             std::to_string(static_cast<long long>(std::llround(estimated_rows_))) +
+             ", ";
+    }
+    out += "batches=" + std::to_string(batches_produced_) +
            ", rows=" + std::to_string(rows_produced_) + "}";
   }
   out += "\n";
@@ -261,8 +268,9 @@ std::string Filter::label() const {
 // ---- HashJoin -------------------------------------------------------------------
 
 HashJoin::HashJoin(std::unique_ptr<Operator> left,
-                   std::unique_ptr<Operator> right)
-    : left_(std::move(left)), right_(std::move(right)) {
+                   std::unique_ptr<Operator> right, bool build_left)
+    : left_(std::move(left)), right_(std::move(right)),
+      build_left_(build_left) {
   AddChild(left_.get());
   AddChild(right_.get());
   schema_ = left_->schema().Merge(right_->schema());
@@ -290,20 +298,20 @@ HashJoin::HashJoin(std::unique_ptr<Operator> left,
 }
 
 Status HashJoin::DoOpen() {
-  NIMBLE_RETURN_IF_ERROR(left_->Open());
-  // Build side: compact right into one column store.
-  build_ = TupleBatch(right_->schema().size());
-  NIMBLE_RETURN_IF_ERROR(right_->Open());
+  NIMBLE_RETURN_IF_ERROR(probe_input()->Open());
+  // Compact the chosen build side into one column store.
+  build_ = TupleBatch(build_input()->schema().size());
+  NIMBLE_RETURN_IF_ERROR(build_input()->Open());
   while (true) {
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
-                            right_->NextBatch());
+                            build_input()->NextBatch());
     if (!batch.has_value()) break;
     // No per-batch Reserve: an exact reserve every batch degrades to a
     // reallocation per row at small batch sizes; push_back growth is
     // amortized O(1) regardless of how the input is chopped up.
     for (size_t i = 0; i < batch->size(); ++i) build_.AppendRowFrom(*batch, i);
   }
-  right_->Close();
+  build_input()->Close();
   // Chained hash table (head/next index arrays) over the build columns,
   // sized to a load factor of at most 0.5.
   const size_t n = build_.num_rows();
@@ -312,10 +320,10 @@ Status HashJoin::DoOpen() {
   bucket_mask_ = buckets - 1;
   heads_.assign(buckets, kNone);
   next_.assign(n, kNone);
-  // Insert back to front so each chain iterates in build (right input)
-  // order, matching the historical per-bucket vector order.
+  // Insert back to front so each chain iterates in build-input order,
+  // matching the historical per-bucket vector order.
   for (size_t r = n; r-- > 0;) {
-    const size_t h = HashBatchSlots(build_, r, right_key_slots_) & bucket_mask_;
+    const size_t h = HashBatchSlots(build_, r, build_key_slots()) & bucket_mask_;
     next_[r] = heads_[h];
     heads_[h] = static_cast<uint32_t>(r);
   }
@@ -330,16 +338,19 @@ void HashJoin::StartChain(size_t i) {
     chain_ = kNone;
     return;
   }
-  chain_ = heads_[HashBatchSlots(*probe_, i, left_key_slots_) & bucket_mask_];
+  chain_ = heads_[HashBatchSlots(*probe_, i, probe_key_slots()) & bucket_mask_];
 }
 
 void HashJoin::AppendJoined(const TupleBatch& probe, size_t i,
                             uint32_t build_row, TupleBatch* out) const {
   const size_t phys = probe.PhysicalRow(i);
+  // slot_source_ sides are (0 = left, 1 = right); resolve against whichever
+  // physically holds that side: the compacted build store or the probe batch.
+  const int probe_side = build_left_ ? 1 : 0;
   for (size_t slot = 0; slot < slot_source_.size(); ++slot) {
     const auto& [side, col] = slot_source_[slot];
-    const Binding& binding =
-        side == 0 ? probe.column(col)[phys] : build_.column(col)[build_row];
+    const Binding& binding = side == probe_side ? probe.column(col)[phys]
+                                                : build_.column(col)[build_row];
     out->MutableColumn(slot).push_back(binding);
   }
   out->SetNumRows(out->num_rows() + 1);
@@ -354,8 +365,8 @@ Result<std::optional<TupleBatch>> HashJoin::DoNextBatch() {
         while (chain_ != kNone) {
           const uint32_t candidate = chain_;
           chain_ = next_[candidate];
-          if (BatchSlotsEqual(*probe_, probe_row_, left_key_slots_, build_,
-                              candidate, right_key_slots_)) {
+          if (BatchSlotsEqual(*probe_, probe_row_, probe_key_slots(), build_,
+                              candidate, build_key_slots())) {
             AppendJoined(*probe_, probe_row_, candidate, &out);
             if (out.num_rows() >= batch_size()) {
               return std::optional<TupleBatch>(std::move(out));
@@ -367,7 +378,7 @@ Result<std::optional<TupleBatch>> HashJoin::DoNextBatch() {
       }
       probe_.reset();
     }
-    NIMBLE_ASSIGN_OR_RETURN(probe_, left_->NextBatch());
+    NIMBLE_ASSIGN_OR_RETURN(probe_, probe_input()->NextBatch());
     if (!probe_.has_value()) break;
     probe_row_ = 0;
     StartChain(0);
@@ -377,7 +388,7 @@ Result<std::optional<TupleBatch>> HashJoin::DoNextBatch() {
 }
 
 void HashJoin::DoClose() {
-  left_->Close();
+  probe_input()->Close();
   build_ = TupleBatch();
   heads_.clear();
   next_.clear();
@@ -390,6 +401,7 @@ std::string HashJoin::label() const {
     if (i > 0) vars += ",";
     vars += "$" + join_variables_[i];
   }
+  if (build_left_) return "HashJoin(" + vars + ", build=left)";
   return "HashJoin(" + vars + ")";
 }
 

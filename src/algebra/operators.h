@@ -89,6 +89,16 @@ class Operator {
   size_t batches_produced() const { return batches_produced_; }
   size_t rows_produced() const { return rows_produced_; }
 
+  /// Optimizer cardinality annotation (DESIGN.md §2h): the estimated output
+  /// rows the cost-based planner chose this operator under. Unset (< 0) on
+  /// plans built by the legacy heuristic. Rendered by DescribeWithStats as
+  /// `est_rows=` next to the actual `rows=` so misestimates are visible in
+  /// EXPLAIN, and checked for internal consistency by verifier invariant
+  /// I13. Survives Open()/Close() — it describes the plan, not a run.
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+  double estimated_rows() const { return estimated_rows_; }
+  bool has_estimated_rows() const { return estimated_rows_ >= 0.0; }
+
   /// Read-only child views, in input order (left before right). Used by
   /// Describe and the plan verifier.
   const std::vector<const Operator*>& children() const {
@@ -116,6 +126,7 @@ class Operator {
   size_t batch_size_ = kDefaultBatchSize;
   size_t batches_produced_ = 0;
   size_t rows_produced_ = 0;
+  double estimated_rows_ = -1.0;  ///< < 0 = no cost annotation.
   /// Row-adapter state.
   std::optional<TupleBatch> adapter_batch_;
   size_t adapter_pos_ = 0;
@@ -179,13 +190,18 @@ class Filter : public Operator {
 
 /// ⋈: hash join on the variables shared between the two inputs (natural
 /// join over variable names — XML-QL joins are expressed by repeating a
-/// variable across patterns). Builds on the right input: the build side is
-/// compacted into one column store with a chained hash table (head/next
-/// index arrays); probing consumes left batches and emits combined rows in
-/// batch.
+/// variable across patterns). The build side is compacted into one column
+/// store with a chained hash table (head/next index arrays); probing
+/// consumes the other side's batches and emits combined rows in batch.
+/// Historically the build side was always the right input; the cost-based
+/// optimizer passes `build_left` when the left is estimated smaller
+/// (DESIGN.md §2h). Output schema and combine semantics ("right binding
+/// wins" on shared slots) are independent of the build side — only the
+/// emission order (probe-major) and the memory footprint change.
 class HashJoin : public Operator {
  public:
-  HashJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right);
+  HashJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+           bool build_left = false);
 
   const TupleSchema& schema() const override { return schema_; }
   std::string label() const override;
@@ -197,6 +213,7 @@ class HashJoin : public Operator {
   const std::vector<size_t>& right_key_slots() const {
     return right_key_slots_;
   }
+  bool build_left() const { return build_left_; }
 
  protected:
   Status DoOpen() override;
@@ -206,6 +223,15 @@ class HashJoin : public Operator {
  private:
   static constexpr uint32_t kNone = 0xffffffffu;
 
+  Operator* build_input() const { return build_left_ ? left_.get() : right_.get(); }
+  Operator* probe_input() const { return build_left_ ? right_.get() : left_.get(); }
+  const std::vector<size_t>& build_key_slots() const {
+    return build_left_ ? left_key_slots_ : right_key_slots_;
+  }
+  const std::vector<size_t>& probe_key_slots() const {
+    return build_left_ ? right_key_slots_ : left_key_slots_;
+  }
+
   /// Appends probe row `i` combined with build row `build_row` to `out`.
   void AppendJoined(const TupleBatch& probe, size_t i, uint32_t build_row,
                     TupleBatch* out) const;
@@ -214,6 +240,7 @@ class HashJoin : public Operator {
 
   std::unique_ptr<Operator> left_;
   std::unique_ptr<Operator> right_;
+  bool build_left_ = false;
   TupleSchema schema_;
   std::vector<std::string> join_variables_;
   std::vector<size_t> left_key_slots_;
@@ -312,6 +339,7 @@ class Limit : public Operator {
 
   const TupleSchema& schema() const override { return child_->schema(); }
   std::string label() const override;
+  size_t limit() const { return limit_; }
 
  protected:
   Status DoOpen() override {

@@ -264,6 +264,63 @@ Status VerifyNode(const Operator& op, int depth) {
     }
   }
 
+  // I13: cost annotations are all-or-none across the tree, and internally
+  // consistent where present. An annotated parent with an unannotated child
+  // means the optimizer skipped a node; an estimate that grows through a
+  // row-reducing operator means the propagation arithmetic is wrong.
+  if (op.has_estimated_rows()) {
+    for (const Operator* child : children) {
+      if (!child->has_estimated_rows()) {
+        return Violation(op, "cost annotation present but child " +
+                                 child->label() + " has none");
+      }
+    }
+    if (op.estimated_rows() < 0.0 ||
+        !(op.estimated_rows() == op.estimated_rows())) {  // NaN check
+      return Violation(op, "cost annotation is negative or NaN");
+    }
+    // Allow 0.5 rows of rounding slack: estimates pass through llround for
+    // display and several multiplicative stages.
+    constexpr double kSlack = 0.5;
+    if (dynamic_cast<const Filter*>(&op) != nullptr ||
+        dynamic_cast<const Limit*>(&op) != nullptr ||
+        dynamic_cast<const HashAggregate*>(&op) != nullptr) {
+      if (op.estimated_rows() > children[0]->estimated_rows() + kSlack) {
+        return Violation(op, "estimate " +
+                                 std::to_string(op.estimated_rows()) +
+                                 " exceeds child estimate " +
+                                 std::to_string(children[0]->estimated_rows()));
+      }
+    }
+    if (dynamic_cast<const Sort*>(&op) != nullptr) {
+      if (op.estimated_rows() != children[0]->estimated_rows()) {
+        return Violation(op, "sort estimate " +
+                                 std::to_string(op.estimated_rows()) +
+                                 " differs from child estimate " +
+                                 std::to_string(children[0]->estimated_rows()));
+      }
+    }
+    if (dynamic_cast<const HashJoin*>(&op) != nullptr ||
+        dynamic_cast<const NestedLoopJoin*>(&op) != nullptr) {
+      double product = children[0]->estimated_rows() *
+                       children[1]->estimated_rows();
+      if (op.estimated_rows() > product + kSlack) {
+        return Violation(op, "join estimate " +
+                                 std::to_string(op.estimated_rows()) +
+                                 " exceeds the product of its children (" +
+                                 std::to_string(product) + ")");
+      }
+    }
+  } else {
+    for (const Operator* child : children) {
+      if (child->has_estimated_rows()) {
+        return Violation(op, "child " + child->label() +
+                                 " has a cost annotation but this node has "
+                                 "none");
+      }
+    }
+  }
+
   for (const Operator* child : children) {
     NIMBLE_RETURN_IF_ERROR(VerifyNode(*child, depth + 1));
   }

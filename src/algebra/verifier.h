@@ -11,12 +11,14 @@ namespace nimble {
 namespace algebra {
 
 /// Walks a physical operator tree checking the IR invariants documented in
-/// DESIGN.md §2f (I1–I9) and §2g (I11–I12): schema well-formedness, scan
-/// column-store arity, pass-through schemas, condition/sort slot ranges,
-/// join-key consistency, join/aggregate output schemas, tree shape,
-/// batch-size agreement across the tree, and columnar selection-vector
-/// bounds. A violation means the compiler built a broken plan, so the
-/// status code is kInternal — never a user error.
+/// DESIGN.md §2f (I1–I9), §2g (I11–I12), and §2h (I13): schema
+/// well-formedness, scan column-store arity, pass-through schemas,
+/// condition/sort slot ranges, join-key consistency, join/aggregate output
+/// schemas, tree shape, batch-size agreement across the tree, columnar
+/// selection-vector bounds, and cost-annotation consistency (all-or-none
+/// across the tree; estimates never grow through row-reducing operators).
+/// A violation means the compiler built a broken plan, so the status code
+/// is kInternal — never a user error.
 [[nodiscard]] Status VerifyPlan(const Operator& root);
 
 /// Checks that the plan's root schema can supply every variable in

@@ -34,6 +34,10 @@ enum class LockRank : int {
   /// metadata::Catalog listener registry; listeners are copied out and
   /// invoked unlocked.
   kCatalogListeners = 400,
+  /// metadata::StatisticsCatalog map — snapshots are copied out shared;
+  /// Analyze fetches from connectors before taking the lock, so connector
+  /// data locks (rank 900) are never nested inside it.
+  kStatistics = 450,
   /// core::PlanCache LRU.
   kPlanCache = 500,
   /// materialize::ResultCache per-shard LRU; compute callbacks run

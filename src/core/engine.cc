@@ -9,6 +9,8 @@
 #include "algebra/verifier.h"
 #include "core/plan_verifier.h"
 #include "core/sql_generator.h"
+#include "opt/cardinality.h"
+#include "opt/optimizer.h"
 #include "xmlql/parser.h"
 
 namespace nimble {
@@ -186,8 +188,14 @@ Clock* IntegrationEngine::clock() {
 
 Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
     std::string_view text) {
+  // With the cost-based optimizer on, the statistics epoch is part of the
+  // cache key: a plan compiled under superseded stats is evicted (counted
+  // as a stats_eviction) and re-optimized instead of served forever.
+  const uint64_t epoch = options_.enable_cost_optimizer
+                             ? catalog_->statistics().epoch()
+                             : 0;
   if (!options_.verify_plans) {
-    if (plan_cache_ != nullptr) return plan_cache_->GetOrCompile(text);
+    if (plan_cache_ != nullptr) return plan_cache_->GetOrCompile(text, epoch);
     return CompileProgram(text);
   }
   if (plan_cache_ == nullptr) {
@@ -201,7 +209,7 @@ Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
   // recompiled instead of executed.
   std::string canonical = CanonicalizeQueryText(text);
   std::shared_ptr<const CompiledProgram> cached =
-      plan_cache_->Lookup(canonical);
+      plan_cache_->Lookup(canonical, epoch);
   if (cached != nullptr) {
     if (VerifyCompiledProgram(*cached, *catalog_).ok()) return cached;
     plan_cache_->Erase(canonical);
@@ -209,7 +217,7 @@ Result<std::shared_ptr<const CompiledProgram>> IntegrationEngine::GetOrCompile(
   NIMBLE_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledProgram> compiled,
                           CompileProgram(text));
   NIMBLE_RETURN_IF_ERROR(VerifyCompiledProgram(*compiled, *catalog_));
-  plan_cache_->Insert(canonical, compiled);
+  plan_cache_->Insert(canonical, compiled, epoch);
   return compiled;
 }
 
@@ -634,6 +642,22 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
     fragment_results.push_back(std::move(*slots[index]));
   }
 
+  // Adaptive feedback, scan level: feed observed collection sizes back
+  // into the catalog. RecordObservedRows advances the stats epoch only
+  // when a previously recorded row count was off by more than the replan
+  // factor, so cached plans re-optimize exactly when the data moved —
+  // self-limiting, because the update also corrects the count.
+  if (options_.enable_cost_optimizer) {
+    metadata::StatisticsCatalog& stats = catalog_->statistics();
+    const double factor =
+        std::max(options_.replan_estimate_error_factor, 1.0);
+    for (const FragmentResult& fr : fragment_results) {
+      if (fr.stat_source.empty() || fr.base_rows < 0.0) continue;
+      stats.RecordObservedRows(fr.stat_source, fr.stat_collection,
+                               fr.base_rows, factor);
+    }
+  }
+
   Result<std::unique_ptr<algebra::Operator>> plan = BuildPlan(
       std::move(fragment_results), fragmentation.cross_conditions, query);
   if (!plan.ok()) return plan.status();
@@ -664,10 +688,12 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
   // Drain the plan batch-at-a-time, instantiating the CONSTRUCT template
   // per result row.
   NIMBLE_RETURN_IF_ERROR((*plan)->Open());
+  size_t root_rows = 0;
   while (true) {
     Result<std::optional<algebra::TupleBatch>> batch = (*plan)->NextBatch();
     if (!batch.ok()) return batch.status();
     if (!(*batch).has_value()) break;
+    root_rows += (*batch)->size();
     for (size_t i = 0; i < (*batch)->size(); ++i) {
       Result<NodePtr> instance = algebra::InstantiateTemplate(
           *query.construct, (*plan)->schema(), (*batch)->MaterializeTuple(i));
@@ -677,8 +703,23 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
   }
   (*plan)->Close();
   // Counters survive Close(); render the executed plan with per-operator
-  // batch/row production for EXPLAIN.
+  // batch/row production (and est_rows annotations) for EXPLAIN.
   report->plan_with_stats = (*plan)->DescribeWithStats();
+  // Adaptive feedback, join level: a root estimate off by more than the
+  // replan factor advances the stats epoch, evicting this query's cached
+  // plan so the next execution re-optimizes. LIMIT truncates and
+  // aggregation collapses the output, so those comparisons would be false
+  // positives and are skipped.
+  if (options_.enable_cost_optimizer && (*plan)->has_estimated_rows() &&
+      query.limit < 0 && !query.IsAggregation()) {
+    const double factor =
+        std::max(options_.replan_estimate_error_factor, 1.0);
+    double est = std::max((*plan)->estimated_rows(), 1.0);
+    double actual = std::max(static_cast<double>(root_rows), 1.0);
+    if (est > actual * factor || actual > est * factor) {
+      catalog_->statistics().BumpEpoch();
+    }
+  }
   return Status::OK();
 }
 
@@ -761,6 +802,46 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
   }
   AddUnique(&report->sources_contacted, source_ref.source);
 
+  // Catalog statistics for this fragment: the variable→column mapping, the
+  // cardinality estimate after local predicates, and the feedback target
+  // for executor-observed row counts (DESIGN.md §2h).
+  std::shared_ptr<const metadata::CollectionStats> col_stats;
+  if (options_.enable_cost_optimizer) {
+    out.stat_source = source_ref.source;
+    out.stat_collection = source_ref.collection;
+    out.var_columns = opt::VariableColumns(fragment.pattern->root);
+    col_stats = catalog_->statistics().Get(source_ref.source,
+                                           source_ref.collection);
+    if (col_stats != nullptr) {
+      out.est_rows = opt::EstimateFragmentRows(*col_stats, out.var_columns,
+                                               fragment.local_conditions);
+    }
+  }
+
+  // Per-source pushdown depth: a bind join whose IN list already covers
+  // most of the target column's distinct values prunes almost nothing but
+  // still pays translation + shipping, so the cost model drops it.
+  const std::map<std::string, std::vector<Value>>* effective_bind =
+      bind_values;
+  std::map<std::string, std::vector<Value>> gated_bind;
+  if (bind_values != nullptr && col_stats != nullptr) {
+    opt::CostModel cost_model;
+    bool dropped = false;
+    for (const auto& [var, values] : *bind_values) {
+      auto it = out.var_columns.find(var);
+      const metadata::ColumnStats* column =
+          it != out.var_columns.end() ? col_stats->column(it->second)
+                                      : nullptr;
+      if (column != nullptr &&
+          !cost_model.UseBindJoin(values.size(), column->distinct())) {
+        dropped = true;
+        continue;
+      }
+      gated_bind.emplace(var, values);
+    }
+    if (dropped) effective_bind = &gated_bind;
+  }
+
   // This fragment's own wire cost, attributed by the connector per call
   // (cumulative connector counters cannot be diffed once fetches overlap).
   connector::FetchStats call_stats;
@@ -788,7 +869,7 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
   if (options_.enable_pushdown) {
     Result<SqlTranslation> translation = TranslateFragmentToSql(
         fragment, source->capabilities(),
-        /*push_predicates=*/true, bind_values, top_pushdown);
+        /*push_predicates=*/true, effective_bind, top_pushdown);
     if (translation.ok()) {
       Result<relational::ResultSet> rs = with_retries(
           [&] { return source->ExecuteSql(translation->sql, request); });
@@ -832,6 +913,30 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
       out.pushed_down = true;
       out.hit_index = translation->predicate_hits_index;
       out.bind_joined = !translation->bound_variables.empty();
+      if (out.est_rows >= 0.0 && col_stats != nullptr &&
+          effective_bind != nullptr) {
+        // Pushed IN lists act like index lookups: scale the estimate by
+        // the fraction of the column's key domain they select.
+        for (const std::string& var : translation->bound_variables) {
+          auto bv = effective_bind->find(var);
+          auto vc = out.var_columns.find(var);
+          if (bv == effective_bind->end() || vc == out.var_columns.end()) {
+            continue;
+          }
+          const metadata::ColumnStats* column = col_stats->column(vc->second);
+          if (column == nullptr) continue;
+          double coverage =
+              static_cast<double>(bv->second.size()) / column->distinct();
+          if (coverage < 1.0) out.est_rows *= coverage;
+        }
+      }
+      // The collection's record count is only observable when nothing
+      // row-reducing was folded into the source-side SQL (a pushed ORDER
+      // BY reorders but keeps every record).
+      if (translation->pushed_conditions.empty() &&
+          translation->bound_variables.empty() && !translation->limit_pushed) {
+        out.base_rows = static_cast<double>(out.data.num_rows());
+      }
       out.label = (out.bind_joined ? "sql+bind:" : "sql:") +
                   source_ref.ToString();
       ctx.AddRowsShipped(out.rows_shipped);
@@ -852,6 +957,9 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
     return tree.status();
   }
   out.schema = fragment.schema;
+  // The whole collection crossed the wire: its record count is the exact
+  // row count for statistics upkeep.
+  out.base_rows = static_cast<double>((*tree)->children().size());
   NIMBLE_ASSIGN_OR_RETURN(
       std::vector<algebra::Tuple> matched,
       algebra::MatchPattern(fragment.pattern->root, *tree, out.schema));
@@ -871,114 +979,49 @@ Result<std::unique_ptr<algebra::Operator>> IntegrationEngine::BuildPlan(
     std::vector<FragmentResult> fragments,
     const std::vector<const xmlql::Condition*>& cross_conditions,
     const xmlql::Query& query) {
-  struct PlanEntry {
-    std::unique_ptr<algebra::Operator> op;
-    double size_estimate;
-  };
-  std::vector<PlanEntry> entries;
-  entries.reserve(fragments.size());
+  const bool cost_based = options_.enable_cost_optimizer;
+  std::vector<opt::JoinInput> inputs;
+  inputs.reserve(fragments.size());
   for (FragmentResult& fr : fragments) {
-    double size = static_cast<double>(fr.data.size());
-    entries.push_back(PlanEntry{
-        std::make_unique<algebra::MaterializedScan>(
-            std::move(fr.schema), std::move(fr.data), fr.label),
-        size});
-  }
-  if (entries.empty()) {
-    return Status::InvalidArgument("query has no patterns");
-  }
-
-  std::vector<const xmlql::Condition*> pending = cross_conditions;
-
-  auto shares_variable = [](const algebra::Operator& a,
-                            const algebra::Operator& b) {
-    for (const std::string& var : a.schema().variables()) {
-      if (b.schema().SlotOf(var).has_value()) return true;
-    }
-    return false;
-  };
-
-  while (entries.size() > 1) {
-    // Pick the cheapest joinable pair; prefer pairs sharing variables.
-    size_t best_i = 0, best_j = 1;
-    bool best_shared = false;
-    double best_cost = 0;
-    bool found = false;
-    for (size_t i = 0; i < entries.size(); ++i) {
-      for (size_t j = i + 1; j < entries.size(); ++j) {
-        bool shared = shares_variable(*entries[i].op, *entries[j].op);
-        double cost = entries[i].size_estimate * entries[j].size_estimate;
-        bool better = !found || (shared && !best_shared) ||
-                      (shared == best_shared && cost < best_cost);
-        if (better) {
-          best_i = i;
-          best_j = j;
-          best_shared = shared;
-          best_cost = cost;
-          found = true;
+    opt::JoinInput input;
+    input.actual_rows = static_cast<double>(fr.data.size());
+    input.est_rows = cost_based ? fr.est_rows : -1.0;
+    if (cost_based) {
+      // Distinct counts per variable: catalog sketches when the variable
+      // maps to an analyzed column, else a KMV sketch over the
+      // materialized batch (views, nested bindings). Capped by this
+      // input's cardinality so join selectivities stay consistent.
+      std::shared_ptr<const metadata::CollectionStats> cs;
+      if (!fr.stat_source.empty()) {
+        cs = catalog_->statistics().Get(fr.stat_source, fr.stat_collection);
+      }
+      const double cap = input.est_rows >= 0.0
+                             ? std::max(input.est_rows, 1.0)
+                             : std::max(input.actual_rows, 1.0);
+      for (const std::string& var : fr.schema.variables()) {
+        const metadata::ColumnStats* column = nullptr;
+        auto it = fr.var_columns.find(var);
+        if (cs != nullptr && it != fr.var_columns.end()) {
+          column = cs->column(it->second);
         }
+        double ndv = column != nullptr
+                         ? column->distinct()
+                         : opt::ColumnDistinctEstimate(
+                               fr.data, *fr.schema.SlotOf(var));
+        input.var_ndv[var] = std::min(ndv, cap);
       }
     }
-
-    PlanEntry left = std::move(entries[best_i]);
-    PlanEntry right = std::move(entries[best_j]);
-    entries.erase(entries.begin() + static_cast<ptrdiff_t>(best_j));
-    entries.erase(entries.begin() + static_cast<ptrdiff_t>(best_i));
-
-    std::unique_ptr<algebra::Operator> joined;
-    double estimate;
-    if (best_shared) {
-      joined = std::make_unique<algebra::HashJoin>(std::move(left.op),
-                                                   std::move(right.op));
-      estimate = std::max(left.size_estimate, right.size_estimate);
-    } else {
-      joined = std::make_unique<algebra::NestedLoopJoin>(
-          std::move(left.op), std::move(right.op),
-          std::vector<algebra::BoundCondition>{});
-      estimate = left.size_estimate * right.size_estimate;
-    }
-
-    // Attach any cross conditions that just became evaluable.
-    std::vector<algebra::BoundCondition> newly_bound;
-    std::vector<const xmlql::Condition*> still_pending;
-    for (const xmlql::Condition* cond : pending) {
-      bool covered = true;
-      for (const std::string& var : cond->Variables()) {
-        if (!joined->schema().SlotOf(var).has_value()) {
-          covered = false;
-          break;
-        }
-      }
-      if (covered) {
-        NIMBLE_ASSIGN_OR_RETURN(
-            algebra::BoundCondition bc,
-            algebra::BoundCondition::Bind(*cond, joined->schema()));
-        newly_bound.push_back(bc);
-      } else {
-        still_pending.push_back(cond);
-      }
-    }
-    pending = std::move(still_pending);
-    if (!newly_bound.empty()) {
-      joined = std::make_unique<algebra::Filter>(std::move(joined),
-                                                 std::move(newly_bound));
-    }
-    entries.push_back(PlanEntry{std::move(joined), estimate});
+    input.op = std::make_unique<algebra::MaterializedScan>(
+        std::move(fr.schema), std::move(fr.data), fr.label);
+    inputs.push_back(std::move(input));
   }
 
-  std::unique_ptr<algebra::Operator> plan = std::move(entries[0].op);
-  if (!pending.empty()) {
-    // Single-fragment queries land here when a "cross" condition exists
-    // (cannot happen via the fragmenter, but guard anyway).
-    std::vector<algebra::BoundCondition> bound;
-    for (const xmlql::Condition* cond : pending) {
-      NIMBLE_ASSIGN_OR_RETURN(
-          algebra::BoundCondition bc,
-          algebra::BoundCondition::Bind(*cond, plan->schema()));
-      bound.push_back(bc);
-    }
-    plan = std::make_unique<algebra::Filter>(std::move(plan), std::move(bound));
-  }
+  NIMBLE_ASSIGN_OR_RETURN(
+      opt::JoinTreeResult tree,
+      opt::BuildJoinTree(std::move(inputs), cross_conditions,
+                         opt::CostModel{}, cost_based));
+  std::unique_ptr<algebra::Operator> plan = std::move(tree.root);
+  double est = tree.est_rows;
 
   // Aggregation: group by the GROUP BY variables and compute the template's
   // aggregate calls. Output variables are named "<fn>_<var>" and resolved
@@ -1015,6 +1058,11 @@ Result<std::unique_ptr<algebra::Operator>> IntegrationEngine::BuildPlan(
     }
     plan = std::make_unique<algebra::HashAggregate>(
         std::move(plan), query.group_by, std::move(specs));
+    if (cost_based && est >= 0.0) {
+      // Group count is bounded by the input cardinality; without joint
+      // group-key statistics that bound is the estimate (I13: <= child).
+      plan->set_estimated_rows(est);
+    }
   }
 
   if (!query.order_by.empty()) {
@@ -1028,10 +1076,15 @@ Result<std::unique_ptr<algebra::Operator>> IntegrationEngine::BuildPlan(
       keys.push_back(algebra::Sort::Key{*slot, spec.descending});
     }
     plan = std::make_unique<algebra::Sort>(std::move(plan), std::move(keys));
+    if (cost_based && est >= 0.0) plan->set_estimated_rows(est);  // I13: == child
   }
   if (query.limit >= 0) {
     plan = std::make_unique<algebra::Limit>(std::move(plan),
                                             static_cast<size_t>(query.limit));
+    if (cost_based && est >= 0.0) {
+      est = std::min(est, static_cast<double>(query.limit));
+      plan->set_estimated_rows(est);
+    }
   }
   return plan;
 }

@@ -84,8 +84,26 @@ struct EngineOptions {
   int64_t result_cache_ttl_micros = 0;
   /// Compiled-plan cache entries (canonicalized XML-QL text → parsed AST +
   /// per-branch fragmentation); repeated queries and mediated-view
-  /// expansions skip parse/fragment. 0 disables.
+  /// expansions skip parse/fragment. 0 disables. Entries are keyed with
+  /// the statistics epoch when the cost-based optimizer is on, so plans
+  /// optimized under superseded stats are evicted, not served.
   size_t plan_cache_entries = 64;
+
+  // --- Cost-based optimizer (src/opt, DESIGN.md §2h) ---------------------
+  /// Drive join order, join build side and bind-join depth from catalog
+  /// statistics (cardinality estimates + cost model) instead of the fixed
+  /// materialized-size heuristic. Disabling this is the optimizer
+  /// ablation: the pre-statistics heuristic plans verbatim, with no
+  /// est_rows annotations.
+  bool enable_cost_optimizer = true;
+  /// Records sampled per collection by Analyze() (0 = all rows). Row
+  /// counts are always exact; per-column detail comes from the sample.
+  size_t analyze_sample_rows = 10000;
+  /// Adaptive replanning trigger: when an estimated cardinality is off
+  /// from the executor's observed row count by more than this factor (in
+  /// either direction), the statistics epoch advances and cached plans
+  /// re-optimize. Clamped to >= 1.
+  double replan_estimate_error_factor = 10.0;
   /// Run the three-stage static-analysis pass (strict semantic analysis
   /// with catalog resolution, fragmentation verification with SQL
   /// round-trip, and operator-tree IR invariants — DESIGN.md §2f) on every
@@ -263,6 +281,13 @@ class IntegrationEngine {
   void set_options(const EngineOptions& options);
   metadata::Catalog* catalog() { return catalog_; }
 
+  /// Runs an Analyze() pass over every registered source, sampling
+  /// `analyze_sample_rows` records per collection. Bumps the statistics
+  /// epoch, so cached plans re-optimize under the fresh stats.
+  Status Analyze() {
+    return catalog_->AnalyzeAllSources(options_.analyze_sample_rows);
+  }
+
   /// The engine-side caches; nullptr when disabled by options.
   materialize::ResultCache* result_cache() { return result_cache_.get(); }
   PlanCache* plan_cache() { return plan_cache_.get(); }
@@ -291,6 +316,19 @@ class IntegrationEngine {
     bool bind_joined = false;
     std::vector<const xmlql::Condition*> consumed_conditions;
     std::string label;
+    /// Catalog-based cardinality estimate for this fragment's output
+    /// (< 0 = no statistics; the optimizer falls back to the materialized
+    /// size).
+    double est_rows = -1.0;
+    /// Collection record count observed while evaluating (pre-filter;
+    /// < 0 = not observable, e.g. predicates were pushed down). Feeds
+    /// RecordObservedRows for cheap incremental stats upkeep.
+    double base_rows = -1.0;
+    /// Statistics feedback target ("" = none: views, unknown sources).
+    std::string stat_source;
+    std::string stat_collection;
+    /// Variable → statistics-column mapping from the fragment's pattern.
+    std::map<std::string, std::string> var_columns;
   };
 
   /// The worker pool fragment waves are scheduled on.
@@ -360,9 +398,11 @@ class IntegrationEngine {
       const;
 
   /// Builds the join tree over materialized fragments, applying cross
-  /// conditions as soon as their variables are covered. Greedy smallest-
-  /// first with shared-variable preference (the "internal query optimizer"
-  /// of §4).
+  /// conditions as soon as their variables are covered (the "internal
+  /// query optimizer" of §4). With `enable_cost_optimizer` the order,
+  /// join build sides and est_rows annotations come from the cost-based
+  /// optimizer in src/opt; otherwise the legacy greedy smallest-product
+  /// heuristic with shared-variable preference runs unchanged.
   Result<std::unique_ptr<algebra::Operator>> BuildPlan(
       std::vector<FragmentResult> fragments,
       const std::vector<const xmlql::Condition*>& cross_conditions,

@@ -51,10 +51,19 @@ Result<std::shared_ptr<const CompiledProgram>> CompileProgram(
 }
 
 std::shared_ptr<const CompiledProgram> PlanCache::Lookup(
-    const std::string& canonical_text) {
+    const std::string& canonical_text, uint64_t stats_epoch) {
   MutexLock lock(mu_);
   auto it = entries_.find(canonical_text);
   if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->stats_epoch != stats_epoch) {
+    // Compiled under superseded statistics: evict so the caller
+    // re-optimizes under the current epoch.
+    lru_.erase(it->second);
+    entries_.erase(it);
+    ++stats_.stats_evictions;
     ++stats_.misses;
     return nullptr;
   }
@@ -64,22 +73,25 @@ std::shared_ptr<const CompiledProgram> PlanCache::Lookup(
 }
 
 Result<std::shared_ptr<const CompiledProgram>> PlanCache::GetOrCompile(
-    std::string_view text) {
+    std::string_view text, uint64_t stats_epoch) {
   std::string canonical = CanonicalizeQueryText(text);
-  std::shared_ptr<const CompiledProgram> compiled = Lookup(canonical);
+  std::shared_ptr<const CompiledProgram> compiled =
+      Lookup(canonical, stats_epoch);
   if (compiled != nullptr) return compiled;
   NIMBLE_ASSIGN_OR_RETURN(compiled, CompileProgram(text));
-  Insert(canonical, compiled);
+  Insert(canonical, compiled, stats_epoch);
   return compiled;
 }
 
 void PlanCache::Insert(const std::string& canonical_text,
-                       std::shared_ptr<const CompiledProgram> compiled) {
+                       std::shared_ptr<const CompiledProgram> compiled,
+                       uint64_t stats_epoch) {
   if (max_entries_ == 0 || compiled == nullptr) return;
   MutexLock lock(mu_);
   auto it = entries_.find(canonical_text);
   if (it != entries_.end()) {
     it->second->compiled = std::move(compiled);
+    it->second->stats_epoch = stats_epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.insertions;
     return;
@@ -89,7 +101,7 @@ void PlanCache::Insert(const std::string& canonical_text,
     entries_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front(Entry{canonical_text, std::move(compiled)});
+  lru_.push_front(Entry{canonical_text, std::move(compiled), stats_epoch});
   entries_[canonical_text] = lru_.begin();
   ++stats_.insertions;
 }

@@ -47,15 +47,20 @@ class PlanCache {
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the cached program for `canonical_text`, or nullptr.
+  /// `stats_epoch` is the caller's current statistics epoch: an entry
+  /// compiled under a different epoch was optimized with superseded
+  /// statistics, so it is evicted (counted in `stats_evictions`) and the
+  /// caller recompiles — the cache key is effectively (text, epoch).
   std::shared_ptr<const CompiledProgram> Lookup(
-      const std::string& canonical_text);
+      const std::string& canonical_text, uint64_t stats_epoch = 0);
 
   /// One-stop shop: canonicalize, look up, compile-and-insert on miss.
   Result<std::shared_ptr<const CompiledProgram>> GetOrCompile(
-      std::string_view text);
+      std::string_view text, uint64_t stats_epoch = 0);
 
   void Insert(const std::string& canonical_text,
-              std::shared_ptr<const CompiledProgram> compiled);
+              std::shared_ptr<const CompiledProgram> compiled,
+              uint64_t stats_epoch = 0);
 
   /// Drops one entry (no-op when absent). Used by the engine when the plan
   /// verifier rejects a cached plan that no longer matches the catalog;
@@ -71,6 +76,9 @@ class PlanCache {
     size_t evictions = 0;
     /// Entries dropped by Erase (verifier-rejected stale plans).
     size_t invalidations = 0;
+    /// Entries dropped on Lookup because their statistics epoch was
+    /// superseded (plans re-optimized under fresh stats, DESIGN.md §2h).
+    size_t stats_evictions = 0;
   };
   Stats stats() const;
   size_t size() const;
@@ -80,6 +88,7 @@ class PlanCache {
   struct Entry {
     std::string key;
     std::shared_ptr<const CompiledProgram> compiled;
+    uint64_t stats_epoch = 0;  ///< statistics epoch at compile time.
   };
 
   size_t max_entries_;

@@ -115,6 +115,9 @@ void Catalog::RemoveUpdateListener(uint64_t token) {
 }
 
 void Catalog::NotifySourceUpdated(const std::string& source_name) {
+  // The statistics upkeep runs before the listener fan-out, so a listener
+  // that re-plans already sees the bumped epoch.
+  statistics_.MarkSourceStale(source_name);
   // Copy under the lock so a listener removing itself cannot deadlock.
   std::vector<UpdateListener> to_notify;
   {
@@ -125,6 +128,22 @@ void Catalog::NotifySourceUpdated(const std::string& source_name) {
     }
   }
   for (const UpdateListener& listener : to_notify) listener(source_name);
+}
+
+Status Catalog::AnalyzeSource(const std::string& source_name,
+                              size_t sample_rows) {
+  connector::Connector* conn = source(source_name);
+  if (conn == nullptr) {
+    return Status::NotFound("no source named '" + source_name + "'");
+  }
+  return statistics_.AnalyzeSource(*conn, sample_rows);
+}
+
+Status Catalog::AnalyzeAllSources(size_t sample_rows) {
+  for (const auto& [name, conn] : sources_) {
+    NIMBLE_RETURN_IF_ERROR(statistics_.AnalyzeSource(*conn, sample_rows));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::string>> Catalog::TransitiveSources(

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "connector/connector.h"
+#include "metadata/statistics.h"
 #include "xmlql/ast.h"
 
 namespace nimble {
@@ -75,8 +76,22 @@ class Catalog {
   uint64_t AddUpdateListener(UpdateListener listener);
   void RemoveUpdateListener(uint64_t token);
 
-  /// Announces that `source_name`'s underlying data changed.
+  /// Announces that `source_name`'s underlying data changed. Besides
+  /// fanning out to listeners, marks the source's statistics stale (cheap
+  /// incremental upkeep: the optimizer epoch advances so cached plans
+  /// re-optimize, without paying for a re-Analyze on every write).
   void NotifySourceUpdated(const std::string& source_name);
+
+  // ---- Optimizer statistics (DESIGN.md §2h) ------------------------------
+
+  /// Per-collection statistics feeding the cost-based optimizer.
+  StatisticsCatalog& statistics() { return statistics_; }
+  const StatisticsCatalog& statistics() const { return statistics_; }
+
+  /// Runs an Analyze() pass over one registered source (or all of them),
+  /// sampling at most `sample_rows` records per collection (0 = all).
+  Status AnalyzeSource(const std::string& source_name, size_t sample_rows = 0);
+  Status AnalyzeAllSources(size_t sample_rows = 0);
 
  private:
   /// Configure-before-serve (see the class contract): RegisterSource and
@@ -89,6 +104,8 @@ class Catalog {
   uint64_t next_listener_token_ NIMBLE_GUARDED_BY(listeners_mu_) = 1;
   std::vector<std::pair<uint64_t, UpdateListener>> listeners_
       NIMBLE_GUARDED_BY(listeners_mu_);
+  /// Internally synchronized (LockRank::kStatistics).
+  StatisticsCatalog statistics_;
 };
 
 }  // namespace metadata

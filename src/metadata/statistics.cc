@@ -1,0 +1,254 @@
+#include "metadata/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "connector/connector.h"
+#include "xml/node.h"
+
+namespace nimble {
+namespace metadata {
+
+namespace {
+
+/// splitmix64 finisher: turns Value::Hash()'s bucket-quality size_t into a
+/// uniformly distributed 64-bit hash, which the KMV estimate depends on.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t DistinctSketch::HashValue(const Value& value) {
+  // Salt by type family so Int(0)/Bool(false)/"" stay distinct, matching
+  // Value::operator== (numeric family already hashes uniformly via Hash()).
+  uint64_t salt = value.is_numeric() ? 2 : static_cast<uint64_t>(value.type());
+  return Mix64(static_cast<uint64_t>(value.Hash()) ^ (salt * 0x9e3779b97f4a7c15ull));
+}
+
+void DistinctSketch::AddHash(uint64_t hash) {
+  if (kept_.size() < k_) {
+    kept_.insert(hash);
+    return;
+  }
+  auto last = std::prev(kept_.end());
+  if (hash >= *last || kept_.count(hash) > 0) return;
+  kept_.erase(last);
+  kept_.insert(hash);
+}
+
+double DistinctSketch::Estimate() const {
+  if (kept_.size() < k_) return static_cast<double>(kept_.size());
+  // R = k-th smallest hash normalized to (0, 1]; NDV ≈ (k-1)/R.
+  double r = (static_cast<double>(*kept_.rbegin()) + 1.0) /
+             std::pow(2.0, 64);
+  if (r <= 0.0) return static_cast<double>(kept_.size());
+  return (static_cast<double>(k_) - 1.0) / r;
+}
+
+void DistinctSketch::Merge(const DistinctSketch& other) {
+  for (uint64_t h : other.kept_) AddHash(h);
+}
+
+double ColumnStats::distinct() const {
+  return std::max(1.0, sketch.Estimate());
+}
+
+namespace {
+
+/// Accumulates one column's statistics over the sampled records.
+struct ColumnAccumulator {
+  ColumnStats stats;
+  size_t non_null = 0;
+  bool has_prev = false;
+  Value prev;
+  bool ascending = true;
+  bool descending = true;
+  size_t duplicate_hits = 0;
+
+  void Add(const Value& value) {
+    if (value.is_null()) return;
+    ++non_null;
+    if (non_null == 1) {
+      stats.type = value.type();
+      stats.min = value;
+      stats.max = value;
+    } else {
+      if (value < stats.min) stats.min = value;
+      if (stats.max < value) stats.max = value;
+    }
+    if (has_prev) {
+      int cmp = prev.Compare(value);
+      if (cmp > 0) ascending = false;
+      if (cmp < 0) descending = false;
+    }
+    prev = value;
+    has_prev = true;
+    stats.sketch.Add(value);
+  }
+
+  ColumnStats Finish(size_t sampled_records) {
+    if (sampled_records > 0) {
+      stats.null_fraction =
+          static_cast<double>(sampled_records - non_null) /
+          static_cast<double>(sampled_records);
+    }
+    if (non_null >= 2) {
+      stats.order = ascending   ? ColumnStats::SortOrder::kAscending
+                    : descending ? ColumnStats::SortOrder::kDescending
+                                 : ColumnStats::SortOrder::kUnsorted;
+    }
+    // Uniqueness is only asserted when the sketch is exact (every sampled
+    // value survived) and no duplicates were seen.
+    stats.unique = non_null > 0 && stats.sketch.exact() &&
+                   stats.sketch.Estimate() ==
+                       static_cast<double>(non_null);
+    return std::move(stats);
+  }
+};
+
+/// Collects scalar fields of one record: immediate child elements with
+/// scalar content (column = tag) and the record's own attributes
+/// (column = "@name") — the same flat shape the SQL generator pushes down.
+void CollectRecordFields(
+    const Node& record,
+    std::map<std::string, ColumnAccumulator>* accumulators,
+    std::map<std::string, size_t>* seen_this_record) {
+  for (const auto& [name, value] : record.attributes()) {
+    std::string column = "@" + name;
+    (*accumulators)[column].stats.name = column;
+    (*accumulators)[column].Add(value);
+    ++(*seen_this_record)[column];
+  }
+  for (const NodePtr& child : record.children()) {
+    if (child == nullptr || child->is_text()) continue;
+    Value scalar = child->ScalarValue();
+    const std::string& column = child->name();
+    (*accumulators)[column].stats.name = column;
+    (*accumulators)[column].Add(scalar);
+    ++(*seen_this_record)[column];
+  }
+}
+
+}  // namespace
+
+CollectionStats AnalyzeCollectionTree(const std::string& source,
+                                      const std::string& collection,
+                                      const Node& root, size_t sample_rows) {
+  CollectionStats out;
+  out.source = source;
+  out.collection = collection;
+  out.analyzed = true;
+  out.row_count = static_cast<double>(root.children().size());
+
+  std::map<std::string, ColumnAccumulator> accumulators;
+  size_t sampled = 0;
+  for (const NodePtr& record : root.children()) {
+    if (record == nullptr || record->is_text()) continue;
+    if (sample_rows > 0 && sampled >= sample_rows) break;
+    ++sampled;
+    std::map<std::string, size_t> seen;
+    CollectRecordFields(*record, &accumulators, &seen);
+  }
+  for (auto& [name, acc] : accumulators) {
+    out.columns[name] = acc.Finish(sampled);
+  }
+  return out;
+}
+
+std::shared_ptr<const CollectionStats> StatisticsCatalog::Get(
+    const std::string& source, const std::string& collection) const {
+  MutexLock lock(mu_);
+  auto it = stats_.find(Key(source, collection));
+  return it == stats_.end() ? nullptr : it->second;
+}
+
+void StatisticsCatalog::Put(CollectionStats stats) {
+  std::string key = Key(stats.source, stats.collection);
+  auto shared = std::make_shared<const CollectionStats>(std::move(stats));
+  {
+    MutexLock lock(mu_);
+    stats_[key] = std::move(shared);
+  }
+  BumpEpoch();
+}
+
+Status StatisticsCatalog::AnalyzeSource(connector::Connector& source,
+                                        size_t sample_rows) {
+  std::vector<std::pair<std::string, std::shared_ptr<const CollectionStats>>>
+      fresh;
+  for (const std::string& collection : source.Collections()) {
+    NIMBLE_ASSIGN_OR_RETURN(NodePtr tree, source.FetchCollection(collection));
+    CollectionStats stats =
+        AnalyzeCollectionTree(source.name(), collection, *tree, sample_rows);
+    fresh.emplace_back(
+        Key(source.name(), collection),
+        std::make_shared<const CollectionStats>(std::move(stats)));
+  }
+  {
+    MutexLock lock(mu_);
+    for (auto& [key, stats] : fresh) stats_[key] = std::move(stats);
+  }
+  BumpEpoch();
+  return Status::OK();
+}
+
+bool StatisticsCatalog::RecordObservedRows(const std::string& source,
+                                           const std::string& collection,
+                                           double rows, double error_factor) {
+  if (error_factor < 1.0) error_factor = 1.0;
+  bool misestimate = false;
+  {
+    MutexLock lock(mu_);
+    auto it = stats_.find(Key(source, collection));
+    CollectionStats updated;
+    if (it != stats_.end()) {
+      double previous = it->second->row_count;
+      misestimate =
+          previous >= 0.0 &&
+          (std::max(previous, 1.0) > std::max(rows, 1.0) * error_factor ||
+           std::max(rows, 1.0) > std::max(previous, 1.0) * error_factor);
+      updated = *it->second;
+    } else {
+      updated.source = source;
+      updated.collection = collection;
+      // First observation of an unknown collection: record it quietly so
+      // the next optimization has a row count, without churning cached
+      // plans that were built blind anyway.
+    }
+    updated.row_count = rows;
+    updated.stale = false;
+    stats_[Key(source, collection)] =
+        std::make_shared<const CollectionStats>(std::move(updated));
+  }
+  if (misestimate) BumpEpoch();
+  return misestimate;
+}
+
+void StatisticsCatalog::MarkSourceStale(const std::string& source) {
+  bool changed = false;
+  {
+    MutexLock lock(mu_);
+    std::string prefix = source + "\x1f";
+    for (auto& [key, stats] : stats_) {
+      if (key.compare(0, prefix.size(), prefix) != 0) continue;
+      if (stats->stale) continue;
+      CollectionStats updated = *stats;
+      updated.stale = true;
+      stats = std::make_shared<const CollectionStats>(std::move(updated));
+      changed = true;
+    }
+  }
+  if (changed) BumpEpoch();
+}
+
+size_t StatisticsCatalog::size() const {
+  MutexLock lock(mu_);
+  return stats_.size();
+}
+
+}  // namespace metadata
+}  // namespace nimble

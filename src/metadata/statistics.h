@@ -1,0 +1,172 @@
+#ifndef NIMBLE_METADATA_STATISTICS_H_
+#define NIMBLE_METADATA_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "xml/value.h"
+
+namespace nimble {
+class Node;
+namespace connector {
+class Connector;
+}  // namespace connector
+
+namespace metadata {
+
+/// K-minimum-values distinct-count sketch: keeps the `k` smallest 64-bit
+/// value hashes seen so far. With fewer than `k` distinct hashes the count
+/// is exact; beyond that the k-th smallest hash R (normalized to [0,1])
+/// estimates the distinct count as (k-1)/R, with a standard error of about
+/// 1/sqrt(k-2) — under 10% at the default k for any cardinality (the
+/// optimizer's accuracy budget, DESIGN.md §2h). Sketches over disjoint row
+/// sets merge losslessly, which is what lets per-fragment sketches combine
+/// into per-collection ones.
+class DistinctSketch {
+ public:
+  static constexpr size_t kDefaultK = 1024;
+
+  explicit DistinctSketch(size_t k = kDefaultK) : k_(k == 0 ? 1 : k) {}
+
+  void AddHash(uint64_t hash);
+  void Add(const Value& value) { AddHash(HashValue(value)); }
+
+  /// Estimated number of distinct values added.
+  double Estimate() const;
+
+  /// Union with `other` (the sketch of the union of the two inputs).
+  void Merge(const DistinctSketch& other);
+
+  /// True when fewer than k distinct hashes were seen (Estimate is exact).
+  bool exact() const { return kept_.size() < k_; }
+  size_t k() const { return k_; }
+
+  /// 64-bit mixed hash of a typed scalar, consistent with Value::operator==.
+  static uint64_t HashValue(const Value& value);
+
+ private:
+  size_t k_;
+  /// The k smallest distinct hashes, ordered.
+  std::set<uint64_t> kept_;
+};
+
+/// Per-column statistics for one collection — the ToyDBMS `Column` shape
+/// extended with a distinct sketch and a null fraction. "Column" means a
+/// scalar field of the collection's records: a child element tag, or
+/// "@name" for a record attribute.
+struct ColumnStats {
+  enum class SortOrder { kUnknown, kAscending, kDescending, kUnsorted };
+
+  std::string name;
+  ValueType type = ValueType::kNull;  ///< dominant non-null type.
+  Value min, max;                     ///< over non-null values.
+  double null_fraction = 0.0;         ///< records missing/null this column.
+  bool unique = false;                ///< exact: every sampled value distinct.
+  SortOrder order = SortOrder::kUnknown;
+  DistinctSketch sketch;
+
+  /// Estimated distinct count (>= 1 once any value was added).
+  double distinct() const;
+};
+
+/// Per-collection statistics: row count plus per-column detail. `analyzed`
+/// distinguishes a full Analyze() pass from cheap incremental upkeep
+/// (observed row counts fed back by the executor); `stale` is set when a
+/// DML/document-change notification arrives and cleared by the next
+/// Analyze or observation.
+struct CollectionStats {
+  std::string source;
+  std::string collection;
+  double row_count = -1.0;  ///< < 0 = unknown.
+  bool analyzed = false;
+  bool stale = false;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// Builds CollectionStats from a fetched collection tree (root's children
+/// are the records), sampling at most `sample_rows` records (0 = all).
+/// Row count is always the full record count; per-column detail comes from
+/// the sample prefix.
+CollectionStats AnalyzeCollectionTree(const std::string& source,
+                                      const std::string& collection,
+                                      const Node& root, size_t sample_rows);
+
+/// Thread-safe registry of per-collection statistics with a global epoch.
+/// The epoch advances whenever stats change in a way that could flip an
+/// optimizer decision (a fresh Analyze, a DML staleness notification, or an
+/// executor-observed misestimate beyond the replan factor); the engine
+/// folds it into plan-cache keys so plans optimized under superseded stats
+/// are evicted instead of served forever (DESIGN.md §2h).
+class StatisticsCatalog {
+ public:
+  StatisticsCatalog() = default;
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
+
+  /// Snapshot of the stats for `source`:`collection`, or nullptr. The
+  /// returned object is immutable and safe to read without the lock.
+  std::shared_ptr<const CollectionStats> Get(
+      const std::string& source, const std::string& collection) const
+      NIMBLE_EXCLUDES(mu_);
+
+  /// Installs (replaces) a collection's stats and bumps the epoch.
+  void Put(CollectionStats stats) NIMBLE_EXCLUDES(mu_);
+
+  /// Analyzes every collection of `source` through FetchCollection,
+  /// sampling at most `sample_rows` records per collection. One epoch bump
+  /// for the whole pass.
+  Status AnalyzeSource(connector::Connector& source, size_t sample_rows)
+      NIMBLE_EXCLUDES(mu_);
+
+  /// Cheap incremental upkeep: the executor observed `rows` records in
+  /// `source`:`collection`. Updates the row count in place; bumps the
+  /// epoch only when a *previously known* row count was off by more than
+  /// `error_factor` in either direction (a misestimate worth replanning
+  /// for — first observations install quietly). Returns true when the
+  /// epoch was bumped.
+  bool RecordObservedRows(const std::string& source,
+                          const std::string& collection, double rows,
+                          double error_factor) NIMBLE_EXCLUDES(mu_);
+
+  /// DML/document-change upkeep: marks every collection of `source` stale
+  /// and bumps the epoch (wired to Catalog::NotifySourceUpdated).
+  void MarkSourceStale(const std::string& source) NIMBLE_EXCLUDES(mu_);
+
+  /// Explicit epoch bump (executor join-level misestimates).
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Monotone stats version for plan-cache keying.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Number of collections with stats (test hook).
+  size_t size() const NIMBLE_EXCLUDES(mu_);
+
+ private:
+  static std::string Key(const std::string& source,
+                         const std::string& collection) {
+    return source + "\x1f" + collection;
+  }
+
+  mutable Mutex mu_{LockRank::kStatistics, "statistics.catalog"};
+  std::map<std::string, std::shared_ptr<const CollectionStats>> stats_
+      NIMBLE_GUARDED_BY(mu_);
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace metadata
+}  // namespace nimble
+
+#endif  // NIMBLE_METADATA_STATISTICS_H_

@@ -1,0 +1,63 @@
+#ifndef NIMBLE_OPT_CARDINALITY_H_
+#define NIMBLE_OPT_CARDINALITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/tuple.h"
+#include "metadata/statistics.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace opt {
+
+/// Default selectivities when no column statistics apply — the classic
+/// System R fallbacks. Kept public so tests and the cost model agree.
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+constexpr double kDefaultLikeSelectivity = 0.25;
+constexpr double kDefaultNeSelectivity = 0.9;
+
+/// Maps each variable bound by a fragment's pattern to the statistics
+/// column it reads: a record's scalar child with `$v` content maps to the
+/// child's tag, an attribute binding `name=$v` maps to "@name" — the same
+/// flat record shape Analyze() collects. Records are the pattern root's
+/// children (or the root itself for descendant-axis patterns); variables
+/// bound elsewhere (nested elements, ELEMENT_AS) have no column and are
+/// omitted.
+std::map<std::string, std::string> VariableColumns(
+    const xmlql::ElementPattern& root);
+
+/// Selectivity of `column op literal`. Equality uses 1/NDV (1/rows when the
+/// column is unique); ranges interpolate the literal's position inside
+/// [min, max] for numeric columns; LIKE and everything else fall back to
+/// the defaults above. `row_count` < 0 means unknown.
+double ConditionSelectivity(xmlql::Condition::Op op, const Value& literal,
+                            const metadata::ColumnStats* stats,
+                            double row_count);
+
+/// Estimated output rows of one fragment: the collection's row count scaled
+/// by the selectivity of every local condition that compares a mapped
+/// variable against a literal (variable-variable conditions get the
+/// equality default). Returns a negative value when `stats` has no usable
+/// row count — the caller falls back to the materialized size.
+double EstimateFragmentRows(
+    const metadata::CollectionStats& stats,
+    const std::map<std::string, std::string>& variable_columns,
+    const std::vector<const xmlql::Condition*>& local_conditions);
+
+/// Join selectivity for an equi-join over a shared variable with the given
+/// per-side distinct counts: 1/max(ndv_left, ndv_right) — the containment
+/// assumption (the smaller key domain is contained in the larger).
+double JoinSelectivity(double ndv_left, double ndv_right);
+
+/// KMV distinct estimate over one materialized batch column. Node bindings
+/// hash by identity-free deep content, so the estimate is usable for any
+/// slot; used when the catalog has no column mapped to a join variable.
+double ColumnDistinctEstimate(const algebra::TupleBatch& data, size_t slot);
+
+}  // namespace opt
+}  // namespace nimble
+
+#endif  // NIMBLE_OPT_CARDINALITY_H_

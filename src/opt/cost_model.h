@@ -1,0 +1,62 @@
+#ifndef NIMBLE_OPT_COST_MODEL_H_
+#define NIMBLE_OPT_COST_MODEL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace nimble {
+namespace opt {
+
+/// Abstract per-row execution costs for the physical operators the engine
+/// can choose between. Units are arbitrary "row touches"; only ratios
+/// matter. The constants mirror the executors: a hash-join build row costs
+/// more than a probe row (hashing + chain insertion), a nested-loop join
+/// touches the full cross product, and a bind join pays per shipped IN-list
+/// key on top of the remote scan it prunes.
+struct CostModel {
+  double hash_build_cost = 2.0;   ///< per build-side row.
+  double hash_probe_cost = 1.0;   ///< per probe-side row.
+  double output_cost = 1.0;       ///< per emitted row (any join).
+  double nested_loop_cost = 1.0;  ///< per (left, right) pair compared.
+  /// A bind join stops paying for itself when the IN-list already covers
+  /// most of the remote column's distinct values: the list prunes almost
+  /// nothing but still costs translation, shipping and remote filtering.
+  double bind_join_max_coverage = 0.8;
+
+  /// Cost of hash-joining the pair, given the chosen build side.
+  double HashJoinCost(double build_rows, double probe_rows,
+                      double output_rows) const {
+    return hash_build_cost * std::max(build_rows, 0.0) +
+           hash_probe_cost * std::max(probe_rows, 0.0) +
+           output_cost * std::max(output_rows, 0.0);
+  }
+
+  /// Cost of a nested-loop (cross-product) join of the pair.
+  double NestedLoopJoinCost(double left_rows, double right_rows,
+                            double output_rows) const {
+    return nested_loop_cost * std::max(left_rows, 0.0) *
+               std::max(right_rows, 0.0) +
+           output_cost * std::max(output_rows, 0.0);
+  }
+
+  /// Build side for a hash join: build on the smaller input. Ties keep the
+  /// executor's historical default (build right), so plans only change when
+  /// the estimates actually order the inputs.
+  bool BuildLeft(double left_rows, double right_rows) const {
+    return left_rows < right_rows;
+  }
+
+  /// Whether shipping `num_keys` IN-list keys against a remote column with
+  /// `column_ndv` distinct values is worth it (per-source pushdown depth).
+  /// Unknown NDV (< 0) keeps the historical always-bind behavior.
+  bool UseBindJoin(size_t num_keys, double column_ndv) const {
+    if (column_ndv < 1.0) return true;
+    return static_cast<double>(num_keys) <=
+           bind_join_max_coverage * column_ndv;
+  }
+};
+
+}  // namespace opt
+}  // namespace nimble
+
+#endif  // NIMBLE_OPT_COST_MODEL_H_

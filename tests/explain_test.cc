@@ -129,7 +129,8 @@ TEST_F(ExplainTest, ThreeSourceJoinSmallestFirst) {
                     "CONSTRUCT <line><name>$n</name><title>$ti</title></line>"),
             "HashJoin($c) [$c, $n, $k, $ti]\n"
             "  Scan(sql:crm:customers, 4 tuples) [$c, $n]\n"
-            "  HashJoin($k) [$k, $ti, $c]\n"
+            // The cost model builds on the smaller (3-row) products side.
+            "  HashJoin($k, build=left) [$k, $ti, $c]\n"
             "    Scan(fetch:feed:products, 3 tuples) [$k, $ti]\n"
             "    Scan(sql+bind:sales:orders, 4 tuples) [$c, $k]\n");
 }
@@ -212,9 +213,10 @@ TEST_F(ExplainTest, ViewExpansionScan) {
             "Scan(view:gold_customers, 2 tuples) [$i, $n]\n");
 }
 
-// `plan_with_stats` is the same tree annotated with post-execution batch
-// counters: at the default batch size every operator here produces its
-// whole result in one batch.
+// `plan_with_stats` is the same tree annotated with the optimizer's
+// est_rows and post-execution batch counters: at the default batch size
+// every operator here produces its whole result in one batch. Without
+// catalog statistics the estimates fall back to materialized sizes.
 TEST_F(ExplainTest, PlanWithStatsAnnotatesBatchCounters) {
   Result<QueryResult> r = engine_->ExecuteText(
       "WHERE <customers><row><id>$c</id><name>$n</name></row>"
@@ -224,11 +226,11 @@ TEST_F(ExplainTest, PlanWithStatsAnnotatesBatchCounters) {
       "CONSTRUCT <big><name>$n</name><total>$t</total></big>");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->report.plan_with_stats,
-            "HashJoin($c) [$c, $n, $t] {batches=1, rows=2}\n"
+            "HashJoin($c) [$c, $n, $t] {est_rows=2, batches=1, rows=2}\n"
             "  Scan(sql:crm:customers, 4 tuples) [$c, $n] "
-            "{batches=1, rows=4}\n"
+            "{est_rows=4, batches=1, rows=4}\n"
             "  Scan(sql+bind:sales:orders, 2 tuples) [$c, $t] "
-            "{batches=1, rows=2}\n");
+            "{est_rows=2, batches=1, rows=2}\n");
 }
 
 // Shrinking EngineOptions::batch_size changes batch accounting but never
@@ -247,7 +249,7 @@ TEST_F(ExplainTest, BatchSizeOptionControlsBatchCount) {
   EXPECT_EQ(r->report.result_count, 2u);
   EXPECT_EQ(r->report.plan_with_stats,
             "Scan(sql:crm:customers, 2 tuples) [$i, $n, $s] "
-            "{batches=2, rows=2}\n");
+            "{est_rows=2, batches=2, rows=2}\n");
 }
 
 }  // namespace

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algebra/operators.h"
+#include "algebra/verifier.h"
+#include "connector/relational_connector.h"
+#include "connector/xml_connector.h"
+#include "core/engine.h"
+#include "opt/cardinality.h"
+#include "opt/cost_model.h"
+#include "xml/serializer.h"
+
+namespace nimble {
+namespace opt {
+namespace {
+
+// ---- Cardinality estimator --------------------------------------------------
+
+metadata::ColumnStats NumericColumn(int64_t lo, int64_t hi, int distinct,
+                                    bool unique = false) {
+  metadata::ColumnStats col;
+  col.name = "c";
+  col.min = Value::Int(lo);
+  col.max = Value::Int(hi);
+  col.unique = unique;
+  for (int i = 0; i < distinct; ++i) col.sketch.Add(Value::Int(lo + i));
+  return col;
+}
+
+TEST(CardinalityTest, EqualitySelectivityIsOneOverDistinct) {
+  metadata::ColumnStats col = NumericColumn(0, 99, 20);
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kEq,
+                                        Value::Int(5), &col, 1000.0),
+                   1.0 / 20.0);
+  // Unique column: one row out of row_count.
+  metadata::ColumnStats key = NumericColumn(0, 999, 1000, /*unique=*/true);
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kEq,
+                                        Value::Int(5), &key, 1000.0),
+                   1.0 / 1000.0);
+  // No statistics: System R default.
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kEq,
+                                        Value::Int(5), nullptr, 1000.0),
+                   kDefaultEqSelectivity);
+}
+
+TEST(CardinalityTest, RangeSelectivityInterpolates) {
+  metadata::ColumnStats col = NumericColumn(0, 100, 50);
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kLt,
+                                        Value::Int(25), &col, 1000.0),
+                   0.25);
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kGe,
+                                        Value::Int(25), &col, 1000.0),
+                   0.75);
+  // Out-of-range literals clamp.
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kGt,
+                                        Value::Int(500), &col, 1000.0),
+                   1e-6);
+  // Non-numeric bounds fall back to the default.
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kLt,
+                                        Value::String("m"), nullptr, 1000.0),
+                   kDefaultRangeSelectivity);
+}
+
+TEST(CardinalityTest, LikeUsesDefault) {
+  metadata::ColumnStats col = NumericColumn(0, 100, 50);
+  EXPECT_DOUBLE_EQ(ConditionSelectivity(xmlql::Condition::Op::kLike,
+                                        Value::String("%x%"), &col, 1000.0),
+                   kDefaultLikeSelectivity);
+}
+
+TEST(CardinalityTest, JoinSelectivityIsOneOverMaxNdv) {
+  EXPECT_DOUBLE_EQ(JoinSelectivity(10.0, 1000.0), 1.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(JoinSelectivity(1000.0, 10.0), 1.0 / 1000.0);
+  // Estimated join cardinality |L||R|/max(ndv): 100 * 1000 / 1000 = 100.
+  EXPECT_DOUBLE_EQ(100.0 * 1000.0 * JoinSelectivity(10.0, 1000.0), 100.0);
+}
+
+TEST(CostModelTest, BuildSideAndBindJoinGate) {
+  CostModel model;
+  EXPECT_TRUE(model.BuildLeft(3.0, 5.0));
+  EXPECT_FALSE(model.BuildLeft(5.0, 3.0));
+  EXPECT_FALSE(model.BuildLeft(4.0, 4.0));  // tie keeps the legacy side.
+  EXPECT_TRUE(model.UseBindJoin(2, 100.0));
+  EXPECT_FALSE(model.UseBindJoin(90, 100.0));  // IN list covers the domain.
+  EXPECT_TRUE(model.UseBindJoin(90, -1.0));    // unknown NDV: keep binding.
+}
+
+// ---- Verifier invariant I13 -------------------------------------------------
+
+std::unique_ptr<algebra::MaterializedScan> MakeScan(size_t rows) {
+  algebra::TupleSchema schema({"x"});
+  std::vector<algebra::Tuple> tuples;
+  for (size_t i = 0; i < rows; ++i) {
+    tuples.push_back({algebra::Binding{Value::Int(static_cast<int64_t>(i))}});
+  }
+  return std::make_unique<algebra::MaterializedScan>(
+      std::move(schema), std::move(tuples), "test");
+}
+
+TEST(VerifierI13Test, AnnotationsMustBeAllOrNone) {
+  auto scan = MakeScan(5);
+  scan->set_estimated_rows(5.0);
+  algebra::Limit limit(std::move(scan), 3);
+  // Child annotated, parent not: violation.
+  EXPECT_FALSE(algebra::VerifyPlan(limit).ok());
+  limit.set_estimated_rows(3.0);
+  EXPECT_TRUE(algebra::VerifyPlan(limit).ok());
+}
+
+TEST(VerifierI13Test, EstimateMayNotGrowThroughRowReducers) {
+  auto scan = MakeScan(5);
+  scan->set_estimated_rows(5.0);
+  algebra::Limit limit(std::move(scan), 3);
+  limit.set_estimated_rows(50.0);  // exceeds the child estimate.
+  EXPECT_FALSE(algebra::VerifyPlan(limit).ok());
+}
+
+// ---- Engine integration -----------------------------------------------------
+
+class OptimizerEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crm_ = std::make_unique<relational::Database>("crm");
+    Must(crm_->Execute(
+        "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)"));
+    Must(crm_->Execute("INSERT INTO customers VALUES (1, 'Ada'), (2, 'Bob'), "
+                       "(3, 'Cleo'), (4, 'Dan')"));
+
+    sales_ = std::make_unique<relational::Database>("sales");
+    Must(sales_->Execute(
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cust INT, sku TEXT)"));
+    Must(sales_->Execute("INSERT INTO orders VALUES (100, 1, 'widget'), "
+                         "(101, 2, 'gizmo'), (102, 3, 'widget'), "
+                         "(103, 4, 'gadget')"));
+
+    auto products = std::make_unique<connector::XmlConnector>("feed");
+    Must(products->PutDocumentText(
+        "products",
+        "<products>"
+        "<product sku=\"widget\"><title>Widget</title></product>"
+        "<product sku=\"gizmo\"><title>Gizmo</title></product>"
+        "<product sku=\"gadget\"><title>Gadget</title></product>"
+        "</products>"));
+
+    catalog_ = std::make_unique<metadata::Catalog>();
+    Must(catalog_->RegisterSource(
+        std::make_unique<connector::RelationalConnector>("crm", crm_.get())));
+    Must(catalog_->RegisterSource(
+        std::make_unique<connector::RelationalConnector>("sales",
+                                                         sales_.get())));
+    Must(catalog_->RegisterSource(std::move(products)));
+
+    core::EngineOptions opts;
+    opts.verify_plans = true;
+    engine_ = std::make_unique<core::IntegrationEngine>(catalog_.get(), opts);
+  }
+
+  void Must(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
+  template <typename T>
+  void Must(const Result<T>& r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  static constexpr const char* kThreeWayJoin =
+      "WHERE <customers><row><id>$c</id><name>$n</name></row>"
+      "</customers> IN \"crm:customers\", "
+      "<orders><row><cust>$c</cust><sku>$k</sku></row></orders> "
+      "IN \"sales:orders\", "
+      "<products><product sku=$k><title>$ti</title></product>"
+      "</products> IN \"feed:products\" "
+      "CONSTRUCT <line><name>$n</name><title>$ti</title></line>";
+
+  void PutRowCount(const std::string& source, const std::string& collection,
+                   double rows) {
+    metadata::CollectionStats stats;
+    stats.source = source;
+    stats.collection = collection;
+    stats.row_count = rows;
+    stats.analyzed = true;
+    catalog_->statistics().Put(std::move(stats));
+  }
+
+  std::unique_ptr<relational::Database> crm_;
+  std::unique_ptr<relational::Database> sales_;
+  std::unique_ptr<metadata::Catalog> catalog_;
+  std::unique_ptr<core::IntegrationEngine> engine_;
+};
+
+// Satellite regression: the hash join builds on the smaller input instead
+// of always on the right. The 3-row products side becomes the build side
+// (marked build=left), and results match the legacy-heuristic arm exactly.
+TEST_F(OptimizerEngineTest, HashJoinBuildsOnSmallerSide) {
+  Result<core::QueryResult> costed = engine_->ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(costed.ok()) << costed.status().ToString();
+  EXPECT_NE(costed->report.plan.find("HashJoin($k, build=left)"),
+            std::string::npos)
+      << costed->report.plan;
+
+  core::EngineOptions legacy_opts;
+  legacy_opts.verify_plans = true;
+  legacy_opts.enable_cost_optimizer = false;
+  core::IntegrationEngine legacy(catalog_.get(), legacy_opts);
+  Result<core::QueryResult> heuristic = legacy.ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(heuristic.ok()) << heuristic.status().ToString();
+  EXPECT_EQ(heuristic->report.plan.find("build=left"), std::string::npos);
+  EXPECT_EQ(ToXml(*costed->document), ToXml(*heuristic->document));
+}
+
+// Estimates next to actuals: every operator in plan_with_stats carries an
+// est_rows annotation when the optimizer is on, and none when it is off.
+TEST_F(OptimizerEngineTest, PlanWithStatsCarriesEstimates) {
+  Result<core::QueryResult> r = engine_->ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->report.plan_with_stats.find("est_rows="), std::string::npos);
+
+  core::EngineOptions legacy_opts;
+  legacy_opts.enable_cost_optimizer = false;
+  core::IntegrationEngine legacy(catalog_.get(), legacy_opts);
+  Result<core::QueryResult> l = legacy.ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_EQ(l->report.plan_with_stats.find("est_rows="), std::string::npos);
+}
+
+// Golden EXPLAIN flip: changing only the catalog statistics reorders the
+// join tree. With products claimed huge, the optimizer joins the two
+// relational fragments first and products last; with honest stats the
+// products⋈orders join comes first (the seeded shape).
+TEST_F(OptimizerEngineTest, StatsChangeFlipsJoinOrder) {
+  PutRowCount("feed", "products", 3.0);
+  Result<core::QueryResult> before = engine_->ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  // products⋈orders under the customers join: $k joined below $c.
+  EXPECT_LT(before->report.plan.find("HashJoin($c)"),
+            before->report.plan.find("HashJoin($k"))
+      << before->report.plan;
+
+  PutRowCount("feed", "products", 1000000.0);
+  Result<core::QueryResult> after = engine_->ExecuteText(kThreeWayJoin);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  // customers⋈orders first now; the huge products input joins last, so
+  // $k is the root join.
+  EXPECT_LT(after->report.plan.find("HashJoin($k"),
+            after->report.plan.find("HashJoin($c)"))
+      << after->report.plan;
+  // Same rows either way — the optimizer only changes the join order
+  // (row order within the unordered result may differ).
+  EXPECT_EQ(before->report.result_count, after->report.result_count);
+}
+
+// Satellite regression: the compiled-plan cache key includes the stats
+// epoch, so a stats change evicts (and re-optimizes) instead of serving
+// the stale plan; the eviction is counted separately from LRU evictions.
+TEST_F(OptimizerEngineTest, PlanCacheEvictsOnStatsEpochChange) {
+  Must(engine_->ExecuteText(kThreeWayJoin));
+  Must(engine_->ExecuteText(kThreeWayJoin));
+  core::PlanCache::Stats s1 = engine_->plan_cache()->stats();
+  EXPECT_GE(s1.hits, 1u);
+  EXPECT_EQ(s1.stats_evictions, 0u);
+
+  PutRowCount("feed", "products", 1000000.0);  // bumps the epoch
+  Must(engine_->ExecuteText(kThreeWayJoin));
+  core::PlanCache::Stats s2 = engine_->plan_cache()->stats();
+  EXPECT_GE(s2.stats_evictions, 1u);
+  EXPECT_EQ(s2.evictions, 0u);  // not an LRU eviction.
+}
+
+// Adaptive feedback: a wildly wrong row count is corrected by the first
+// execution's observed rows (epoch bump → replan), and the second
+// execution's estimate lands within 10x of the actual row count.
+TEST_F(OptimizerEngineTest, FeedbackCorrectsMisestimateWithinOneRound) {
+  PutRowCount("crm", "customers", 100000.0);
+  const char* q =
+      "WHERE <customers><row><id>$i</id><name>$n</name></row>"
+      "</customers> IN \"crm:customers\" "
+      "CONSTRUCT <c><name>$n</name></c>";
+  uint64_t epoch_before = catalog_->statistics().epoch();
+  Result<core::QueryResult> first = engine_->ExecuteText(q);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NE(first->report.plan_with_stats.find("est_rows=100000"),
+            std::string::npos)
+      << first->report.plan_with_stats;
+  // The observed 4 rows were fed back: stats corrected, epoch advanced.
+  EXPECT_GT(catalog_->statistics().epoch(), epoch_before);
+  EXPECT_DOUBLE_EQ(
+      catalog_->statistics().Get("crm", "customers")->row_count, 4.0);
+
+  Result<core::QueryResult> second = engine_->ExecuteText(q);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(second->report.plan_with_stats.find(
+                "{est_rows=4, batches=1, rows=4}"),
+            std::string::npos)
+      << second->report.plan_with_stats;
+}
+
+// Per-source pushdown depth: once statistics show the bind-join IN list
+// covering most of the remote column's distinct values, the cost model
+// drops the bind (it prunes nothing) and ships the plain SQL fragment.
+TEST_F(OptimizerEngineTest, BindJoinSkippedWhenKeysCoverDomain) {
+  const char* q =
+      "WHERE <customers><row><id>$c</id><name>$n</name></row>"
+      "</customers> IN \"crm:customers\", "
+      "<orders><row><cust>$c</cust><sku>$k</sku></row></orders> "
+      "IN \"sales:orders\" "
+      "CONSTRUCT <o><name>$n</name><sku>$k</sku></o>";
+  // Without stats the historical behavior stands: bind join taken.
+  Result<core::QueryResult> blind = engine_->ExecuteText(q);
+  ASSERT_TRUE(blind.ok()) << blind.status().ToString();
+  EXPECT_NE(blind->report.plan.find("sql+bind:sales:orders"),
+            std::string::npos)
+      << blind->report.plan;
+
+  // Analyzed: all 4 customer ids cover orders.cust's 4 distinct values.
+  Must(engine_->Analyze());
+  Result<core::QueryResult> costed = engine_->ExecuteText(q);
+  ASSERT_TRUE(costed.ok()) << costed.status().ToString();
+  EXPECT_NE(costed->report.plan.find("sql:sales:orders"), std::string::npos)
+      << costed->report.plan;
+  EXPECT_EQ(costed->report.plan.find("sql+bind:"), std::string::npos);
+  EXPECT_EQ(ToXml(*blind->document), ToXml(*costed->document));
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace nimble

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "connector/xml_connector.h"
+#include "metadata/catalog.h"
+#include "metadata/statistics.h"
+
+namespace nimble {
+namespace metadata {
+namespace {
+
+// ---- DistinctSketch ---------------------------------------------------------
+
+TEST(DistinctSketchTest, ExactBelowK) {
+  DistinctSketch sketch;
+  for (int i = 0; i < 500; ++i) sketch.Add(Value::Int(i));
+  // Duplicates must not inflate the count.
+  for (int i = 0; i < 500; ++i) sketch.Add(Value::Int(i));
+  EXPECT_TRUE(sketch.exact());
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 500.0);
+}
+
+TEST(DistinctSketchTest, WithinTenPercentAt100kDistinct) {
+  DistinctSketch sketch;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sketch.Add(Value::Int(i));
+  EXPECT_FALSE(sketch.exact());
+  double est = sketch.Estimate();
+  EXPECT_LT(std::abs(est - n) / n, 0.10)
+      << "estimate " << est << " off by more than 10% from " << n;
+}
+
+TEST(DistinctSketchTest, TypeFamiliesStayDistinct) {
+  DistinctSketch sketch;
+  sketch.Add(Value::Int(0));
+  sketch.Add(Value::Bool(false));
+  sketch.Add(Value::String(""));
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 3.0);
+}
+
+TEST(DistinctSketchTest, MergeOfDisjointSetsApproximatesUnion) {
+  DistinctSketch a, b;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) a.Add(Value::Int(i));
+  for (int i = n; i < 2 * n; ++i) b.Add(Value::Int(i));
+  a.Merge(b);
+  double est = a.Estimate();
+  EXPECT_LT(std::abs(est - 2.0 * n) / (2.0 * n), 0.10);
+}
+
+// ---- Analyze ----------------------------------------------------------------
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto feed = std::make_unique<connector::XmlConnector>("feed");
+    Status put = feed->PutDocumentText(
+        "products",
+        "<products>"
+        "<product sku=\"widget\"><title>Widget</title><price>25</price>"
+        "</product>"
+        "<product sku=\"gizmo\"><title>Gizmo</title><price>8</price>"
+        "</product>"
+        "<product sku=\"gadget\"><title>Gadget</title><price>1</price>"
+        "</product>"
+        "<product sku=\"doohickey\"><title>Doohickey</title></product>"
+        "</products>");
+    ASSERT_TRUE(put.ok()) << put.ToString();
+    ASSERT_TRUE(catalog_.RegisterSource(std::move(feed)).ok());
+  }
+
+  metadata::Catalog catalog_;
+};
+
+TEST_F(AnalyzeTest, CollectsRowCountAndColumnDetail) {
+  ASSERT_TRUE(catalog_.AnalyzeSource("feed").ok());
+  std::shared_ptr<const CollectionStats> stats =
+      catalog_.statistics().Get("feed", "products");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->analyzed);
+  EXPECT_FALSE(stats->stale);
+  EXPECT_DOUBLE_EQ(stats->row_count, 4.0);
+
+  const ColumnStats* price = stats->column("price");
+  ASSERT_NE(price, nullptr);
+  EXPECT_DOUBLE_EQ(price->min.NumericValue(), 1.0);
+  EXPECT_DOUBLE_EQ(price->max.NumericValue(), 25.0);
+  EXPECT_DOUBLE_EQ(price->distinct(), 3.0);
+  // One of four records has no <price>.
+  EXPECT_DOUBLE_EQ(price->null_fraction, 0.25);
+  // 25, 8, 1: strictly descending.
+  EXPECT_EQ(price->order, ColumnStats::SortOrder::kDescending);
+
+  const ColumnStats* sku = stats->column("@sku");
+  ASSERT_NE(sku, nullptr);
+  EXPECT_TRUE(sku->unique);
+  EXPECT_DOUBLE_EQ(sku->distinct(), 4.0);
+  EXPECT_DOUBLE_EQ(sku->null_fraction, 0.0);
+
+  const ColumnStats* title = stats->column("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_TRUE(title->unique);
+}
+
+TEST_F(AnalyzeTest, SamplingKeepsExactRowCount) {
+  ASSERT_TRUE(catalog_.AnalyzeSource("feed", /*sample_rows=*/2).ok());
+  std::shared_ptr<const CollectionStats> stats =
+      catalog_.statistics().Get("feed", "products");
+  ASSERT_NE(stats, nullptr);
+  // Row count stays exact; column detail covers only the sampled prefix.
+  EXPECT_DOUBLE_EQ(stats->row_count, 4.0);
+  const ColumnStats* price = stats->column("price");
+  ASSERT_NE(price, nullptr);
+  EXPECT_DOUBLE_EQ(price->distinct(), 2.0);
+}
+
+TEST_F(AnalyzeTest, AnalyzeUnknownSourceFails) {
+  EXPECT_FALSE(catalog_.AnalyzeSource("nope").ok());
+}
+
+// ---- Epoch semantics --------------------------------------------------------
+
+TEST_F(AnalyzeTest, AnalyzeBumpsEpochOnce) {
+  uint64_t before = catalog_.statistics().epoch();
+  ASSERT_TRUE(catalog_.AnalyzeSource("feed").ok());
+  EXPECT_EQ(catalog_.statistics().epoch(), before + 1);
+}
+
+TEST_F(AnalyzeTest, SourceUpdateMarksStaleAndBumpsEpoch) {
+  ASSERT_TRUE(catalog_.AnalyzeSource("feed").ok());
+  uint64_t before = catalog_.statistics().epoch();
+  catalog_.NotifySourceUpdated("feed");
+  EXPECT_GT(catalog_.statistics().epoch(), before);
+  std::shared_ptr<const CollectionStats> stats =
+      catalog_.statistics().Get("feed", "products");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_TRUE(stats->stale);
+}
+
+TEST(StatisticsCatalogTest, RecordObservedRowsEpochRules) {
+  StatisticsCatalog stats;
+  uint64_t e0 = stats.epoch();
+  // First observation installs quietly — no replan churn for collections
+  // the optimizer knew nothing about anyway.
+  EXPECT_FALSE(stats.RecordObservedRows("s", "c", 100.0, 10.0));
+  EXPECT_EQ(stats.epoch(), e0);
+  ASSERT_NE(stats.Get("s", "c"), nullptr);
+  EXPECT_DOUBLE_EQ(stats.Get("s", "c")->row_count, 100.0);
+
+  // Within the error factor: updated in place, no epoch bump.
+  EXPECT_FALSE(stats.RecordObservedRows("s", "c", 500.0, 10.0));
+  EXPECT_EQ(stats.epoch(), e0);
+  EXPECT_DOUBLE_EQ(stats.Get("s", "c")->row_count, 500.0);
+
+  // Off by more than the factor (either direction): misestimate — bump.
+  EXPECT_TRUE(stats.RecordObservedRows("s", "c", 50000.0, 10.0));
+  EXPECT_EQ(stats.epoch(), e0 + 1);
+  EXPECT_TRUE(stats.RecordObservedRows("s", "c", 10.0, 10.0));
+  EXPECT_EQ(stats.epoch(), e0 + 2);
+}
+
+}  // namespace
+}  // namespace metadata
+}  // namespace nimble
