@@ -162,6 +162,71 @@ NodePtr SystemMonitor::StatusDocument() const {
       }
     }
   }
+  if (coordinator_ != nullptr) {
+    dist::ShardCluster* cluster = coordinator_->cluster();
+    dist::CoordinatorCounters counters = coordinator_->counters();
+    NodePtr distribution = root->AddChild(Node::Element("distribution"));
+    distribution->SetAttribute(
+        "shards", Value::Int(static_cast<int64_t>(cluster->num_shards())));
+    distribution->AddScalarChild(
+        "scatter_queries",
+        Value::Int(static_cast<int64_t>(counters.scatter_queries)));
+    distribution->AddScalarChild(
+        "fallback_queries",
+        Value::Int(static_cast<int64_t>(counters.fallback_queries)));
+    distribution->AddScalarChild(
+        "scatter_subqueries",
+        Value::Int(static_cast<int64_t>(counters.subqueries)));
+    distribution->AddScalarChild(
+        "shards_pruned",
+        Value::Int(static_cast<int64_t>(counters.shards_pruned)));
+    distribution->AddScalarChild(
+        "merge_rows", Value::Int(static_cast<int64_t>(counters.merge_rows)));
+    distribution->AddScalarChild(
+        "stragglers", Value::Int(static_cast<int64_t>(counters.stragglers)));
+    distribution->AddScalarChild(
+        "partial_results",
+        Value::Int(static_cast<int64_t>(counters.partial_results)));
+    distribution->AddScalarChild(
+        "repartitions",
+        Value::Int(static_cast<int64_t>(cluster->repartitions())));
+    for (size_t i = 0; i < cluster->num_shards(); ++i) {
+      NodePtr shard = distribution->AddChild(Node::Element("shard"));
+      shard->SetAttribute("index", Value::Int(static_cast<int64_t>(i)));
+      core::IntegrationEngine* engine = cluster->shard_engine(i);
+      shard->AddScalarChild(
+          "queries",
+          Value::Int(static_cast<int64_t>(engine->queries_served())));
+      sched::QueryScheduler* scheduler = engine->scheduler();
+      if (scheduler != nullptr) {
+        sched::SchedulerStats stats = scheduler->stats();
+        shard->AddScalarChild(
+            "queue_depth",
+            Value::Int(static_cast<int64_t>(stats.queue_depth)));
+        shard->AddScalarChild(
+            "inflight",
+            Value::Int(static_cast<int64_t>(stats.inflight_queries)));
+      }
+    }
+    for (const metadata::FragmentMap* map :
+         cluster->catalog()->FragmentMaps()) {
+      NodePtr fragment_map =
+          distribution->AddChild(Node::Element("fragment_map"));
+      fragment_map->SetAttribute("source", Value::String(map->source));
+      fragment_map->SetAttribute("collection", Value::String(map->collection));
+      fragment_map->AddScalarChild("key", Value::String(map->partition_key));
+      fragment_map->AddScalarChild(
+          "kind",
+          Value::String(metadata::FragmentMap::KindName(map->kind)));
+      std::vector<size_t> rows =
+          cluster->registry().FragmentRowCounts(map->source, map->collection);
+      std::vector<std::string> row_text;
+      row_text.reserve(rows.size());
+      for (size_t n : rows) row_text.push_back(std::to_string(n));
+      fragment_map->AddScalarChild("fragment_rows",
+                                   Value::String(Join(row_text, ",")));
+    }
+  }
   return root;
 }
 

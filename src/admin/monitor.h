@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "dist/coordinator.h"
 #include "frontend/load_balancer.h"
 #include "materialize/result_cache.h"
 #include "materialize/view_store.h"
@@ -22,15 +23,20 @@ namespace admin {
 /// the normal serializer); ToText() renders it for a terminal.
 class SystemMonitor {
  public:
-  /// Only `catalog` is required; the others may be null.
+  /// Only `catalog` is required; the others may be null. When `coordinator`
+  /// is set, the status document gains a `<distribution>` section: scatter
+  /// fan-out / merge-row / straggler / partial-result counters, per-shard
+  /// scheduler queue depth, and the registered fragment maps.
   explicit SystemMonitor(metadata::Catalog* catalog,
                          materialize::MaterializedViewStore* views = nullptr,
                          materialize::ResultCache* cache = nullptr,
-                         frontend::LoadBalancer* balancer = nullptr)
+                         frontend::LoadBalancer* balancer = nullptr,
+                         dist::Coordinator* coordinator = nullptr)
       : catalog_(catalog),
         views_(views),
         cache_(cache),
-        balancer_(balancer) {}
+        balancer_(balancer),
+        coordinator_(coordinator) {}
 
   /// Snapshot of the whole system as an XML document rooted at
   /// `<system_status>`. Pings every source (cheap liveness probe).
@@ -44,6 +50,7 @@ class SystemMonitor {
   materialize::MaterializedViewStore* views_;
   materialize::ResultCache* cache_;
   frontend::LoadBalancer* balancer_;
+  dist::Coordinator* coordinator_;
 };
 
 }  // namespace admin

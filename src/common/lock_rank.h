@@ -28,6 +28,10 @@ enum class LockRank : int {
   kLoadBalancer = 100,
   /// core::QueryHandle — async result latch; Fulfill/Wait/Cancel.
   kQueryHandle = 200,
+  /// core::IntegrationEngine unscheduled-submit drain latch: counts Submit
+  /// tasks running free on the worker pool; the engine destructor waits for
+  /// zero. Taken only after the handle latch is released, never nested.
+  kEngineInflight = 250,
   /// sched::QueryScheduler — admission queue; run/drop callbacks and pool
   /// submissions always fire after release.
   kScheduler = 300,
@@ -50,6 +54,13 @@ enum class LockRank : int {
   /// connector::SimulatedSource availability/config state; the decorator
   /// releases it before charging the clock or entering the inner connector.
   kSimulatedSource = 800,
+  /// dist::ShardCluster fragment-tree registry: shard connectors take a
+  /// fragment snapshot under it and repartitioning swaps trees under it.
+  /// Ranked after kSimulatedSource (a straggler-test wrapper sits outside a
+  /// shard connector) and before kConnectorData (forwarding an unsharded
+  /// collection enters a concrete connector; the registry lock is released
+  /// first, but the rank keeps the nesting legal either way).
+  kShardFragments = 850,
   /// Concrete connector data locks (XML documents, CSV collections,
   /// hierarchical mappings, relational database).
   kConnectorData = 900,

@@ -1,6 +1,7 @@
 #ifndef NIMBLE_COMMON_MUTEX_H_
 #define NIMBLE_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -163,6 +164,20 @@ class CondVar {
     // Reacquired while asleep: re-register (and re-check rank against
     // whatever the thread still holds) without re-locking.
     lock_rank::OnAcquire(mu.rank_, mu.name_, &mu);
+  }
+
+  /// Timed Wait: returns false when `timeout_micros` of wall time elapsed
+  /// without a notification (spurious wakeups return true; callers loop on
+  /// their predicate either way). Wall time deliberately — the waiter is
+  /// bounding how long a *thread* blocks, which no VirtualClock advances.
+  bool WaitFor(Mutex& mu, int64_t timeout_micros) NIMBLE_REQUIRES(mu) {
+    lock_rank::OnRelease(&mu);
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status =
+        cv_.wait_for(lock, std::chrono::microseconds(timeout_micros));
+    lock.release();  // ownership returns to the caller's guard
+    lock_rank::OnAcquire(mu.rank_, mu.name_, &mu);
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <set>
 
@@ -72,6 +73,20 @@ const Result<QueryResult>& QueryHandle::Wait() {
   return *result_;
 }
 
+const Result<QueryResult>* QueryHandle::WaitFor(int64_t timeout_micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  MutexLock lock(mutex_);
+  while (!done_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return nullptr;
+    cv_.WaitFor(mutex_, std::chrono::duration_cast<std::chrono::microseconds>(
+                            deadline - now)
+                            .count());
+  }
+  return &*result_;
+}
+
 bool QueryHandle::done() const {
   MutexLock lock(mutex_);
   return done_;
@@ -107,6 +122,15 @@ IntegrationEngine::IntegrationEngine(metadata::Catalog* catalog,
 }
 
 IntegrationEngine::~IntegrationEngine() {
+  // Scheduled submits drain in ~QueryScheduler (declared last, destroyed
+  // first). Unscheduled ones run free on the worker pool with a `this`
+  // capture — a cancelled scatter-gather straggler abandons its handle
+  // while the query is still executing — so wait them out before any
+  // member is torn down.
+  {
+    MutexLock lock(inflight_mutex_);
+    while (inflight_submits_ > 0) inflight_cv_.Wait(inflight_mutex_);
+  }
   if (catalog_listener_token_ != 0) {
     catalog_->RemoveUpdateListener(catalog_listener_token_);
   }
@@ -236,11 +260,19 @@ QueryHandlePtr IntegrationEngine::Submit(std::string xmlql_text,
                                          const QueryOptions& query_options) {
   auto handle = std::make_shared<QueryHandle>();
   if (scheduler_ == nullptr) {
-    // No admission control configured: run asynchronously, unqueued.
+    // No admission control configured: run asynchronously, unqueued. The
+    // inflight count keeps the destructor from tearing the engine down
+    // under a task whose handle the caller abandoned.
+    {
+      MutexLock lock(inflight_mutex_);
+      ++inflight_submits_;
+    }
     pool()->Submit(
         [this, handle, text = std::move(xmlql_text), query_options] {
           handle->Fulfill(
               ExecuteTextNow(text, query_options, 0, &handle->cancel_));
+          MutexLock lock(inflight_mutex_);
+          if (--inflight_submits_ == 0) inflight_cv_.NotifyAll();
         });
     return handle;
   }
@@ -820,7 +852,11 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
 
   // Per-source pushdown depth: a bind join whose IN list already covers
   // most of the target column's distinct values prunes almost nothing but
-  // still pays translation + shipping, so the cost model drops it.
+  // still pays translation + shipping, so the cost model drops it — unless
+  // the source has a secondary index on the column and probing it once per
+  // key is still cheaper than the full scan the drop would force
+  // (index-nested-loop alternative; the pushed SQL's IN list becomes index
+  // probes on the source side).
   const std::map<std::string, std::vector<Value>>* effective_bind =
       bind_values;
   std::map<std::string, std::vector<Value>> gated_bind;
@@ -834,8 +870,14 @@ Result<IntegrationEngine::FragmentResult> IntegrationEngine::EvaluateFragment(
                                       : nullptr;
       if (column != nullptr &&
           !cost_model.UseBindJoin(values.size(), column->distinct())) {
-        dropped = true;
-        continue;
+        const bool has_index = source->capabilities().HasIndexOn(
+            source_ref.collection, column->name);
+        if (!cost_model.UseIndexNestedLoop(
+                values.size(), static_cast<double>(col_stats->row_count),
+                has_index)) {
+          dropped = true;
+          continue;
+        }
       }
       gated_bind.emplace(var, values);
     }

@@ -215,6 +215,11 @@ class QueryHandle {
   /// Blocks until the outcome is available, then returns it. The reference
   /// stays valid for the life of the handle.
   const Result<QueryResult>& Wait();
+  /// Bounded Wait: blocks at most `timeout_micros` of wall time; returns the
+  /// outcome, or nullptr when the query is still running (the scatter-gather
+  /// coordinator's straggler bail-out — it Cancel()s and degrades instead of
+  /// stalling the whole query on one shard).
+  const Result<QueryResult>* WaitFor(int64_t timeout_micros);
   bool done() const;
   /// Queued → dropped with Cancelled (drop path, never executes).
   /// Running → the execution context sees the flag at its next check.
@@ -417,6 +422,13 @@ class IntegrationEngine {
   std::unique_ptr<materialize::ResultCache> result_cache_;
   uint64_t catalog_listener_token_ = 0;  ///< 0 = not subscribed.
   std::atomic<uint64_t> queries_served_{0};
+  /// Unscheduled Submit tasks still running on the worker pool. The
+  /// destructor drains this to zero, so an abandoned handle — e.g. a
+  /// scatter-gather straggler that was cancelled and left behind — can
+  /// never run its `this` capture against a destroyed engine.
+  mutable Mutex inflight_mutex_{LockRank::kEngineInflight, "engine.inflight"};
+  CondVar inflight_cv_;
+  size_t inflight_submits_ NIMBLE_GUARDED_BY(inflight_mutex_) = 0;
   /// Declared last: destroyed first, so shutdown drains queued/in-flight
   /// queries while the pool, caches and catalog hook are still alive.
   std::unique_ptr<sched::QueryScheduler> scheduler_;

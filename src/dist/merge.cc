@@ -1,0 +1,54 @@
+#include "dist/merge.h"
+
+#include <algorithm>
+
+namespace nimble {
+namespace dist {
+
+std::vector<MergeItem> KWayMerge(std::vector<std::vector<MergeItem>> streams,
+                                 const MergeComparator& cmp,
+                                 size_t* merge_rows) {
+  size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  std::vector<MergeItem> out;
+  out.reserve(total);
+
+  /// Heap entries point at the head of each non-empty stream. The heap is a
+  /// max-heap under std::push/pop_heap, so the comparator is inverted (and
+  /// breaks equal heads by stream index, keeping the pop order fully
+  /// deterministic even for byte-identical rows).
+  struct Head {
+    size_t stream;
+    size_t pos;
+  };
+  auto greater = [&](const Head& a, const Head& b) {
+    const MergeItem& x = streams[a.stream][a.pos];
+    const MergeItem& y = streams[b.stream][b.pos];
+    if (cmp.Less(x, y)) return false;
+    if (cmp.Less(y, x)) return true;
+    return a.stream > b.stream;
+  };
+
+  std::vector<Head> heap;
+  heap.reserve(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    if (!streams[s].empty()) heap.push_back(Head{s, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    Head head = heap.back();
+    heap.pop_back();
+    out.push_back(std::move(streams[head.stream][head.pos]));
+    if (merge_rows != nullptr) ++*merge_rows;
+    if (++head.pos < streams[head.stream].size()) {
+      heap.push_back(head);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  return out;
+}
+
+}  // namespace dist
+}  // namespace nimble

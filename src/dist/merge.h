@@ -1,0 +1,61 @@
+#ifndef NIMBLE_DIST_MERGE_H_
+#define NIMBLE_DIST_MERGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/value.h"
+
+namespace nimble {
+namespace dist {
+
+/// One result row travelling through the gather-side merge: the (stripped)
+/// result element plus its sort keys and a canonical-serialization tiebreak.
+struct MergeItem {
+  /// ORDER BY key values, in spec order (empty when the query has none).
+  std::vector<Value> keys;
+  /// Canonical ToXml of `node` — the total-order tiebreak that makes the
+  /// merged output byte-deterministic regardless of shard count. Ties on
+  /// identical bytes are genuinely interchangeable rows.
+  std::string bytes;
+  NodePtr node;
+};
+
+/// Total order over MergeItems: ORDER BY keys first (Value::Compare, each
+/// possibly descending), canonical bytes ascending as the tiebreak.
+class MergeComparator {
+ public:
+  explicit MergeComparator(std::vector<bool> descending)
+      : descending_(std::move(descending)) {}
+
+  bool Less(const MergeItem& a, const MergeItem& b) const {
+    const size_t n = std::min(a.keys.size(), b.keys.size());
+    for (size_t i = 0; i < n; ++i) {
+      int cmp = a.keys[i].Compare(b.keys[i]);
+      if (cmp != 0) {
+        const bool desc = i < descending_.size() && descending_[i];
+        return desc ? cmp > 0 : cmp < 0;
+      }
+    }
+    return a.bytes < b.bytes;
+  }
+
+ private:
+  std::vector<bool> descending_;
+};
+
+/// Order-preserving k-way merge: each stream must already be sorted by
+/// `cmp` (the coordinator sorts per-shard streams before merging); the
+/// result is the sorted union. `merge_rows`, when non-null, is incremented
+/// once per row that passed through the merge heap (the EXPLAIN / monitor
+/// gauge).
+std::vector<MergeItem> KWayMerge(std::vector<std::vector<MergeItem>> streams,
+                                 const MergeComparator& cmp,
+                                 size_t* merge_rows);
+
+}  // namespace dist
+}  // namespace nimble
+
+#endif  // NIMBLE_DIST_MERGE_H_

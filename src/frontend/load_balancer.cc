@@ -68,6 +68,28 @@ std::vector<Result<core::QueryResult>> LoadBalancer::ExecuteBatch(
     if (results[i].ok()) {
       MutexLock lock(mutex_);
       busy_micros_[picks[i]] += results[i]->report.source_latency_micros;
+      continue;
+    }
+    // Per-engine failure isolation: one overloaded or timed-out instance
+    // must not poison its batch slots when the caller asked for partial
+    // results. Degrade the slot to an empty partial answer — the same shape
+    // the distributed coordinator's straggler path produces — and leave
+    // hard errors (parse failures, internal faults) untouched.
+    const StatusCode code = results[i].status().code();
+    const bool degradable = code == StatusCode::kTimeout ||
+                            code == StatusCode::kUnavailable ||
+                            code == StatusCode::kResourceExhausted;
+    const core::AvailabilityPolicy policy = options.availability.value_or(
+        engines_[picks[i]]->options().availability);
+    if (degradable && policy == core::AvailabilityPolicy::kPartial) {
+      const std::string label = "engine#" + std::to_string(picks[i]);
+      core::QueryResult partial;
+      partial.document = Node::Element("results");
+      partial.document->SetAttribute("complete", Value::Bool(false));
+      partial.document->SetAttribute("missing_sources", Value::String(label));
+      partial.report.completeness.complete = false;
+      partial.report.completeness.unavailable_sources.push_back(label);
+      results[i] = std::move(partial);
     }
   }
   return results;

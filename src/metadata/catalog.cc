@@ -99,6 +99,48 @@ std::vector<std::string> Catalog::ViewNames() const {
   return names;
 }
 
+Status Catalog::RegisterFragmentMap(FragmentMap map) {
+  if (map.source.empty() || map.collection.empty() ||
+      map.partition_key.empty()) {
+    return Status::InvalidArgument(
+        "fragment map needs source, collection and partition key");
+  }
+  if (map.num_fragments == 0) {
+    return Status::InvalidArgument("fragment map with zero fragments");
+  }
+  if (map.kind == FragmentMap::Kind::kRange &&
+      map.range_upper_bounds.size() + 1 != map.num_fragments) {
+    return Status::InvalidArgument(
+        "range fragment map needs num_fragments-1 upper bounds");
+  }
+  for (size_t i = 1; i < map.range_upper_bounds.size(); ++i) {
+    if (map.range_upper_bounds[i - 1].Compare(map.range_upper_bounds[i]) >= 0) {
+      return Status::InvalidArgument(
+          "range fragment bounds must be strictly ascending");
+    }
+  }
+  std::string key = map.source + "\x1f" + map.collection;
+  if (fragment_maps_.count(key) > 0) {
+    return Status::AlreadyExists("collection '" + map.source + ":" +
+                                 map.collection + "' is already fragmented");
+  }
+  fragment_maps_.emplace(std::move(key), std::move(map));
+  return Status::OK();
+}
+
+const FragmentMap* Catalog::fragment_map(const std::string& source,
+                                         const std::string& collection) const {
+  auto it = fragment_maps_.find(source + "\x1f" + collection);
+  return it == fragment_maps_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FragmentMap*> Catalog::FragmentMaps() const {
+  std::vector<const FragmentMap*> maps;
+  maps.reserve(fragment_maps_.size());
+  for (const auto& [key, map] : fragment_maps_) maps.push_back(&map);
+  return maps;
+}
+
 uint64_t Catalog::AddUpdateListener(UpdateListener listener) {
   MutexLock lock(listeners_mu_);
   uint64_t token = next_listener_token_++;

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "connector/connector.h"
+#include "metadata/fragment_map.h"
 #include "metadata/statistics.h"
 #include "xmlql/ast.h"
 
@@ -82,6 +83,21 @@ class Catalog {
   /// re-optimize, without paying for a re-Analyze on every write).
   void NotifySourceUpdated(const std::string& source_name);
 
+  // ---- Horizontal fragmentation (DESIGN.md §2i) --------------------------
+
+  /// Records how `map.source`:`map.collection` is split into horizontal
+  /// fragments. Like RegisterSource, configure-before-serve: the partition
+  /// topology (key, keying, fragment count) is fixed at setup; only the
+  /// fragment *contents* move at runtime (dist::ShardCluster::Repartition).
+  Status RegisterFragmentMap(FragmentMap map);
+
+  /// The fragment map for a collection, or nullptr if it is unsharded.
+  const FragmentMap* fragment_map(const std::string& source,
+                                  const std::string& collection) const;
+
+  /// Every registered fragment map (monitor/EXPLAIN enumeration).
+  std::vector<const FragmentMap*> FragmentMaps() const;
+
   // ---- Optimizer statistics (DESIGN.md §2h) ------------------------------
 
   /// Per-collection statistics feeding the cost-based optimizer.
@@ -100,6 +116,9 @@ class Catalog {
   /// DESIGN.md section 2e.
   std::map<std::string, std::unique_ptr<connector::Connector>> sources_;
   std::map<std::string, MediatedView> views_;
+  /// Keyed source + "\x1f" + collection; configure-before-serve like the
+  /// two maps above.
+  std::map<std::string, FragmentMap> fragment_maps_;
   mutable Mutex listeners_mu_{LockRank::kCatalogListeners, "catalog.listeners"};
   uint64_t next_listener_token_ NIMBLE_GUARDED_BY(listeners_mu_) = 1;
   std::vector<std::pair<uint64_t, UpdateListener>> listeners_

@@ -1,0 +1,80 @@
+#include "metadata/fragment_map.h"
+
+#include <numeric>
+
+#include "metadata/statistics.h"
+
+namespace nimble {
+namespace metadata {
+
+size_t FragmentMap::FragmentForKey(const Value& key) const {
+  if (num_fragments <= 1) return 0;
+  if (kind == Kind::kHash) {
+    return static_cast<size_t>(DistinctSketch::HashValue(key) % num_fragments);
+  }
+  for (size_t i = 0; i < range_upper_bounds.size(); ++i) {
+    if (key.Compare(range_upper_bounds[i]) < 0) return i;
+  }
+  return num_fragments - 1;
+}
+
+std::vector<size_t> FragmentMap::AllFragments() const {
+  std::vector<size_t> all(num_fragments == 0 ? 1 : num_fragments);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+std::vector<size_t> FragmentMap::FragmentsForCondition(
+    xmlql::Condition::Op op, const Value& literal) const {
+  using Op = xmlql::Condition::Op;
+  if (num_fragments <= 1) return AllFragments();
+  // A null literal matches no row under any comparison the pattern engine
+  // evaluates, but "no fragments" and "all fragments" both return the empty
+  // answer correctly — keep the conservative one.
+  if (op == Op::kEq && !literal.is_null()) {
+    return {FragmentForKey(literal)};
+  }
+  if (kind == Kind::kRange && !literal.is_null()) {
+    size_t split = FragmentForKey(literal);
+    std::vector<size_t> out;
+    switch (op) {
+      case Op::kLt:
+        // Strict bound: fragment i holds keys in [bound[i-1], bound[i]), so
+        // when the literal lands exactly on a bound, keys < literal stop one
+        // fragment lower than FragmentForKey(literal) says (kLe cannot
+        // tighten this way).
+        for (size_t i = 0; i < range_upper_bounds.size(); ++i) {
+          if (literal.Compare(range_upper_bounds[i]) <= 0) {
+            split = i;
+            break;
+          }
+        }
+        [[fallthrough]];
+      case Op::kLe:
+        // Fragment assignment is monotone in the key, so every row with
+        // key <= literal lives at or below literal's fragment.
+        for (size_t i = 0; i <= split; ++i) out.push_back(i);
+        return out;
+      case Op::kGt:
+      case Op::kGe:
+        for (size_t i = split; i < num_fragments; ++i) out.push_back(i);
+        return out;
+      default:
+        break;
+    }
+  }
+  return AllFragments();
+}
+
+const char* FragmentMap::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kHash:
+      return "hash";
+    case Kind::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+}  // namespace metadata
+}  // namespace nimble

@@ -159,6 +159,58 @@ CollectionStats AnalyzeCollectionTree(const std::string& source,
   return out;
 }
 
+CollectionStats MergeCollectionStats(std::vector<CollectionStats> parts) {
+  if (parts.empty()) return CollectionStats{};
+  if (parts.size() == 1) return std::move(parts[0]);
+
+  CollectionStats out;
+  out.source = parts[0].source;
+  out.collection = parts[0].collection;
+  out.analyzed = true;
+  out.row_count = 0.0;
+  for (const CollectionStats& part : parts) {
+    out.row_count += std::max(part.row_count, 0.0);
+    out.analyzed = out.analyzed && part.analyzed;
+    out.stale = out.stale || part.stale;
+  }
+  // Row-weighted non-null counts first (a fragment where the column never
+  // appears contributes all-null rows), then the widening detail merge.
+  std::map<std::string, double> non_null_rows;
+  for (const CollectionStats& part : parts) {
+    const double part_rows = std::max(part.row_count, 0.0);
+    for (const auto& [name, col] : part.columns) {
+      non_null_rows[name] += part_rows * (1.0 - col.null_fraction);
+    }
+  }
+  for (CollectionStats& part : parts) {
+    for (auto& [name, col] : part.columns) {
+      auto [it, inserted] = out.columns.try_emplace(name, std::move(col));
+      if (inserted) continue;  // first sighting seeds the merged entry
+      ColumnStats& merged = it->second;
+      const ColumnStats& add = col;
+      if (merged.type == ValueType::kNull) merged.type = add.type;
+      if (merged.min.is_null() ||
+          (!add.min.is_null() && add.min.Compare(merged.min) < 0)) {
+        merged.min = add.min;
+      }
+      if (merged.max.is_null() ||
+          (!add.max.is_null() && add.max.Compare(merged.max) > 0)) {
+        merged.max = add.max;
+      }
+      merged.sketch.Merge(add.sketch);
+    }
+  }
+  for (auto& [name, merged] : out.columns) {
+    merged.null_fraction =
+        out.row_count > 0.0
+            ? std::max(0.0, 1.0 - non_null_rows[name] / out.row_count)
+            : 0.0;
+    merged.unique = false;  // unknowable across disjoint fragments
+    merged.order = ColumnStats::SortOrder::kUnknown;
+  }
+  return out;
+}
+
 std::shared_ptr<const CollectionStats> StatisticsCatalog::Get(
     const std::string& source, const std::string& collection) const {
   MutexLock lock(mu_);

@@ -104,6 +104,14 @@ CollectionStats AnalyzeCollectionTree(const std::string& source,
                                       const std::string& collection,
                                       const Node& root, size_t sample_rows);
 
+/// Combines per-fragment statistics over *disjoint* row sets into stats for
+/// their union — the KMV sketches merge losslessly, row counts and null
+/// fractions add, min/max widen. Cross-fragment `unique` and sort order are
+/// unknowable from per-fragment detail, so they come back false/kUnknown
+/// (unless there is exactly one part, which passes through untouched).
+/// Source/collection labels are taken from the first part.
+CollectionStats MergeCollectionStats(std::vector<CollectionStats> parts);
+
 /// Thread-safe registry of per-collection statistics with a global epoch.
 /// The epoch advances whenever stats change in a way that could flip an
 /// optimizer decision (a fresh Analyze, a DML staleness notification, or an

@@ -22,6 +22,17 @@ struct CostModel {
   /// most of the remote column's distinct values: the list prunes almost
   /// nothing but still costs translation, shipping and remote filtering.
   double bind_join_max_coverage = 0.8;
+  /// Per-key cost of one secondary-index probe (hash lookup + row fetch).
+  double index_probe_cost = 4.0;
+  /// Per-row cost of a full collection scan (the alternative an index
+  /// nested-loop join avoids).
+  double scan_cost = 1.0;
+  /// Fixed per-shard overhead of a scatter: subplan print/parse, dispatch
+  /// through the pool, and the gather-side bookkeeping. In "row touches" so
+  /// it trades off directly against the per-row work it parallelizes.
+  double scatter_overhead_per_shard = 50.0;
+  /// Per-row cost of the gather-side k-way merge (heap pop + comparison).
+  double merge_cost_per_row = 1.0;
 
   /// Cost of hash-joining the pair, given the chosen build side.
   double HashJoinCost(double build_rows, double probe_rows,
@@ -53,6 +64,36 @@ struct CostModel {
     if (column_ndv < 1.0) return true;
     return static_cast<double>(num_keys) <=
            bind_join_max_coverage * column_ndv;
+  }
+
+  /// Cost of an index nested-loop join: one index probe per IN-list key.
+  double IndexNestedLoopCost(size_t num_keys) const {
+    return index_probe_cost * static_cast<double>(num_keys);
+  }
+
+  /// Whether probing a secondary index once per IN-list key beats scanning
+  /// the whole table. Without an index (or with unknown table size) the
+  /// answer is no — the caller falls back to the coverage-gated bind join.
+  /// This can rescue an IN-list the coverage gate rejected: covering 100% of
+  /// a 1M-row table with 1k index probes is still 250x cheaper than the
+  /// scan the coverage gate would otherwise force.
+  bool UseIndexNestedLoop(size_t num_keys, double table_rows,
+                          bool has_index) const {
+    if (!has_index || table_rows < 1.0) return false;
+    return IndexNestedLoopCost(num_keys) < scan_cost * table_rows;
+  }
+
+  /// Total cost of scatter-gathering `total_rows` across `num_shards`
+  /// engines that each scan their fragment in parallel, then merging
+  /// `merged_rows` at the coordinator. Used by EXPLAIN to annotate the
+  /// fan-out decision; per-shard work divides because shards run
+  /// concurrently.
+  double ScatterGatherCost(double total_rows, size_t num_shards,
+                           double merged_rows) const {
+    const double shards = static_cast<double>(std::max<size_t>(num_shards, 1));
+    return scatter_overhead_per_shard * shards +
+           scan_cost * std::max(total_rows, 0.0) / shards +
+           merge_cost_per_row * std::max(merged_rows, 0.0);
   }
 };
 

@@ -1,0 +1,516 @@
+#include "xmlql/printer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "xmlql/parser.h"
+
+namespace nimble {
+namespace xmlql {
+
+namespace {
+
+/// Mirrors parser.cc's IsNameChar: the exact alphabet ParseName accepts.
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+bool IsValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+Status Unprintable(const std::string& what) {
+  return Status::Unsupported("unprintable XML-QL AST: " + what);
+}
+
+/// Both type and value must match: the shard subplan must bind the same
+/// typed scalars the coordinator's plan would (Int(2) != Double(2.0)).
+bool ValuesEqual(const Value& a, const Value& b) {
+  return a.type() == b.type() && a.Compare(b) == 0;
+}
+
+/// Quotes `s` with whichever quote character it does not contain.
+/// ParseQuotedString has no escape mechanism, so a string containing both
+/// quote characters cannot be spelled at all.
+Result<std::string> QuoteString(const std::string& s) {
+  if (s.find('"') == std::string::npos) return '"' + s + '"';
+  if (s.find('\'') == std::string::npos) return '\'' + s + '\'';
+  return Unprintable("string literal contains both quote characters");
+}
+
+/// Renders a double so the *condition* literal scanner ([+-] digits dots)
+/// reads it back: a '.' is required to keep it a Double and exponents are
+/// not part of that alphabet at all.
+Result<std::string> RenderDouble(const Value& v) {
+  std::string text = v.ToString();  // shortest %.12g form
+  if (text.find_first_of("eE") != std::string::npos ||
+      text.find_first_of("0123456789") == std::string::npos) {
+    // Exponent form, inf, or nan — the grammar cannot spell these.
+    return Unprintable("double literal '" + text + "' needs an exponent");
+  }
+  if (text.find('.') == std::string::npos) text += ".0";
+  // %.12g can round away precision (a double needing 17 digits); verify.
+  if (!ValuesEqual(Value::Double(std::strtod(text.c_str(), nullptr)), v)) {
+    return Unprintable("double literal '" + text + "' loses precision");
+  }
+  return text;
+}
+
+/// Renders a literal for a *condition* operand position (ParseLiteral).
+Result<std::string> RenderConditionLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::string("null");
+    case ValueType::kBool:
+      return std::string(v.AsBool() ? "true" : "false");
+    case ValueType::kInt:
+      return v.ToString();
+    case ValueType::kDouble:
+      return RenderDouble(v);
+    case ValueType::kString:
+      return QuoteString(v.AsString());
+  }
+  return Unprintable("unknown literal type");
+}
+
+/// Renders a literal destined for a Value::Infer position (pattern/template
+/// attribute values, pattern content). The render is only correct if Infer
+/// maps it back to the same typed value, so that is checked directly.
+Result<std::string> RenderInferLiteral(const Value& v) {
+  std::string text;
+  switch (v.type()) {
+    case ValueType::kNull:
+      // Infer never produces Null ("" infers as String""), so a Null here
+      // cannot round-trip.
+      return Unprintable("null literal in an inferred position");
+    case ValueType::kDouble: {
+      NIMBLE_ASSIGN_OR_RETURN(text, RenderDouble(v));
+      break;
+    }
+    default:
+      text = v.ToString();
+      break;
+  }
+  if (!ValuesEqual(Value::Infer(text), v)) {
+    return Unprintable("literal '" + text + "' does not re-infer to itself");
+  }
+  return text;
+}
+
+/// Free-standing text (pattern content, template text runs) is scanned up
+/// to the next '<' or '$' and trimmed, so it must be trim-stable, non-empty
+/// and free of both delimiters.
+Status CheckTextRun(const std::string& raw) {
+  if (raw.empty()) return Unprintable("empty text run");
+  if (raw.find_first_of("<$") != std::string::npos) {
+    return Unprintable("text run contains '<' or '$'");
+  }
+  if (Trim(raw) != raw) return Unprintable("text run is not trim-stable");
+  return Status::OK();
+}
+
+// ---- Printing ---------------------------------------------------------------
+
+Status PrintElementPattern(const ElementPattern& p, std::string* out) {
+  const bool wildcard = p.tag == "*";
+  if (!wildcard && !IsValidName(p.tag)) {
+    return Unprintable("bad pattern tag '" + p.tag + "'");
+  }
+  out->push_back('<');
+  if (p.descendant) out->append("//");
+  out->append(p.tag);
+  for (const AttrPattern& attr : p.attributes) {
+    if (!IsValidName(attr.name) || EqualsIgnoreCase(attr.name, "ELEMENT_AS")) {
+      return Unprintable("bad attribute name '" + attr.name + "'");
+    }
+    out->push_back(' ');
+    out->append(attr.name);
+    out->push_back('=');
+    if (attr.is_variable) {
+      if (!IsValidName(attr.variable)) {
+        return Unprintable("bad variable '" + attr.variable + "'");
+      }
+      out->push_back('$');
+      out->append(attr.variable);
+    } else {
+      NIMBLE_ASSIGN_OR_RETURN(std::string raw,
+                              RenderInferLiteral(attr.literal));
+      NIMBLE_ASSIGN_OR_RETURN(std::string quoted, QuoteString(raw));
+      out->append(quoted);
+    }
+  }
+  if (!p.element_variable.empty()) {
+    if (!IsValidName(p.element_variable)) {
+      return Unprintable("bad variable '" + p.element_variable + "'");
+    }
+    out->append(" ELEMENT_AS $");
+    out->append(p.element_variable);
+  }
+  if (p.children.empty() && p.content_variable.empty() &&
+      !p.content_literal.has_value()) {
+    out->append("/>");
+    return Status::OK();
+  }
+  out->push_back('>');
+  for (const auto& child : p.children) {
+    NIMBLE_RETURN_IF_ERROR(PrintElementPattern(*child, out));
+  }
+  if (!p.content_variable.empty()) {
+    if (!IsValidName(p.content_variable)) {
+      return Unprintable("bad variable '" + p.content_variable + "'");
+    }
+    out->push_back('$');
+    out->append(p.content_variable);
+  }
+  if (p.content_literal.has_value()) {
+    NIMBLE_ASSIGN_OR_RETURN(std::string raw,
+                            RenderInferLiteral(*p.content_literal));
+    NIMBLE_RETURN_IF_ERROR(CheckTextRun(raw));
+    // A '$content_variable' directly before would swallow leading name
+    // characters of the text; a space separates them and trims away.
+    if (!p.content_variable.empty()) out->push_back(' ');
+    out->append(raw);
+  }
+  out->append("</");
+  out->append(p.tag);  // "*" closes as `</*>`
+  out->push_back('>');
+  return Status::OK();
+}
+
+Status PrintOperand(const Condition::Operand& operand, std::string* out) {
+  if (operand.is_variable) {
+    if (!IsValidName(operand.variable)) {
+      return Unprintable("bad variable '" + operand.variable + "'");
+    }
+    out->push_back('$');
+    out->append(operand.variable);
+    return Status::OK();
+  }
+  NIMBLE_ASSIGN_OR_RETURN(std::string text,
+                          RenderConditionLiteral(operand.literal));
+  out->append(text);
+  return Status::OK();
+}
+
+Status PrintCondition(const Condition& cond, std::string* out) {
+  NIMBLE_RETURN_IF_ERROR(PrintOperand(cond.lhs, out));
+  out->push_back(' ');
+  switch (cond.op) {
+    case Condition::Op::kEq: out->push_back('='); break;
+    case Condition::Op::kNe: out->append("!="); break;
+    case Condition::Op::kLt: out->push_back('<'); break;
+    case Condition::Op::kLe: out->append("<="); break;
+    case Condition::Op::kGt: out->push_back('>'); break;
+    case Condition::Op::kGe: out->append(">="); break;
+    case Condition::Op::kLike: out->append("LIKE"); break;
+  }
+  out->push_back(' ');
+  return PrintOperand(cond.rhs, out);
+}
+
+Status PrintTemplate(const TemplateNode& node, std::string* out);
+
+Status PrintTemplateChildren(const TemplateNode& node, std::string* out) {
+  const TemplateNode* prev = nullptr;
+  for (const auto& child : node.children) {
+    switch (child->kind) {
+      case TemplateNode::Kind::kElement:
+        NIMBLE_RETURN_IF_ERROR(PrintTemplate(*child, out));
+        break;
+      case TemplateNode::Kind::kVariable:
+        if (!IsValidName(child->variable)) {
+          return Unprintable("bad variable '" + child->variable + "'");
+        }
+        // A text run directly before a '$' ends there, so no separator is
+        // needed on that side; one after keeps the name from swallowing a
+        // following text run's leading characters.
+        out->push_back('$');
+        out->append(child->variable);
+        out->push_back(' ');
+        break;
+      case TemplateNode::Kind::kAggregate:
+        if (!IsValidName(child->variable)) {
+          return Unprintable("bad variable '" + child->variable + "'");
+        }
+        out->append(AggregateFnName(child->aggregate));
+        out->append("($");
+        out->append(child->variable);
+        out->append(") ");
+        break;
+      case TemplateNode::Kind::kText: {
+        if (!child->text.is_string()) {
+          return Unprintable("template text node holding a non-string");
+        }
+        const std::string& raw = child->text.AsString();
+        NIMBLE_RETURN_IF_ERROR(CheckTextRun(raw));
+        if (prev != nullptr && prev->kind == TemplateNode::Kind::kText) {
+          // Two adjacent runs would reparse as one.
+          return Unprintable("adjacent template text runs");
+        }
+        out->append(raw);
+        break;
+      }
+    }
+    prev = child.get();
+  }
+  return Status::OK();
+}
+
+Status PrintTemplate(const TemplateNode& node, std::string* out) {
+  if (node.kind != TemplateNode::Kind::kElement) {
+    return Unprintable("template root must be an element");
+  }
+  if (!IsValidName(node.tag)) {
+    return Unprintable("bad template tag '" + node.tag + "'");
+  }
+  out->push_back('<');
+  out->append(node.tag);
+  for (const TemplateNode::Attr& attr : node.attributes) {
+    if (!IsValidName(attr.name)) {
+      return Unprintable("bad attribute name '" + attr.name + "'");
+    }
+    out->push_back(' ');
+    out->append(attr.name);
+    out->push_back('=');
+    if (attr.is_variable) {
+      if (!IsValidName(attr.variable)) {
+        return Unprintable("bad variable '" + attr.variable + "'");
+      }
+      out->push_back('$');
+      out->append(attr.variable);
+    } else {
+      NIMBLE_ASSIGN_OR_RETURN(std::string raw,
+                              RenderInferLiteral(attr.literal));
+      NIMBLE_ASSIGN_OR_RETURN(std::string quoted, QuoteString(raw));
+      out->append(quoted);
+    }
+  }
+  if (node.children.empty()) {
+    out->append("/>");
+    return Status::OK();
+  }
+  out->push_back('>');
+  NIMBLE_RETURN_IF_ERROR(PrintTemplateChildren(node, out));
+  out->append("</");
+  out->append(node.tag);
+  out->push_back('>');
+  return Status::OK();
+}
+
+Status PrintQueryText(const Query& query, std::string* out) {
+  if (query.patterns.empty()) return Unprintable("query without patterns");
+  if (query.construct == nullptr) {
+    return Unprintable("query without a CONSTRUCT template");
+  }
+  out->append("WHERE ");
+  bool first = true;
+  for (const PatternClause& clause : query.patterns) {
+    if (!first) out->append(",\n      ");
+    first = false;
+    NIMBLE_RETURN_IF_ERROR(PrintElementPattern(clause.root, out));
+    // Always quoted: ParseName would stop a bare view reference at any
+    // non-name character, and a quoted ref is valid in both forms.
+    NIMBLE_ASSIGN_OR_RETURN(std::string ref,
+                            QuoteString(clause.source.ToString()));
+    if (clause.source.is_view() &&
+        clause.source.collection.find(':') != std::string::npos) {
+      return Unprintable("view name containing ':'");
+    }
+    if (!clause.source.is_view() && clause.source.source.find(':') !=
+                                        std::string::npos) {
+      return Unprintable("source name containing ':'");
+    }
+    out->append(" IN ");
+    out->append(ref);
+  }
+  for (const Condition& cond : query.conditions) {
+    out->append(",\n      ");
+    NIMBLE_RETURN_IF_ERROR(PrintCondition(cond, out));
+  }
+  out->append("\nCONSTRUCT ");
+  NIMBLE_RETURN_IF_ERROR(PrintTemplate(*query.construct, out));
+  if (!query.group_by.empty()) {
+    out->append("\nGROUP BY ");
+    bool first_var = true;
+    for (const std::string& var : query.group_by) {
+      if (!IsValidName(var)) return Unprintable("bad variable '" + var + "'");
+      if (!first_var) out->append(", ");
+      first_var = false;
+      out->push_back('$');
+      out->append(var);
+    }
+  }
+  if (!query.order_by.empty()) {
+    out->append("\nORDER BY ");
+    bool first_key = true;
+    for (const OrderSpec& spec : query.order_by) {
+      if (!IsValidName(spec.variable)) {
+        return Unprintable("bad variable '" + spec.variable + "'");
+      }
+      if (!first_key) out->append(", ");
+      first_key = false;
+      out->push_back('$');
+      out->append(spec.variable);
+      if (spec.descending) out->append(" DESC");
+    }
+  }
+  if (query.limit >= 0) {
+    out->append("\nLIMIT ");
+    out->append(std::to_string(query.limit));
+  }
+  return Status::OK();
+}
+
+// ---- Structural equality ----------------------------------------------------
+
+bool PatternsEqual(const ElementPattern& a, const ElementPattern& b) {
+  if (a.tag != b.tag || a.descendant != b.descendant ||
+      a.content_variable != b.content_variable ||
+      a.element_variable != b.element_variable) {
+    return false;
+  }
+  if (a.content_literal.has_value() != b.content_literal.has_value()) {
+    return false;
+  }
+  if (a.content_literal.has_value() &&
+      !ValuesEqual(*a.content_literal, *b.content_literal)) {
+    return false;
+  }
+  if (a.attributes.size() != b.attributes.size()) return false;
+  for (size_t i = 0; i < a.attributes.size(); ++i) {
+    const AttrPattern& x = a.attributes[i];
+    const AttrPattern& y = b.attributes[i];
+    if (x.name != y.name || x.is_variable != y.is_variable ||
+        x.variable != y.variable ||
+        (!x.is_variable && !ValuesEqual(x.literal, y.literal))) {
+      return false;
+    }
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!PatternsEqual(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+bool OperandsEqual(const Condition::Operand& a, const Condition::Operand& b) {
+  if (a.is_variable != b.is_variable) return false;
+  if (a.is_variable) return a.variable == b.variable;
+  return ValuesEqual(a.literal, b.literal);
+}
+
+bool TemplatesEqual(const TemplateNode& a, const TemplateNode& b) {
+  if (a.kind != b.kind || a.tag != b.tag || a.variable != b.variable) {
+    return false;
+  }
+  if (a.kind == TemplateNode::Kind::kAggregate && a.aggregate != b.aggregate) {
+    return false;
+  }
+  if (a.kind == TemplateNode::Kind::kText && !ValuesEqual(a.text, b.text)) {
+    return false;
+  }
+  if (a.attributes.size() != b.attributes.size()) return false;
+  for (size_t i = 0; i < a.attributes.size(); ++i) {
+    const TemplateNode::Attr& x = a.attributes[i];
+    const TemplateNode::Attr& y = b.attributes[i];
+    if (x.name != y.name || x.is_variable != y.is_variable ||
+        x.variable != y.variable ||
+        (!x.is_variable && !ValuesEqual(x.literal, y.literal))) {
+      return false;
+    }
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!TemplatesEqual(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool QueriesEqual(const Query& a, const Query& b) {
+  if (a.patterns.size() != b.patterns.size() ||
+      a.conditions.size() != b.conditions.size() ||
+      a.group_by != b.group_by || a.limit != b.limit) {
+    return false;
+  }
+  for (size_t i = 0; i < a.patterns.size(); ++i) {
+    if (a.patterns[i].source.source != b.patterns[i].source.source ||
+        a.patterns[i].source.collection != b.patterns[i].source.collection ||
+        !PatternsEqual(a.patterns[i].root, b.patterns[i].root)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.conditions.size(); ++i) {
+    if (a.conditions[i].op != b.conditions[i].op ||
+        !OperandsEqual(a.conditions[i].lhs, b.conditions[i].lhs) ||
+        !OperandsEqual(a.conditions[i].rhs, b.conditions[i].rhs)) {
+      return false;
+    }
+  }
+  if ((a.construct == nullptr) != (b.construct == nullptr)) return false;
+  if (a.construct != nullptr && !TemplatesEqual(*a.construct, *b.construct)) {
+    return false;
+  }
+  if (a.order_by.size() != b.order_by.size()) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].variable != b.order_by[i].variable ||
+        a.order_by[i].descending != b.order_by[i].descending) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ProgramsEqual(const Program& a, const Program& b) {
+  if (a.branches.size() != b.branches.size()) return false;
+  for (size_t i = 0; i < a.branches.size(); ++i) {
+    if (!QueriesEqual(a.branches[i], b.branches[i])) return false;
+  }
+  return true;
+}
+
+Result<std::string> PrintProgram(const Program& program) {
+  if (program.branches.empty()) return Unprintable("empty program");
+  std::string out;
+  bool first = true;
+  for (const Query& query : program.branches) {
+    if (!first) out.append("\nUNION\n");
+    first = false;
+    NIMBLE_RETURN_IF_ERROR(PrintQueryText(query, &out));
+  }
+  // The guarantee the coordinator relies on: what we printed parses back to
+  // *exactly* the AST we were given. Any guard this file missed fails here
+  // instead of silently changing shard-local semantics.
+  Result<Program> reparsed = ParseProgram(out);
+  if (!reparsed.ok()) {
+    return Unprintable("printed text does not reparse: " +
+                       reparsed.status().ToString());
+  }
+  if (!ProgramsEqual(program, *reparsed)) {
+    return Unprintable("printed text reparses to a different AST");
+  }
+  return out;
+}
+
+Result<std::string> PrintQuery(const Query& query) {
+  std::string out;
+  NIMBLE_RETURN_IF_ERROR(PrintQueryText(query, &out));
+  Result<Query> reparsed = ParseQuery(out);
+  if (!reparsed.ok()) {
+    return Unprintable("printed text does not reparse: " +
+                       reparsed.status().ToString());
+  }
+  if (!QueriesEqual(query, *reparsed)) {
+    return Unprintable("printed text reparses to a different AST");
+  }
+  return out;
+}
+
+}  // namespace xmlql
+}  // namespace nimble

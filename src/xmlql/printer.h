@@ -1,0 +1,36 @@
+#ifndef NIMBLE_XMLQL_PRINTER_H_
+#define NIMBLE_XMLQL_PRINTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xmlql/ast.h"
+
+namespace nimble {
+namespace xmlql {
+
+/// Renders an AST back into parseable XML-QL text. The scatter-gather
+/// coordinator rewrites a parsed query (partial aggregates, sort-key
+/// annotations, dropped LIMIT) and ships the rewrite to shard engines as
+/// *text*, so printing must be a faithful inverse of parser.cc.
+///
+/// Not every AST is printable — the grammar cannot spell some values (a
+/// string containing both quote characters, a double whose shortest form
+/// needs an exponent, a text run containing '$'). Printing FAILS for those
+/// rather than producing text that would reparse differently; callers fall
+/// back to undistributed execution. As a belt-and-braces guarantee the
+/// printed text is reparsed and structurally compared against the input
+/// AST before it is returned, so a successful PrintProgram/PrintQuery
+/// round-trips *exactly*.
+Result<std::string> PrintQuery(const Query& query);
+Result<std::string> PrintProgram(const Program& program);
+
+/// Deep structural equality, ignoring source positions. Value payloads must
+/// match in both type and value (Int(2) != Double(2.0)).
+bool QueriesEqual(const Query& a, const Query& b);
+bool ProgramsEqual(const Program& a, const Program& b);
+
+}  // namespace xmlql
+}  // namespace nimble
+
+#endif  // NIMBLE_XMLQL_PRINTER_H_

@@ -1,0 +1,600 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "admin/monitor.h"
+#include "common/clock.h"
+#include "connector/simulated_source.h"
+#include "connector/xml_connector.h"
+#include "core/engine.h"
+#include "dist/cluster.h"
+#include "dist/coordinator.h"
+#include "dist/partition.h"
+#include "frontend/load_balancer.h"
+#include "metadata/catalog.h"
+#include "metadata/fragment_map.h"
+#include "xml/serializer.h"
+#include "xmlql/parser.h"
+#include "xmlql/printer.h"
+
+namespace nimble {
+namespace dist {
+namespace {
+
+/// End-to-end tests for the scatter-gather subsystem: partitioning,
+/// pruning, order-preserving merge, partial-aggregate decomposition,
+/// straggler degradation, repartitioning, and the monitor surface. The
+/// correctness oracle throughout is the coordinator's own local fallback
+/// engine running the same query over the unsharded global catalog.
+
+constexpr size_t kItems = 16;
+
+std::string ItemsXml(size_t n) {
+  static const char* kGroups[] = {"a", "b", "c", "d"};
+  std::string xml = "<items>";
+  for (size_t i = 0; i < n; ++i) {
+    xml += "<item><id>" + std::to_string(i) + "</id><grp>" + kGroups[i % 4] +
+           "</grp><val>" + std::to_string((i * 7) % 23) + "</val></item>";
+  }
+  return xml + "</items>";
+}
+
+NodePtr ItemsTree(size_t n) {
+  static const char* kGroups[] = {"a", "b", "c", "d"};
+  NodePtr root = Node::Element("items");
+  for (size_t i = 0; i < n; ++i) {
+    NodePtr item = root->AddChild(Node::Element("item"));
+    item->AddScalarChild("id", Value::Int(static_cast<int64_t>(i)));
+    item->AddScalarChild("grp", Value::String(kGroups[i % 4]));
+    item->AddScalarChild("val", Value::Int(static_cast<int64_t>((i * 7) % 23)));
+  }
+  return root;
+}
+
+constexpr char kOrderedQuery[] =
+    "WHERE <items><item><id>$i</id><grp>$g</grp><val>$v</val></item></items>"
+    " IN \"src:items\", $i > 2 "
+    "CONSTRUCT <r><id>$i</id><g>$g</g><v>$v</v></r> ORDER BY $i DESC LIMIT 5";
+
+constexpr char kUnorderedQuery[] =
+    "WHERE <items><item><id>$i</id><grp>$g</grp></item></items>"
+    " IN \"src:items\" CONSTRUCT <r><id>$i</id><g>$g</g></r>";
+
+constexpr char kAggregateQuery[] =
+    "WHERE <items><item><grp>$g</grp><val>$v</val></item></items>"
+    " IN \"src:items\" "
+    "CONSTRUCT <o><k>$g</k><n>count($v)</n><s>sum($v)</s><a>avg($v)</a>"
+    "<lo>min($v)</lo><hi>max($v)</hi></o> GROUP BY $g ORDER BY $g";
+
+struct DistFixture {
+  std::unique_ptr<metadata::Catalog> catalog;
+  std::unique_ptr<ShardCluster> cluster;
+  std::unique_ptr<Coordinator> coordinator;
+  connector::XmlConnector* src = nullptr;  ///< owned by the catalog.
+};
+
+DistFixture MakeDist(size_t shards,
+                     metadata::FragmentMap::Kind kind =
+                         metadata::FragmentMap::Kind::kHash,
+                     ShardClusterOptions cluster_options = {},
+                     DistOptions dist_options = {}) {
+  DistFixture fx;
+  auto src = std::make_unique<connector::XmlConnector>("src");
+  EXPECT_TRUE(src->PutDocumentText("items", ItemsXml(kItems)).ok());
+  fx.src = src.get();
+  fx.catalog = std::make_unique<metadata::Catalog>();
+  EXPECT_TRUE(fx.catalog->RegisterSource(std::move(src)).ok());
+  EXPECT_TRUE(fx.catalog
+                  ->DefineView("cheap",
+                               "WHERE <items><item><id>$i</id><val>$v</val>"
+                               "</item></items> IN \"src:items\", $v > 10 "
+                               "CONSTRUCT <e><id>$i</id></e>")
+                  .ok());
+  cluster_options.num_shards = shards;
+  fx.cluster =
+      std::make_unique<ShardCluster>(fx.catalog.get(), cluster_options);
+  PartitionSpec spec;
+  spec.source = "src";
+  spec.collection = "items";
+  spec.partition_key = "id";
+  spec.kind = kind;
+  EXPECT_TRUE(fx.cluster->Partition(spec).ok());
+  EXPECT_TRUE(fx.cluster->Init().ok());
+  core::EngineOptions local_options;
+  local_options.verify_plans = true;
+  fx.coordinator = std::make_unique<Coordinator>(fx.cluster.get(),
+                                                 dist_options, local_options);
+  return fx;
+}
+
+std::vector<std::string> ChildrenXml(const Node& doc) {
+  std::vector<std::string> out;
+  out.reserve(doc.children().size());
+  for (const NodePtr& child : doc.children()) out.push_back(ToXml(*child));
+  return out;
+}
+
+std::vector<std::string> SortedChildrenXml(const Node& doc) {
+  std::vector<std::string> out = ChildrenXml(doc);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- Partitioner units ----------------------------------------------------
+
+TEST(PartitionTest, HashPartitionRoutesEveryRecordByKey) {
+  NodePtr tree = ItemsTree(kItems);
+  PartitionSpec spec;
+  spec.source = "src";
+  spec.collection = "items";
+  spec.partition_key = "id";
+  spec.kind = metadata::FragmentMap::Kind::kHash;
+  spec.num_fragments = 4;
+  Result<PartitionedCollection> part = PartitionCollection(*tree, spec);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+
+  ASSERT_EQ(part->fragments.size(), 4u);
+  ASSERT_EQ(part->fragment_stats.size(), 4u);
+  size_t total = 0;
+  for (size_t f = 0; f < part->fragments.size(); ++f) {
+    for (const NodePtr& record : part->fragments[f]->children()) {
+      Value key = PartitionKeyOf(*record, "id");
+      EXPECT_EQ(part->map.FragmentForKey(key), f)
+          << "record with id " << key.ToString() << " landed on fragment "
+          << f;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kItems);
+  EXPECT_DOUBLE_EQ(part->merged_stats.row_count, static_cast<double>(kItems));
+}
+
+TEST(PartitionTest, RangePartitionBoundsAscendAndPrune) {
+  NodePtr tree = ItemsTree(kItems);
+  PartitionSpec spec;
+  spec.source = "src";
+  spec.collection = "items";
+  spec.partition_key = "id";
+  spec.kind = metadata::FragmentMap::Kind::kRange;
+  spec.num_fragments = 4;
+  Result<PartitionedCollection> part = PartitionCollection(*tree, spec);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+
+  const metadata::FragmentMap& map = part->map;
+  ASSERT_EQ(map.range_upper_bounds.size(), 3u);
+  EXPECT_TRUE(map.range_upper_bounds[0] < map.range_upper_bounds[1]);
+  EXPECT_TRUE(map.range_upper_bounds[1] < map.range_upper_bounds[2]);
+
+  // Keys 0..15 split equi-depth: a probe below the first bound prunes to
+  // fragment 0 alone; one at/above the last bound prunes to the last.
+  std::vector<size_t> low =
+      map.FragmentsForCondition(xmlql::Condition::Op::kLt, Value::Int(1));
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0], 0u);
+  std::vector<size_t> high =
+      map.FragmentsForCondition(xmlql::Condition::Op::kGe, Value::Int(15));
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_EQ(high[0], 3u);
+  std::vector<size_t> eq =
+      map.FragmentsForCondition(xmlql::Condition::Op::kEq, Value::Int(5));
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_EQ(eq[0], map.FragmentForKey(Value::Int(5)));
+  // Inequality cannot prune: every fragment may hold a non-matching key.
+  EXPECT_EQ(
+      map.FragmentsForCondition(xmlql::Condition::Op::kNe, Value::Int(5))
+          .size(),
+      4u);
+}
+
+TEST(PartitionTest, RangePartitionFailsWithTooFewDistinctKeys) {
+  NodePtr root = Node::Element("items");
+  for (int i = 0; i < 6; ++i) {
+    NodePtr item = root->AddChild(Node::Element("item"));
+    item->AddScalarChild("id", Value::Int(i % 2));  // two distinct keys
+  }
+  PartitionSpec spec;
+  spec.source = "src";
+  spec.collection = "items";
+  spec.partition_key = "id";
+  spec.kind = metadata::FragmentMap::Kind::kRange;
+  spec.num_fragments = 4;
+  EXPECT_FALSE(PartitionCollection(*root, spec).ok());
+}
+
+// ---- Scatter-gather vs the local oracle -----------------------------------
+
+TEST(CoordinatorTest, ScatterMatchesLocalEngineOnHashShards) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  struct Case {
+    const char* name;
+    const char* text;
+    bool ordered;
+  };
+  const Case cases[] = {
+      {"ordered", kOrderedQuery, true},
+      {"unordered", kUnorderedQuery, false},
+      {"aggregate", kAggregateQuery, true},
+  };
+  for (const Case& c : cases) {
+    Result<core::QueryResult> got = fx.coordinator->ExecuteText(c.text);
+    ASSERT_TRUE(got.ok()) << c.name << ": " << got.status().ToString();
+    Result<core::QueryResult> want =
+        fx.coordinator->local_engine()->ExecuteText(c.text);
+    ASSERT_TRUE(want.ok()) << c.name << ": " << want.status().ToString();
+    if (c.ordered) {
+      EXPECT_EQ(ChildrenXml(*got->document), ChildrenXml(*want->document))
+          << c.name << " diverges from the local oracle";
+    } else {
+      EXPECT_EQ(SortedChildrenXml(*got->document),
+                SortedChildrenXml(*want->document))
+          << c.name << " diverges from the local oracle";
+    }
+    EXPECT_EQ(got->document->GetAttribute("complete"), Value::Bool(true))
+        << c.name;
+    EXPECT_TRUE(got->report.completeness.complete) << c.name;
+  }
+  CoordinatorCounters counters = fx.coordinator->counters();
+  EXPECT_EQ(counters.scatter_queries, 3u);
+  EXPECT_EQ(counters.fallback_queries, 0u);
+  EXPECT_EQ(counters.subqueries, 12u);
+  EXPECT_GT(counters.merge_rows, 0u);
+}
+
+TEST(CoordinatorTest, ScatterMatchesLocalEngineOnRangeShards) {
+  DistFixture fx = MakeDist(4, metadata::FragmentMap::Kind::kRange);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  for (const char* text : {kOrderedQuery, kAggregateQuery}) {
+    Result<core::QueryResult> got = fx.coordinator->ExecuteText(text);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<core::QueryResult> want =
+        fx.coordinator->local_engine()->ExecuteText(text);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(ChildrenXml(*got->document), ChildrenXml(*want->document))
+        << text;
+  }
+  EXPECT_EQ(fx.coordinator->counters().scatter_queries, 2u);
+
+  // Range maps prune on inequalities: ids < 4 live on the first shard only.
+  Result<core::QueryResult> pruned = fx.coordinator->ExecuteText(
+      "WHERE <items><item><id>$i</id></item></items> IN \"src:items\", "
+      "$i < 4 CONSTRUCT <r><id>$i</id></r> ORDER BY $i");
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(pruned->document->children().size(), 4u);
+  EXPECT_GE(fx.coordinator->counters().shards_pruned, 3u);
+}
+
+TEST(CoordinatorTest, HashPruningOnPartitionKeyEquality) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  const char* text =
+      "WHERE <items><item><id>$i</id><grp>$g</grp></item></items>"
+      " IN \"src:items\", $i = 7 CONSTRUCT <r><id>$i</id><g>$g</g></r>";
+  Result<core::QueryResult> got = fx.coordinator->ExecuteText(text);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->document->children().size(), 1u);
+  Result<core::QueryResult> want =
+      fx.coordinator->local_engine()->ExecuteText(text);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(ChildrenXml(*got->document), ChildrenXml(*want->document));
+
+  CoordinatorCounters counters = fx.coordinator->counters();
+  EXPECT_EQ(counters.scatter_queries, 1u);
+  EXPECT_EQ(counters.shards_pruned, 3u);
+  EXPECT_EQ(counters.subqueries, 1u);
+
+  // A literal flipped to the left-hand side prunes identically.
+  Result<core::QueryResult> flipped = fx.coordinator->ExecuteText(
+      "WHERE <items><item><id>$i</id><grp>$g</grp></item></items>"
+      " IN \"src:items\", 7 = $i CONSTRUCT <r><id>$i</id><g>$g</g></r>");
+  ASSERT_TRUE(flipped.ok()) << flipped.status().ToString();
+  EXPECT_EQ(ChildrenXml(*flipped->document), ChildrenXml(*want->document));
+  EXPECT_EQ(fx.coordinator->counters().shards_pruned, 6u);
+}
+
+TEST(CoordinatorTest, NonScatterableQueriesFallBackToLocal) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  // Multi-pattern join and mediated-view expansion both run undistributed,
+  // and still answer correctly.
+  const char* join_text =
+      "WHERE <items><item><id>$i</id><grp>$g</grp></item></items>"
+      " IN \"src:items\",\n"
+      "      <items><item><id>$j</id><grp>$g</grp></item></items>"
+      " IN \"src:items\", $i < $j "
+      "CONSTRUCT <pair><a>$i</a><b>$j</b></pair> ORDER BY $i, $j";
+  const char* view_text =
+      "WHERE <results><e><id>$i</id></e></results> IN \"cheap\" "
+      "CONSTRUCT <r><id>$i</id></r> ORDER BY $i";
+  for (const char* text : {join_text, view_text}) {
+    Result<core::QueryResult> got = fx.coordinator->ExecuteText(text);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<core::QueryResult> want =
+        fx.coordinator->local_engine()->ExecuteText(text);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(ChildrenXml(*got->document), ChildrenXml(*want->document))
+        << text;
+  }
+  CoordinatorCounters counters = fx.coordinator->counters();
+  EXPECT_EQ(counters.scatter_queries, 0u);
+  EXPECT_EQ(counters.fallback_queries, 2u);
+}
+
+TEST(CoordinatorTest, TinyCollectionsStayLocalUnderMinScatterRows) {
+  DistOptions dist_options;
+  dist_options.min_scatter_rows = 1000.0;  // far above the 16-row fixture
+  DistFixture fx = MakeDist(4, metadata::FragmentMap::Kind::kHash, {},
+                            dist_options);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  Result<core::QueryResult> got = fx.coordinator->ExecuteText(kOrderedQuery);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  CoordinatorCounters counters = fx.coordinator->counters();
+  EXPECT_EQ(counters.scatter_queries, 0u);
+  EXPECT_EQ(counters.fallback_queries, 1u);
+}
+
+TEST(CoordinatorTest, ExplainShowsScatterAndGatherRows) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  Result<core::QueryResult> got = fx.coordinator->ExecuteText(kOrderedQuery);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_NE(got->report.plan.find("scatter: src:items"), std::string::npos)
+      << got->report.plan;
+  EXPECT_NE(got->report.plan.find("-- shard 0"), std::string::npos)
+      << got->report.plan;
+  EXPECT_NE(got->report.plan.find("gather: merge rows="), std::string::npos)
+      << got->report.plan;
+  EXPECT_NE(got->report.plan.find("est_cost="), std::string::npos)
+      << got->report.plan;
+  EXPECT_NE(got->report.plan_with_stats.find("scatter:"), std::string::npos)
+      << got->report.plan_with_stats;
+}
+
+// ---- Stragglers and partial results ---------------------------------------
+
+TEST(CoordinatorTest, ShardDeadlineDegradesStragglerToPartial) {
+  // Shard 0 runs on a private virtual clock whose simulated source charges
+  // ten virtual seconds per fetch — deterministically blowing the 1ms shard
+  // deadline without any real waiting.
+  VirtualClock vclock;
+  ShardClusterOptions cluster_options;
+  cluster_options.tweak_engine_options = [&vclock](size_t shard,
+                                                   core::EngineOptions* opts) {
+    if (shard == 0) {
+      opts->clock = &vclock;
+      opts->query_deadline_micros = 1000;
+    }
+  };
+  cluster_options.wrap_connector =
+      [&vclock](size_t shard, std::unique_ptr<connector::Connector> inner)
+      -> std::unique_ptr<connector::Connector> {
+    if (shard != 0) return inner;
+    connector::SimulationConfig config;
+    config.fixed_latency_micros = 10'000'000;
+    return std::make_unique<connector::SimulatedSource>(std::move(inner),
+                                                        config, &vclock);
+  };
+  DistFixture fx = MakeDist(4, metadata::FragmentMap::Kind::kHash,
+                            std::move(cluster_options));
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  core::QueryOptions partial;
+  partial.availability = core::AvailabilityPolicy::kPartial;
+  Result<core::QueryResult> got =
+      fx.coordinator->ExecuteText(kUnorderedQuery, partial);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->document->GetAttribute("complete"), Value::Bool(false));
+  EXPECT_FALSE(got->report.completeness.complete);
+  const std::string missing =
+      got->document->GetAttribute("missing_sources").ToString();
+  EXPECT_NE(missing.find("#shard0"), std::string::npos) << missing;
+  ASSERT_EQ(got->report.completeness.unavailable_sources.size(), 1u);
+  // The three healthy shards still answered: every surviving row is real.
+  Result<core::QueryResult> want =
+      fx.coordinator->local_engine()->ExecuteText(kUnorderedQuery);
+  ASSERT_TRUE(want.ok());
+  std::vector<std::string> all = SortedChildrenXml(*want->document);
+  for (const std::string& row : SortedChildrenXml(*got->document)) {
+    EXPECT_TRUE(std::binary_search(all.begin(), all.end(), row)) << row;
+  }
+  EXPECT_LT(got->document->children().size(), want->document->children().size());
+
+  CoordinatorCounters counters = fx.coordinator->counters();
+  EXPECT_GE(counters.stragglers, 1u);
+  EXPECT_GE(counters.partial_results, 1u);
+
+  // A required source must not be silently dropped, even under kPartial.
+  core::QueryOptions required = partial;
+  required.required_sources = {"src"};
+  Result<core::QueryResult> strict =
+      fx.coordinator->ExecuteText(kUnorderedQuery, required);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kUnavailable)
+      << strict.status().ToString();
+
+  // Fail-fast propagates the straggler's timeout instead of degrading.
+  core::QueryOptions fail_fast;
+  fail_fast.availability = core::AvailabilityPolicy::kFailFast;
+  Result<core::QueryResult> strict2 =
+      fx.coordinator->ExecuteText(kUnorderedQuery, fail_fast);
+  ASSERT_FALSE(strict2.ok());
+  EXPECT_EQ(strict2.status().code(), StatusCode::kTimeout)
+      << strict2.status().ToString();
+}
+
+TEST(CoordinatorTest, StragglerWaitBudgetCancelsSlowShard) {
+  // Shard 0's source really sleeps 400ms (RealClock); the coordinator's
+  // straggler budget gives the gather 50ms, so the shard is cancelled and
+  // the query degrades instead of stalling.
+  RealClock real_clock;
+  ShardClusterOptions cluster_options;
+  cluster_options.wrap_connector =
+      [&real_clock](size_t shard, std::unique_ptr<connector::Connector> inner)
+      -> std::unique_ptr<connector::Connector> {
+    if (shard != 0) return inner;
+    connector::SimulationConfig config;
+    config.fixed_latency_micros = 400'000;
+    return std::make_unique<connector::SimulatedSource>(std::move(inner),
+                                                        config, &real_clock);
+  };
+  DistOptions dist_options;
+  dist_options.straggler_wait_micros = 50'000;
+  DistFixture fx = MakeDist(2, metadata::FragmentMap::Kind::kHash,
+                            std::move(cluster_options), dist_options);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  core::QueryOptions partial;
+  partial.availability = core::AvailabilityPolicy::kPartial;
+  const int64_t start = real_clock.NowMicros();
+  Result<core::QueryResult> got =
+      fx.coordinator->ExecuteText(kUnorderedQuery, partial);
+  const int64_t elapsed = real_clock.NowMicros() - start;
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(got->report.completeness.complete);
+  EXPECT_LT(elapsed, 390'000) << "gather waited out the straggler";
+  EXPECT_GE(fx.coordinator->counters().stragglers, 1u);
+}
+
+// ---- Repartitioning -------------------------------------------------------
+
+TEST(CoordinatorTest, SourceUpdateTriggersRepartition) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+
+  Result<core::QueryResult> before =
+      fx.coordinator->ExecuteText(kUnorderedQuery);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->document->children().size(), kItems);
+
+  ASSERT_TRUE(fx.src->PutDocumentText("items", ItemsXml(kItems + 4)).ok());
+  fx.catalog->NotifySourceUpdated("src");
+  EXPECT_GE(fx.cluster->repartitions(), 1u);
+
+  Result<core::QueryResult> after =
+      fx.coordinator->ExecuteText(kUnorderedQuery);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->document->children().size(), kItems + 4);
+  Result<core::QueryResult> want =
+      fx.coordinator->local_engine()->ExecuteText(kUnorderedQuery);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(SortedChildrenXml(*after->document),
+            SortedChildrenXml(*want->document));
+}
+
+// ---- Load-balancer failure isolation --------------------------------------
+
+TEST(LoadBalancerTest, ExecuteBatchDegradesOverloadedSlotsUnderPartial) {
+  // One engine, one admission slot, one queue slot, and a 50ms source: a
+  // burst of six submissions deterministically sheds most of the batch with
+  // ResourceExhausted. Under kPartial each shed slot degrades to an empty
+  // partial result instead of poisoning the batch.
+  RealClock real_clock;
+  auto xml = std::make_unique<connector::XmlConnector>("s");
+  ASSERT_TRUE(xml->PutDocumentText("c", "<c><r><v>1</v></r></c>").ok());
+  connector::SimulationConfig config;
+  config.fixed_latency_micros = 50'000;
+  auto slow = std::make_unique<connector::SimulatedSource>(
+      std::move(xml), config, &real_clock);
+  metadata::Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(std::move(slow)).ok());
+
+  core::EngineOptions opts;
+  opts.max_inflight_queries = 1;
+  opts.queue_capacity = 1;
+  opts.availability = core::AvailabilityPolicy::kPartial;
+  frontend::LoadBalancer balancer;
+  balancer.AddEngine(
+      std::make_unique<core::IntegrationEngine>(&catalog, opts));
+
+  const std::vector<std::string> queries(
+      6, "WHERE <c><r><v>$v</v></r></c> IN \"s:c\" CONSTRUCT <o><v>$v</v></o>");
+  std::vector<Result<core::QueryResult>> results =
+      balancer.ExecuteBatch(queries);
+  size_t complete = 0, degraded = 0;
+  for (const Result<core::QueryResult>& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->report.completeness.complete) {
+      ++complete;
+      EXPECT_EQ(r->document->children().size(), 1u);
+    } else {
+      ++degraded;
+      EXPECT_EQ(r->document->children().size(), 0u);
+      EXPECT_EQ(r->document->GetAttribute("complete"), Value::Bool(false));
+      EXPECT_EQ(r->document->GetAttribute("missing_sources").ToString(),
+                "engine#0");
+    }
+  }
+  EXPECT_GE(complete, 1u);
+  EXPECT_GE(degraded, 1u);
+
+  // Fail-fast keeps the hard error visible.
+  core::QueryOptions fail_fast;
+  fail_fast.availability = core::AvailabilityPolicy::kFailFast;
+  std::vector<Result<core::QueryResult>> strict =
+      balancer.ExecuteBatch(queries, fail_fast);
+  size_t shed = 0;
+  for (const Result<core::QueryResult>& r : strict) {
+    if (!r.ok() && r.status().code() == StatusCode::kResourceExhausted) ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+}
+
+// ---- Monitor surface ------------------------------------------------------
+
+TEST(MonitorTest, StatusDocumentShowsDistributionSection) {
+  DistFixture fx = MakeDist(4);
+  ASSERT_NE(fx.coordinator, nullptr);
+  ASSERT_TRUE(fx.coordinator->ExecuteText(kOrderedQuery).ok());
+
+  admin::SystemMonitor monitor(fx.catalog.get(), nullptr, nullptr,
+                               &fx.cluster->balancer(),
+                               fx.coordinator.get());
+  NodePtr status = monitor.StatusDocument();
+  ASSERT_NE(status, nullptr);
+  NodePtr distribution = status->FindChild("distribution");
+  ASSERT_NE(distribution, nullptr);
+  EXPECT_EQ(distribution->GetAttribute("shards"), Value::Int(4));
+  NodePtr scatter = distribution->FindChild("scatter_queries");
+  ASSERT_NE(scatter, nullptr);
+  EXPECT_GE(scatter->ScalarValue().AsInt(), int64_t{1});
+  EXPECT_EQ(distribution->FindChildren("shard").size(), 4u);
+  NodePtr fragment_map = distribution->FindChild("fragment_map");
+  ASSERT_NE(fragment_map, nullptr);
+  EXPECT_EQ(fragment_map->GetAttribute("collection"), Value::String("items"));
+  // The section renders through the terminal view as well.
+  EXPECT_NE(monitor.ToText().find("distribution"), std::string::npos);
+}
+
+// ---- Printer round trips --------------------------------------------------
+
+TEST(PrinterTest, QueriesRoundTripThroughPrintAndReparse) {
+  const std::string programs[] = {
+      kOrderedQuery,
+      kUnorderedQuery,
+      kAggregateQuery,
+      std::string(kUnorderedQuery) + "\nUNION\n" + kOrderedQuery,
+  };
+  for (const std::string& text : programs) {
+    Result<xmlql::Program> parsed = xmlql::ParseProgram(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    Result<std::string> printed = xmlql::PrintProgram(*parsed);
+    ASSERT_TRUE(printed.ok()) << printed.status().ToString() << "\n" << text;
+    Result<xmlql::Program> reparsed = xmlql::ParseProgram(*printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                               << *printed;
+    EXPECT_TRUE(xmlql::ProgramsEqual(*parsed, *reparsed)) << *printed;
+  }
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace nimble

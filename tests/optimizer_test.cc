@@ -87,6 +87,33 @@ TEST(CostModelTest, BuildSideAndBindJoinGate) {
   EXPECT_TRUE(model.UseBindJoin(90, -1.0));    // unknown NDV: keep binding.
 }
 
+TEST(CostModelTest, IndexNestedLoopRescuesCoverageGatedBinds) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.IndexNestedLoopCost(4), 4.0 * model.index_probe_cost);
+  // 90 probes into a 1M-row table crush the scan the coverage gate forces.
+  EXPECT_TRUE(model.UseIndexNestedLoop(90, 1'000'000.0, /*has_index=*/true));
+  // No index, or unknown table size: fall back to the coverage decision.
+  EXPECT_FALSE(model.UseIndexNestedLoop(90, 1'000'000.0, /*has_index=*/false));
+  EXPECT_FALSE(model.UseIndexNestedLoop(90, 0.0, /*has_index=*/true));
+  // Probes as costly as the scan itself: not worth it.
+  EXPECT_FALSE(model.UseIndexNestedLoop(100, 100.0, /*has_index=*/true));
+}
+
+TEST(CostModelTest, ScatterGatherCostDividesScanAcrossShards) {
+  CostModel model;
+  // 4 shards over 40k rows merging 64 groups: overhead + parallel scan +
+  // merge, each term priced by its knob.
+  EXPECT_DOUBLE_EQ(model.ScatterGatherCost(40'000.0, 4, 64.0),
+                   model.scatter_overhead_per_shard * 4.0 +
+                       model.scan_cost * 10'000.0 +
+                       model.merge_cost_per_row * 64.0);
+  // More shards help until the fixed per-shard overhead dominates.
+  EXPECT_LT(model.ScatterGatherCost(40'000.0, 4, 64.0),
+            model.ScatterGatherCost(40'000.0, 1, 64.0));
+  EXPECT_LT(model.ScatterGatherCost(400.0, 1, 64.0),
+            model.ScatterGatherCost(400.0, 16, 64.0));
+}
+
 // ---- Verifier invariant I13 -------------------------------------------------
 
 std::unique_ptr<algebra::MaterializedScan> MakeScan(size_t rows) {
@@ -319,6 +346,71 @@ TEST_F(OptimizerEngineTest, BindJoinSkippedWhenKeysCoverDomain) {
       << costed->report.plan;
   EXPECT_EQ(costed->report.plan.find("sql+bind:"), std::string::npos);
   EXPECT_EQ(ToXml(*blind->document), ToXml(*costed->document));
+}
+
+// ---- Index nested-loop alternative ------------------------------------------
+
+/// RelationalConnector only advertises primary-key indexes; this test
+/// double claims a secondary index on orders.cust so the index-nested-loop
+/// arm of the gate is reachable (on a PK column NDV equals the row count,
+/// which makes "coverage too high" and "probes beat the scan" mutually
+/// exclusive).
+class IndexedRelationalConnector : public connector::RelationalConnector {
+ public:
+  using RelationalConnector::RelationalConnector;
+  connector::SourceCapabilities capabilities() const override {
+    connector::SourceCapabilities caps =
+        connector::RelationalConnector::capabilities();
+    caps.indexed_columns.emplace_back("orders", "cust");
+    return caps;
+  }
+};
+
+// The coverage gate drops a bind join whose IN list spans the whole cust
+// domain — unless the source indexes the column and probing it once per key
+// undercuts the full scan. 4 probes (cost 16) against a 40-row scan keep
+// the bind; without the index the same statistics drop it. Results are
+// identical either way.
+TEST_F(OptimizerEngineTest, IndexNestedLoopKeepsBindWhenKeysCoverDomain) {
+  // Grow orders to 40 rows over the same 4 customers: the 4-key IN list
+  // covers cust's domain (coverage gate fires) while the table is large
+  // enough for index probes to beat the scan.
+  for (int i = 0; i < 36; ++i) {
+    Must(sales_->Execute("INSERT INTO orders VALUES (" +
+                         std::to_string(200 + i) + ", " +
+                         std::to_string(i % 4 + 1) + ", 'bulk')"));
+  }
+  metadata::Catalog indexed_catalog;
+  Must(indexed_catalog.RegisterSource(
+      std::make_unique<connector::RelationalConnector>("crm", crm_.get())));
+  Must(indexed_catalog.RegisterSource(
+      std::make_unique<IndexedRelationalConnector>("sales", sales_.get())));
+  core::EngineOptions opts;
+  opts.verify_plans = true;
+  core::IntegrationEngine indexed(&indexed_catalog, opts);
+
+  const char* q =
+      "WHERE <customers><row><id>$c</id><name>$n</name></row>"
+      "</customers> IN \"crm:customers\", "
+      "<orders><row><cust>$c</cust><sku>$k</sku></row></orders> "
+      "IN \"sales:orders\" "
+      "CONSTRUCT <o><name>$n</name><sku>$k</sku></o> ORDER BY $n, $k";
+
+  Must(indexed.Analyze());
+  Result<core::QueryResult> kept = indexed.ExecuteText(q);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  EXPECT_NE(kept->report.plan.find("sql+bind:sales:orders"),
+            std::string::npos)
+      << kept->report.plan;
+
+  // Same statistics, no index claim: the coverage gate drops the bind.
+  Must(engine_->Analyze());
+  Result<core::QueryResult> dropped = engine_->ExecuteText(q);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_NE(dropped->report.plan.find("sql:sales:orders"), std::string::npos)
+      << dropped->report.plan;
+  EXPECT_EQ(dropped->report.plan.find("sql+bind:"), std::string::npos);
+  EXPECT_EQ(ToXml(*kept->document), ToXml(*dropped->document));
 }
 
 }  // namespace
