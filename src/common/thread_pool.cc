@@ -55,6 +55,7 @@ void ThreadPool::RunParallel(std::vector<std::function<void()>> tasks) {
   // helper enqueued behind a long task can start after the batch is done;
   // it then finds no work and exits).
   struct Batch {
+    // nimble-lint: unguarded(filled before the batch is shared, then read-only via the atomic cursor)
     std::vector<std::function<void()>> tasks;
     std::atomic<size_t> next{0};
     Mutex mutex{LockRank::kThreadPoolBatch, "thread_pool.batch"};

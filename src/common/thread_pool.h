@@ -60,6 +60,7 @@ class ThreadPool {
   bool stopping_ NIMBLE_GUARDED_BY(mutex_) = false;
   /// Immutable after construction (the spawning loop runs before any
   /// worker can observe the vector).
+  // nimble-lint: unguarded(immutable after construction; workers never touch the vector)
   std::vector<std::thread> workers_;
 };
 

@@ -39,7 +39,7 @@ class CsvConnector : public Connector {
                 const std::string& csv_text);
 
  private:
-  std::string name_;
+  const std::string name_;
   /// Reads shared, PutCsv exclusive.
   mutable SharedMutex mutex_{LockRank::kConnectorData, "csv_connector.data"};
   std::map<std::string, NodePtr> collections_ NIMBLE_GUARDED_BY(mutex_);

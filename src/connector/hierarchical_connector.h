@@ -45,8 +45,8 @@ class HierarchicalConnector : public Connector {
   hierarchical::HStore* store() { return store_; }
 
  private:
-  std::string name_;
-  hierarchical::HStore* store_;
+  const std::string name_;
+  hierarchical::HStore* const store_;
   mutable SharedMutex map_mutex_{LockRank::kConnectorData,
                                  "hierarchical_connector.map"};
   std::map<std::string, std::string> collection_paths_

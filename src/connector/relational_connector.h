@@ -49,7 +49,7 @@ class RelationalConnector : public Connector {
                                 const std::string& record_name = "row");
 
  private:
-  std::string name_;
+  const std::string name_;
   /// All reads of the database — including the catalog walks in
   /// capabilities()/Collections()/DataVersion() — hold db_mutex_ shared;
   /// DDL/DML through ExecuteSql holds it exclusive.

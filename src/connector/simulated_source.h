@@ -112,12 +112,12 @@ class SimulatedSource : public Connector {
     return inner_ctx;
   }
 
-  std::unique_ptr<Connector> inner_;
+  const std::unique_ptr<Connector> inner_;
   /// Rank kSimulatedSource: released before the clock charge and before the
   /// inner connector runs, so a RealClock sleep never serialises fetches.
   mutable Mutex sim_mutex_{LockRank::kSimulatedSource, "simulated_source.sim"};
   SimulationConfig config_ NIMBLE_GUARDED_BY(sim_mutex_);
-  Clock* clock_;
+  Clock* const clock_;
   Rng rng_ NIMBLE_GUARDED_BY(sim_mutex_);
   bool forced_ NIMBLE_GUARDED_BY(sim_mutex_) = false;
   bool online_ NIMBLE_GUARDED_BY(sim_mutex_) = true;

@@ -53,7 +53,7 @@ class XmlConnector : public Connector {
   bool RemoveDocument(const std::string& doc_name);
 
  private:
-  std::string name_;
+  const std::string name_;
   mutable SharedMutex doc_mutex_{LockRank::kConnectorData, "xml_connector.docs"};
   std::map<std::string, NodePtr> documents_ NIMBLE_GUARDED_BY(doc_mutex_);
   uint64_t version_ NIMBLE_GUARDED_BY(doc_mutex_) = 0;

@@ -342,11 +342,13 @@ Result<QueryResult> IntegrationEngine::ExecuteTextNow(
   if (ran) {
     // The leader's document was frozen when it was published; its report is
     // the real execution report.
+    // nimble-lint: frozen(zero-copy cache seam; callers mutate via QueryResult::MutableDocument which clones)
     executed.document = std::const_pointer_cast<Node>(*snapshot);
     return executed;
   }
   // Cache hit or singleflight waiter: share the frozen snapshot.
   QueryResult result;
+  // nimble-lint: frozen(zero-copy cache seam; callers mutate via QueryResult::MutableDocument which clones)
   result.document = std::const_pointer_cast<Node>(*snapshot);
   result.report.result_count = result.document->children().size();
   result.report.served_from_cache = true;

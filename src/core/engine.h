@@ -413,13 +413,20 @@ class IntegrationEngine {
       const std::vector<const xmlql::Condition*>& cross_conditions,
       const xmlql::Query& query);
 
-  metadata::Catalog* catalog_;
+  metadata::Catalog* const catalog_;
+  /// Everything below down to the caches changes only inside set_options,
+  /// which the class contract forbids while queries are in flight.
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   EngineOptions options_;
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   std::unique_ptr<ThreadPool> owned_pool_;  ///< when worker_threads > 0.
   /// Caches are configured at construction / set_options time (never while
   /// queries are in flight, per the set_options contract).
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   std::unique_ptr<PlanCache> plan_cache_;
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   std::unique_ptr<materialize::ResultCache> result_cache_;
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   uint64_t catalog_listener_token_ = 0;  ///< 0 = not subscribed.
   std::atomic<uint64_t> queries_served_{0};
   /// Unscheduled Submit tasks still running on the worker pool. The
@@ -431,6 +438,7 @@ class IntegrationEngine {
   size_t inflight_submits_ NIMBLE_GUARDED_BY(inflight_mutex_) = 0;
   /// Declared last: destroyed first, so shutdown drains queued/in-flight
   /// queries while the pool, caches and catalog hook are still alive.
+  // nimble-lint: unguarded(set_options contract: reconfigured only with no queries in flight)
   std::unique_ptr<sched::QueryScheduler> scheduler_;
 };
 

@@ -91,7 +91,7 @@ class PlanCache {
     uint64_t stats_epoch = 0;  ///< statistics epoch at compile time.
   };
 
-  size_t max_entries_;
+  const size_t max_entries_;
   mutable Mutex mu_{LockRank::kPlanCache, "plan_cache.lru"};
   /// front = most recently used.
   std::list<Entry> lru_ NIMBLE_GUARDED_BY(mu_);

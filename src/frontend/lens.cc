@@ -109,8 +109,10 @@ Result<LensResult> LensService::Invoke(
     NIMBLE_RETURN_IF_ERROR(snapshot.status());
     if (ran) {
       result.raw = std::move(executed);
+      // nimble-lint: frozen(zero-copy cache seam; callers mutate via QueryResult::MutableDocument which clones)
       result.raw.document = std::const_pointer_cast<Node>(*snapshot);
     } else {
+      // nimble-lint: frozen(zero-copy cache seam; callers mutate via QueryResult::MutableDocument which clones)
       result.raw.document = std::const_pointer_cast<Node>(*snapshot);
       result.raw.report.result_count = result.raw.document->children().size();
       result.raw.report.served_from_cache = true;

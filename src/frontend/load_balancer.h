@@ -76,7 +76,9 @@ class LoadBalancer {
   /// `policy_` and `engines_` are configure-before-serve (see the class
   /// contract): AddEngine/set_policy run before queries flow, so they stay
   /// unguarded by design (DESIGN.md section 2e).
+  // nimble-lint: unguarded(configure-before-serve: set_policy runs before queries flow)
   BalancePolicy policy_;
+  // nimble-lint: unguarded(configure-before-serve: AddEngine runs before queries flow)
   std::vector<std::unique_ptr<core::IntegrationEngine>> engines_;
   mutable Mutex mutex_{LockRank::kLoadBalancer, "load_balancer.dispatch"};
   std::vector<int64_t> busy_micros_ NIMBLE_GUARDED_BY(mutex_);

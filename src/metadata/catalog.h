@@ -114,16 +114,21 @@ class Catalog {
   /// DefineView run during single-threaded setup, after which these maps
   /// are read-only — the documented exemption from GUARDED_BY in
   /// DESIGN.md section 2e.
+  // nimble-lint: unguarded(configure-before-serve: RegisterSource runs during single-threaded setup)
   std::map<std::string, std::unique_ptr<connector::Connector>> sources_;
+  // nimble-lint: unguarded(configure-before-serve: DefineView runs during single-threaded setup)
   std::map<std::string, MediatedView> views_;
   /// Keyed source + "\x1f" + collection; configure-before-serve like the
-  /// two maps above.
+  /// two maps above — RegisterFragmentMap refuses overwrites, and
+  /// Repartition only reads the map (it re-installs *fragments*, not maps).
+  // nimble-lint: unguarded(configure-before-serve: RegisterFragmentMap refuses overwrites; Repartition only reads)
   std::map<std::string, FragmentMap> fragment_maps_;
   mutable Mutex listeners_mu_{LockRank::kCatalogListeners, "catalog.listeners"};
   uint64_t next_listener_token_ NIMBLE_GUARDED_BY(listeners_mu_) = 1;
   std::vector<std::pair<uint64_t, UpdateListener>> listeners_
       NIMBLE_GUARDED_BY(listeners_mu_);
   /// Internally synchronized (LockRank::kStatistics).
+  // nimble-lint: unguarded(StatisticsCatalog is internally synchronized under LockRank::kStatistics)
   StatisticsCatalog statistics_;
 };
 

@@ -191,8 +191,8 @@ class QueryScheduler {
   bool CancelEntry(size_t id) NIMBLE_EXCLUDES(mutex_);
 
   const SchedulerOptions options_;
-  Clock* clock_;
-  ThreadPool* pool_;
+  Clock* const clock_;
+  ThreadPool* const pool_;
 
   mutable Mutex mutex_{LockRank::kScheduler, "scheduler.queue"};
   CondVar drained_;  ///< signalled when inflight hits 0.

@@ -1,0 +1,254 @@
+// nimble-lint driver — see nimble_lint.h for the rule catalog and
+// DESIGN.md §2j for the architecture. Discovers the translation units from
+// the compile_commands.json the build exports, adds every header under the
+// scanned directories, and exits nonzero when any unsuppressed finding
+// remains. Typical invocations:
+//
+//   nimble-lint --build build                 # src/ + tools/ (production)
+//   nimble-lint --build build --all           # + tests/ bench/ examples/
+//   nimble-lint --rule mutex-rank src/foo.cc  # one rule, explicit files
+//
+// CI and tools/lint.sh run `--all` with the checked-in suppression list —
+// the gate is zero unsuppressed findings over the full tree.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/nimble_lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal extraction of "file" values from compile_commands.json. The
+/// format is machine-generated and flat; a full JSON parser buys nothing.
+std::vector<std::string> CompileDbFiles(const std::string& json) {
+  std::vector<std::string> files;
+  size_t pos = 0;
+  while ((pos = json.find("\"file\"", pos)) != std::string::npos) {
+    pos = json.find('"', pos + 6 + 1);  // opening quote of the value
+    size_t colon = json.rfind(':', pos);
+    if (colon == std::string::npos) break;
+    size_t end = pos + 1;
+    std::string value;
+    while (end < json.size() && json[end] != '"') {
+      if (json[end] == '\\' && end + 1 < json.size()) ++end;
+      value += json[end++];
+    }
+    files.push_back(value);
+    pos = end + 1;
+  }
+  return files;
+}
+
+std::string RelativeTo(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") return p.generic_string();
+  return rel.generic_string();
+}
+
+void Usage() {
+  std::cerr <<
+      "usage: nimble-lint [options] [files...]\n"
+      "  --build <dir>        build dir with compile_commands.json\n"
+      "                       (default: first of build, build-lint,\n"
+      "                       build-rel, build-asan with one)\n"
+      "  --root <dir>         repository root (default: cwd)\n"
+      "  --all                also scan tests/, bench/, examples/\n"
+      "  --rule <id|name>     enable only this rule (repeatable)\n"
+      "  --suppressions <f>   suppression list (default:\n"
+      "                       tools/nimble_lint_suppressions.txt)\n"
+      "  --no-suppressions    ignore every suppression mechanism\n"
+      "  --list-rules         print the rule catalog and exit\n"
+      "Explicit file arguments replace the compile_commands discovery.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string build_dir;
+  std::string suppressions_path;
+  bool scan_all = false;
+  bool no_suppressions = false;
+  std::set<std::string> rules;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "nimble-lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--build") {
+      build_dir = next();
+    } else if (arg == "--root") {
+      root = fs::path(next());
+    } else if (arg == "--all") {
+      scan_all = true;
+    } else if (arg == "--rule") {
+      std::string r = next();
+      if (nimble_lint::ResolveRule(r).empty()) {
+        std::cerr << "nimble-lint: unknown rule '" << r << "'\n";
+        return 2;
+      }
+      rules.insert(r);
+    } else if (arg == "--suppressions") {
+      suppressions_path = next();
+    } else if (arg == "--no-suppressions") {
+      no_suppressions = true;
+    } else if (arg == "--list-rules") {
+      std::cout
+          << "NL001 raw-sync             raw std:: sync primitives outside "
+             "common/mutex.h\n"
+          << "NL002 mutex-rank           Mutex construction without a "
+             "registered LockRank (+ DESIGN.md table sync)\n"
+          << "NL003 blocking-under-lock  blocking calls in a scope holding "
+             "a mutex\n"
+          << "NL004 guarded-member       unannotated mutable members of "
+             "mutex-owning classes\n"
+          << "NL005 frozen-mutation      mutation of frozen snapshots / "
+             "const-casts around Freeze()\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nimble-lint: unknown option " << arg << "\n";
+      Usage();
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  nimble_lint::LintOptions options;
+  for (const std::string& r : rules) options.enabled_rules.insert(r);
+
+  // The contract registries the rules check against.
+  const fs::path rank_header = root / "src" / "common" / "lock_rank.h";
+  if (fs::exists(rank_header)) {
+    options.known_ranks =
+        nimble_lint::ParseLockRankRegistry(ReadFile(rank_header));
+    options.lock_rank_path = RelativeTo(root, rank_header);
+  } else {
+    std::cerr << "nimble-lint: warning: " << rank_header.generic_string()
+              << " not found; rank registry checks are off\n";
+  }
+  const fs::path design = root / "DESIGN.md";
+  if (fs::exists(design)) {
+    options.documented_ranks =
+        nimble_lint::ParseDocumentedRanks(ReadFile(design));
+  }
+
+  if (no_suppressions) {
+    options.honor_suppressions = false;
+  } else {
+    fs::path sup = suppressions_path.empty()
+                       ? root / "tools" / "nimble_lint_suppressions.txt"
+                       : fs::path(suppressions_path);
+    if (fs::exists(sup)) {
+      options.suppressions =
+          nimble_lint::ParseSuppressionList(ReadFile(sup));
+    } else if (!suppressions_path.empty()) {
+      std::cerr << "nimble-lint: suppression list " << sup.generic_string()
+                << " not found\n";
+      return 2;
+    }
+  }
+
+  // ---- File discovery -----------------------------------------------------
+  std::set<std::string> file_set;  // repo-relative, sorted
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) {
+      file_set.insert(RelativeTo(root, fs::absolute(f)));
+    }
+  } else {
+    if (build_dir.empty()) {
+      for (const char* candidate :
+           {"build", "build-lint", "build-rel", "build-asan", "build-tsan"}) {
+        if (fs::exists(root / candidate / "compile_commands.json")) {
+          build_dir = (root / candidate).generic_string();
+          break;
+        }
+      }
+    }
+    const fs::path compdb = fs::path(build_dir) / "compile_commands.json";
+    if (build_dir.empty() || !fs::exists(compdb)) {
+      std::cerr << "nimble-lint: no compile_commands.json found (configure "
+                   "a build dir first, or pass --build <dir>)\n";
+      return 2;
+    }
+    std::vector<std::string> scan_dirs = {"src", "tools"};
+    if (scan_all) {
+      scan_dirs.push_back("tests");
+      scan_dirs.push_back("bench");
+      scan_dirs.push_back("examples");
+    }
+    auto in_scope = [&](const std::string& rel) {
+      for (const std::string& dir : scan_dirs) {
+        if (rel.rfind(dir + "/", 0) == 0) return true;
+      }
+      return false;
+    };
+    // Translation units from the build's own ground truth...
+    for (const std::string& f : CompileDbFiles(ReadFile(compdb))) {
+      std::string rel = RelativeTo(root, fs::path(f));
+      if (in_scope(rel) && fs::exists(root / rel)) file_set.insert(rel);
+    }
+    // ...plus headers, which compile_commands.json never lists.
+    for (const std::string& dir : scan_dirs) {
+      if (!fs::exists(root / dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(root / dir)) {
+        if (!entry.is_regular_file()) continue;
+        if (entry.path().extension() == ".h") {
+          file_set.insert(RelativeTo(root, entry.path()));
+        }
+      }
+    }
+  }
+
+  if (file_set.empty()) {
+    std::cerr << "nimble-lint: nothing to scan\n";
+    return 2;
+  }
+
+  // ---- Analysis -----------------------------------------------------------
+  nimble_lint::Linter linter(std::move(options));
+  for (const std::string& rel : file_set) {
+    linter.AddFile(rel, ReadFile(root / rel));
+  }
+  linter.Finish();
+
+  int suppressed = 0;
+  int unsuppressed = 0;
+  for (const nimble_lint::Finding& f : linter.findings()) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "/"
+              << f.rule_name << "] " << f.message << "\n";
+  }
+  std::cout << "nimble-lint: scanned " << file_set.size() << " files: "
+            << unsuppressed << " finding(s), " << suppressed
+            << " suppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

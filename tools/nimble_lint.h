@@ -1,0 +1,126 @@
+#ifndef NIMBLE_TOOLS_NIMBLE_LINT_H_
+#define NIMBLE_TOOLS_NIMBLE_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+/// nimble-lint — project-specific static analysis for the Nimble tree
+/// (DESIGN.md §2j). Enforces the concurrency, status and immutability
+/// contracts that -Wthread-safety and the lock-rank runtime checker cannot
+/// see on their own:
+///
+///   NL001 raw-sync             no raw std:: synchronisation primitives
+///                              outside src/common/mutex.h — everything
+///                              goes through the annotated Mutex layer.
+///   NL002 mutex-rank           every Mutex/SharedMutex is constructed
+///                              with a LockRank from the lock_rank.h
+///                              registry (no ad-hoc static_cast ranks,
+///                              no unregistered names), and every
+///                              registered rank has its DESIGN.md §2e row.
+///   NL003 blocking-under-lock  no blocking call (CondVar waits on a
+///                              *different* mutex, Engine::ExecuteText,
+///                              handle Wait, sleep_for, pool submits) in
+///                              a scope holding a mutex via a RAII guard
+///                              or NIMBLE_REQUIRES.
+///   NL004 guarded-member       mutable members of a class that owns a
+///                              Mutex are NIMBLE_GUARDED_BY, atomic,
+///                              const, or carry an explicit
+///                              `// nimble-lint: unguarded(<reason>)`.
+///   NL005 frozen-mutation      no mutation of nodes obtained from
+///                              Freeze(), and no const_pointer_cast /
+///                              const_cast that strips a frozen
+///                              snapshot's constness, without Clone().
+///
+/// The analysis is a self-contained C++ lexer + lightweight structural
+/// parser (no LibTooling dependency — the tool must build and gate CI with
+/// nothing but the project toolchain; the rule surface is narrow enough
+/// that token-level analysis with scope tracking is exact in practice).
+/// The driver (nimble_lint.cc) discovers the file set from the
+/// compile_commands.json every build exports.
+namespace nimble_lint {
+
+/// One diagnostic. `suppressed` findings are reported but do not fail the
+/// run; the gate is unsuppressed findings == 0.
+struct Finding {
+  std::string rule;       ///< "NL001".."NL005"
+  std::string rule_name;  ///< "raw-sync", ...
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  ///< how it was suppressed (for the report)
+};
+
+/// One row of the checked-in suppression list
+/// (tools/nimble_lint_suppressions.txt):
+///   <rule-id-or-name> <path-substring> <line-substring-or-*>
+struct SuppressionEntry {
+  std::string rule;         ///< id ("NL001") or name ("raw-sync")
+  std::string path_substr;  ///< finding suppressed when file contains this
+  std::string line_substr;  ///< and the source line contains this ("*"=any)
+};
+
+struct LintOptions {
+  /// LockRank enumerators parsed from common/lock_rank.h ("kThreadPool"...).
+  std::set<std::string> known_ranks;
+  /// Ranks with a DESIGN.md §2e table row. When non-empty, every known
+  /// rank must appear here (keeps the doc table in sync with the enum).
+  std::set<std::string> documented_ranks;
+  /// Path (for diagnostics) of the registry header, used as the location
+  /// of doc-sync findings.
+  std::string lock_rank_path = "src/common/lock_rank.h";
+  std::vector<SuppressionEntry> suppressions;
+  /// false = report every finding as unsuppressed, ignoring inline and
+  /// file directives too (the driver's --no-suppressions audit mode).
+  bool honor_suppressions = true;
+  /// Empty = all rules; otherwise rule ids ("NL002") or names.
+  std::set<std::string> enabled_rules;
+};
+
+/// Returns the rule id for an id-or-name string ("raw-sync" -> "NL001"),
+/// or "" if unknown. Inline-directive aliases ("unguarded", "blocking",
+/// "frozen") resolve too.
+std::string ResolveRule(const std::string& id_or_name);
+
+/// Parses `enum class LockRank { ... }` out of lock_rank.h content.
+std::set<std::string> ParseLockRankRegistry(const std::string& content);
+
+/// Parses `| <rank> | \`kName\` | ...` table rows out of DESIGN.md content.
+std::set<std::string> ParseDocumentedRanks(const std::string& content);
+
+/// Parses the suppression list format (# comments, blank lines ignored).
+std::vector<SuppressionEntry> ParseSuppressionList(const std::string& content);
+
+/// The analysis engine. Feed every file with AddFile, then call Finish()
+/// (cross-file checks: constructor-initializer resolution for NL002 and
+/// the rank doc-sync check). findings() is stable-ordered by
+/// (file, line, rule).
+class Linter {
+ public:
+  explicit Linter(LintOptions options);
+  ~Linter();
+
+  Linter(const Linter&) = delete;
+  Linter& operator=(const Linter&) = delete;
+
+  /// Analyzes one source file. `path` should be repo-relative; exemptions
+  /// (e.g. common/mutex.h for NL001) and suppression-list paths match on
+  /// substrings of it.
+  void AddFile(const std::string& path, const std::string& content);
+
+  /// Runs the cross-file passes and sorts findings. Call exactly once,
+  /// after the last AddFile.
+  void Finish();
+
+  const std::vector<Finding>& findings() const;
+  int unsuppressed_count() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace nimble_lint
+
+#endif  // NIMBLE_TOOLS_NIMBLE_LINT_H_

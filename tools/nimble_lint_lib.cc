@@ -1,0 +1,1171 @@
+#include "tools/nimble_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Implementation of the nimble-lint analysis (see nimble_lint.h for the
+/// rule catalog). Pipeline per file:
+///
+///   1. Lex: a real C++ token scanner (comments, string/char literals, raw
+///      strings, preprocessor lines, identifiers, punctuation), each token
+///      stamped with its line. Comments are collected per line separately —
+///      they carry the suppression directives.
+///   2. Per-rule token passes with lexical scope tracking (brace depth,
+///      RAII-guard lifetimes, class bodies with nesting).
+///   3. Suppression resolution: inline `// nimble-lint: <alias>(<reason>)`
+///      on the finding's line or the line above, `// nimble-lint: file
+///      <alias>(<reason>)` anywhere for whole-file scope, and the
+///      checked-in suppression list.
+///
+/// Cross-file state (NL002 member declarations awaiting a constructor
+/// initializer in a sibling .cc, the rank doc-sync check) resolves in
+/// Finish().
+namespace nimble_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  /// Extra aliases accepted in inline directives.
+  const char* alias;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"NL001", "raw-sync", ""},
+    {"NL002", "mutex-rank", ""},
+    {"NL003", "blocking-under-lock", "blocking"},
+    {"NL004", "guarded-member", "unguarded"},
+    {"NL005", "frozen-mutation", "frozen"},
+};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct LexedFile {
+  std::vector<Tok> toks;
+  /// line number -> comment texts that *end* on that line (a multi-line
+  /// block comment registers on every line it spans, so directives inside
+  /// it attach where they are written).
+  std::map<int, std::vector<std::string>> comments;
+  std::vector<std::string> lines;  ///< raw source, for suppression matching
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+LexedFile Lex(const std::string& src) {
+  LexedFile out;
+  {
+    std::string cur;
+    for (char c : src) {
+      if (c == '\n') {
+        out.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    out.lines.push_back(cur);
+  }
+
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments[line].push_back(src.substr(start, i - start));
+      continue;  // newline handled by the loop
+    }
+    // Block comment: register its text on every line it spans.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t start = i;
+      int first_line = line;
+      advance(2);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      advance(2);
+      std::string text = src.substr(start, i - start);
+      for (int l = first_line; l <= line; ++l) out.comments[l].push_back(text);
+      continue;
+    }
+    // Preprocessor directive: skip whole (continued) line. Only when `#`
+    // starts the line (ignoring whitespace) — otherwise it's a stray token.
+    if (c == '#') {
+      bool line_start = true;
+      for (size_t j = i; j-- > 0;) {
+        if (src[j] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(src[j]))) {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        while (i < n) {
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+            advance(2);
+            continue;
+          }
+          if (src[i] == '\n') break;
+          // Comments may open inside a directive; treat // as end-of-logic.
+          if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n') ++i;
+            break;
+          }
+          advance(1);
+        }
+        continue;
+      }
+      out.toks.push_back({TokKind::kPunct, "#", line});
+      advance(1);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(') delim += src[d++];
+      std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, d);
+      int tok_line = line;
+      if (end == std::string::npos) {
+        advance(n - i);
+        out.toks.push_back({TokKind::kString, "<raw>", tok_line});
+        continue;
+      }
+      advance(end + closer.size() - i);
+      out.toks.push_back({TokKind::kString, "<raw>", tok_line});
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int tok_line = line;
+      advance(1);
+      std::string text;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          advance(1);
+        }
+        if (i < n) {
+          text += src[i];
+          advance(1);
+        }
+      }
+      advance(1);
+      out.toks.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, text, tok_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      int tok_line = line;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.toks.push_back(
+          {TokKind::kIdent, src.substr(start, i - start), tok_line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int tok_line = line;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.')) ++i;
+      out.toks.push_back(
+          {TokKind::kNumber, src.substr(start, i - start), tok_line});
+      continue;
+    }
+    // Multi-char punctuation we care about: :: -> (others single).
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.toks.push_back({TokKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.toks.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers over the token stream
+// ---------------------------------------------------------------------------
+
+bool Is(const std::vector<Tok>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+/// Index of the matching closer for the opener at `open` (returns t.size()
+/// when unbalanced).
+size_t MatchForward(const std::vector<Tok>& t, size_t open,
+                    const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == open_text) ++depth;
+    if (t[i].text == close_text && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::string JoinTokens(const std::vector<Tok>& t, size_t begin, size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < t.size(); ++i) out += t[i].text;
+  return out;
+}
+
+/// Walks backwards from `i` (exclusive) over a postfix expression
+/// (identifiers, ::, ., ->, balanced () and []) and returns its text — the
+/// receiver of a member call, e.g. "flight->cv" for `flight->cv.Wait(...)`.
+std::string ReceiverBefore(const std::vector<Tok>& t, size_t i) {
+  std::vector<std::string> parts;
+  size_t j = i;
+  bool expect_primary = true;  // next (leftwards) should be a name or ()/[]
+  while (j > 0) {
+    const Tok& tok = t[j - 1];
+    if (expect_primary) {
+      if (tok.text == ")" || tok.text == "]") {
+        const char* open = tok.text == ")" ? "(" : "[";
+        int depth = 0;
+        size_t k = j;
+        while (k > 0) {
+          if (t[k - 1].text == tok.text) ++depth;
+          if (t[k - 1].text == open && --depth == 0) break;
+          --k;
+        }
+        if (k == 0) break;
+        for (size_t m = k - 1; m < j; ++m) parts.push_back(t[m].text);
+        std::reverse(parts.end() - (j - (k - 1)), parts.end());
+        j = k - 1;
+        expect_primary = false;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent) {
+        parts.push_back(tok.text);
+        --j;
+        expect_primary = false;
+        continue;
+      }
+      break;
+    }
+    if (tok.text == "." || tok.text == "->" || tok.text == "::") {
+      parts.push_back(tok.text);
+      --j;
+      expect_primary = true;
+      continue;
+    }
+    break;
+  }
+  std::reverse(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& p : parts) out += p;
+  return out;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string FileStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public helpers
+// ---------------------------------------------------------------------------
+
+std::string ResolveRule(const std::string& id_or_name) {
+  for (const RuleInfo& r : kRules) {
+    if (id_or_name == r.id || id_or_name == r.name || id_or_name == r.alias) {
+      return r.id;
+    }
+  }
+  return "";
+}
+
+std::set<std::string> ParseLockRankRegistry(const std::string& content) {
+  std::set<std::string> ranks;
+  LexedFile lexed = Lex(content);
+  const std::vector<Tok>& t = lexed.toks;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (Is(t, i, "enum") && Is(t, i + 1, "class") && Is(t, i + 2, "LockRank")) {
+      size_t open = i + 3;
+      while (open < t.size() && t[open].text != "{") ++open;
+      size_t close = MatchForward(t, open, "{", "}");
+      for (size_t j = open + 1; j < close; ++j) {
+        if (t[j].kind == TokKind::kIdent && t[j].text.size() > 1 &&
+            t[j].text[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(t[j].text[1]))) {
+          ranks.insert(t[j].text);
+        }
+      }
+      break;
+    }
+  }
+  return ranks;
+}
+
+std::set<std::string> ParseDocumentedRanks(const std::string& content) {
+  // Only markdown *table rows* count — a line starting with `|` whose
+  // first backticked token is a kName. Prose mentions ("...the registry
+  // lock (rank `kShardFragments`)...") do not document where a rank sits
+  // in the hierarchy, so they must not satisfy the doc-sync check.
+  std::set<std::string> ranks;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] != '|') continue;
+    size_t tick = line.find('`');
+    if (tick == std::string::npos) continue;
+    size_t end = line.find('`', tick + 1);
+    if (end == std::string::npos) continue;
+    std::string name = line.substr(tick + 1, end - tick - 1);
+    if (name.size() > 1 && name[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(name[1])) &&
+        name.find_first_not_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789") ==
+            std::string::npos) {
+      ranks.insert(name);
+    }
+  }
+  return ranks;
+}
+
+std::vector<SuppressionEntry> ParseSuppressionList(const std::string& content) {
+  std::vector<SuppressionEntry> entries;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    SuppressionEntry e;
+    fields >> e.rule >> e.path_substr;
+    std::getline(fields, e.line_substr);
+    size_t s = e.line_substr.find_first_not_of(" \t");
+    e.line_substr = s == std::string::npos ? "*" : e.line_substr.substr(s);
+    if (!e.rule.empty() && !e.path_substr.empty()) entries.push_back(e);
+  }
+  return entries;
+}
+
+// ---------------------------------------------------------------------------
+// Linter
+// ---------------------------------------------------------------------------
+
+struct Linter::Impl {
+  LintOptions options;
+  std::vector<Finding> findings;
+  bool finished = false;
+
+  /// Per-file data retained for Finish()-stage suppression resolution.
+  struct FileData {
+    std::map<int, std::vector<std::string>> comments;
+    std::vector<std::string> lines;
+    /// rule id -> reason, from `nimble-lint: file <alias>(<reason>)`.
+    std::map<std::string, std::string> file_suppressions;
+  };
+  std::map<std::string, FileData> files;
+
+  /// NL002: Mutex members declared without an initializer, waiting for a
+  /// constructor-initializer-list site.
+  struct PendingInit {
+    std::string file;
+    int line;
+    std::string member;
+    std::string type;  ///< Mutex / SharedMutex
+  };
+  std::vector<PendingInit> pending_inits;
+  /// member name -> file stems where `member(LockRank::...` / `{...}` was
+  /// seen (declaration sites included — harmless for the pending check).
+  std::map<std::string, std::set<std::string>> init_sites;
+
+  bool RuleEnabled(const std::string& id) const {
+    if (options.enabled_rules.empty()) return true;
+    for (const std::string& r : options.enabled_rules) {
+      if (ResolveRule(r) == id) return true;
+    }
+    return false;
+  }
+
+  void Report(const std::string& rule_id, const std::string& file, int line,
+              std::string message) {
+    if (!RuleEnabled(rule_id)) return;
+    Finding f;
+    f.rule = rule_id;
+    for (const RuleInfo& r : kRules) {
+      if (rule_id == r.id) f.rule_name = r.name;
+    }
+    f.file = file;
+    f.line = line;
+    f.message = std::move(message);
+    ResolveSuppression(&f);
+    findings.push_back(std::move(f));
+  }
+
+  /// True when `comment` carries a directive for `rule_id`; `*reason` gets
+  /// the parenthesised text. Directive grammar:
+  ///   nimble-lint: [file] alias(reason)[, alias2(reason2)...]
+  bool DirectiveFor(const std::string& comment, const std::string& rule_id,
+                    bool want_file_scope, std::string* reason) const {
+    size_t pos = comment.find("nimble-lint:");
+    if (pos == std::string::npos) return false;
+    std::string rest = comment.substr(pos + 12);
+    size_t s = rest.find_first_not_of(" \t");
+    if (s == std::string::npos) return false;
+    rest = rest.substr(s);
+    bool file_scope = rest.rfind("file", 0) == 0 &&
+                      (rest.size() == 4 || !IsIdentChar(rest[4]));
+    if (file_scope != want_file_scope) return false;
+    if (file_scope) rest = rest.substr(4);
+    // Scan alias(reason) groups.
+    size_t i = 0;
+    while (i < rest.size()) {
+      while (i < rest.size() && !IsIdentStart(rest[i])) ++i;
+      size_t start = i;
+      while (i < rest.size() && (IsIdentChar(rest[i]) || rest[i] == '-')) ++i;
+      if (i == start) break;
+      std::string alias = rest.substr(start, i - start);
+      std::string r;
+      if (i < rest.size() && rest[i] == '(') {
+        size_t close = rest.find(')', i);
+        if (close == std::string::npos) close = rest.size();
+        r = rest.substr(i + 1, close - i - 1);
+        i = close + 1;
+      }
+      if (ResolveRule(alias) == rule_id) {
+        *reason = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void ResolveSuppression(Finding* f) {
+    if (!options.honor_suppressions) return;
+    auto it = files.find(f->file);
+    if (it != files.end()) {
+      const FileData& fd = it->second;
+      auto fs = fd.file_suppressions.find(f->rule);
+      if (fs != fd.file_suppressions.end()) {
+        f->suppressed = true;
+        f->suppress_reason = "file directive: " + fs->second;
+        return;
+      }
+      // A directive suppresses its own line always, and the line below only
+      // when the directive stands on a comment-only line — a trailing
+      // comment must not leak onto the next statement.
+      auto comment_only_line = [&fd](int line) {
+        if (line < 1 || static_cast<size_t>(line) > fd.lines.size()) {
+          return false;
+        }
+        const std::string& s = fd.lines[line - 1];
+        size_t i = s.find_first_not_of(" \t");
+        return i != std::string::npos && s.compare(i, 2, "//") == 0;
+      };
+      for (int line : {f->line, f->line - 1}) {
+        if (line == f->line - 1 && !comment_only_line(line)) continue;
+        auto c = fd.comments.find(line);
+        if (c == fd.comments.end()) continue;
+        for (const std::string& comment : c->second) {
+          std::string reason;
+          if (DirectiveFor(comment, f->rule, /*want_file_scope=*/false,
+                           &reason)) {
+            f->suppressed = true;
+            f->suppress_reason = "inline: " + reason;
+            return;
+          }
+        }
+      }
+    }
+    for (const SuppressionEntry& e : options.suppressions) {
+      if (ResolveRule(e.rule) != f->rule) continue;
+      if (!Contains(f->file, e.path_substr)) continue;
+      if (e.line_substr != "*") {
+        const FileData* fd = it != files.end() ? &it->second : nullptr;
+        if (fd == nullptr || f->line < 1 ||
+            static_cast<size_t>(f->line) > fd->lines.size() ||
+            !Contains(fd->lines[f->line - 1], e.line_substr)) {
+          continue;
+        }
+      }
+      f->suppressed = true;
+      f->suppress_reason = "suppression list";
+      return;
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // NL001 — raw std:: synchronisation primitives
+  // -------------------------------------------------------------------------
+  void CheckRawSync(const std::string& path, const std::vector<Tok>& t) {
+    if (EndsWith(path, "common/mutex.h")) return;  // the one legal home
+    static const std::set<std::string> kBanned = {
+        "mutex",          "timed_mutex",
+        "recursive_mutex", "recursive_timed_mutex",
+        "shared_mutex",   "shared_timed_mutex",
+        "lock_guard",     "unique_lock",
+        "scoped_lock",    "shared_lock",
+        "condition_variable", "condition_variable_any",
+    };
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (Is(t, i, "std") && Is(t, i + 1, "::") &&
+          kBanned.count(t[i + 2].text) > 0) {
+        Report("NL001", path, t[i + 2].line,
+               "raw std::" + t[i + 2].text +
+                   "; use the annotated layer in common/mutex.h (Mutex/"
+                   "SharedMutex/MutexLock/CondVar) so thread-safety "
+                   "analysis and lock-rank checking see it");
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // NL002 — Mutex construction must carry a registered LockRank
+  // -------------------------------------------------------------------------
+  void CheckMutexRank(const std::string& path, const std::vector<Tok>& t) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].text != "Mutex" && t[i].text != "SharedMutex") continue;
+      // Qualified nimble::Mutex is fine; skip the qualifier, not the check.
+      if (i > 0 && t[i - 1].text == "::") {
+        if (i < 2 || t[i - 2].text != "nimble") continue;  // std::? other ns
+      }
+      // Not a declaration: class/struct/friend heads, template parameters.
+      if (i > 0 && (t[i - 1].text == "class" || t[i - 1].text == "struct" ||
+                    t[i - 1].text == "friend" || t[i - 1].text == "typename")) {
+        continue;
+      }
+      if (i + 1 >= t.size()) continue;
+      const Tok& next = t[i + 1];
+      if (next.text == "&" || next.text == "*" || next.text == "::" ||
+          next.kind != TokKind::kIdent) {
+        continue;  // reference/pointer param, qualifier, or not a declarator
+      }
+      // Declarator: Mutex NAME {init} | (init) | ;
+      const std::string member = next.text;
+      size_t after = i + 2;
+      if (after >= t.size()) continue;
+      if (t[after].text == "{" || t[after].text == "(") {
+        const char* open = t[after].text == "{" ? "{" : "(";
+        const char* close = t[after].text == "{" ? "}" : ")";
+        size_t end = MatchForward(t, after, open, close);
+        CheckRankArgs(path, t, after + 1, end, member, t[i].line);
+        init_sites[member].insert(FileStem(path));
+      } else if (t[after].text == ";") {
+        pending_inits.push_back({path, t[i].line, member, t[i].text});
+      }
+    }
+    // Constructor-initializer-list sites: NAME ( LockRank :: kX  /
+    // NAME { LockRank :: kX — resolves pending member declarations and
+    // validates the rank they chose.
+    for (size_t i = 0; i + 4 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (t[i + 1].text != "(" && t[i + 1].text != "{") continue;
+      // Only actual rank expressions: `LockRank::` or an ad-hoc
+      // `static_cast<LockRank>` — not functions with a LockRank parameter.
+      const bool rank_expr = Is(t, i + 2, "LockRank") && Is(t, i + 3, "::");
+      const bool cast_expr = Is(t, i + 2, "static_cast") &&
+                             Is(t, i + 3, "<") && Is(t, i + 4, "LockRank");
+      if (!rank_expr && !cast_expr) continue;
+      if (t[i].text == "Mutex" || t[i].text == "SharedMutex") continue;
+      // Declaration-with-initializer sites were validated by the pass
+      // above; re-checking them here would double-report.
+      if (i > 0 && (t[i - 1].text == "Mutex" || t[i - 1].text == "SharedMutex")) {
+        init_sites[t[i].text].insert(FileStem(path));
+        continue;
+      }
+      const char* open = t[i + 1].text == "(" ? "(" : "{";
+      const char* close = t[i + 1].text == "(" ? ")" : "}";
+      size_t end = MatchForward(t, i + 1, open, close);
+      CheckRankArgs(path, t, i + 2, end, t[i].text, t[i].line);
+      init_sites[t[i].text].insert(FileStem(path));
+    }
+  }
+
+  void CheckRankArgs(const std::string& path, const std::vector<Tok>& t,
+                     size_t begin, size_t end, const std::string& member,
+                     int line) {
+    for (size_t j = begin; j < end; ++j) {
+      if (Is(t, j, "static_cast") && j + 2 < end &&
+          Is(t, j + 2, "LockRank")) {
+        Report("NL002", path, line,
+               "Mutex '" + member +
+                   "' constructed with an ad-hoc static_cast<LockRank> — "
+                   "register a rank in common/lock_rank.h instead");
+        return;
+      }
+      if (Is(t, j, "LockRank") && Is(t, j + 1, "::") && j + 2 < end) {
+        const std::string& rank = t[j + 2].text;
+        if (options.known_ranks.count(rank) == 0) {
+          Report("NL002", path, line,
+                 "Mutex '" + member + "' uses LockRank::" + rank +
+                     " which is not in the common/lock_rank.h registry");
+        }
+        return;
+      }
+    }
+    Report("NL002", path, line,
+           "Mutex '" + member +
+               "' constructed without a LockRank from common/lock_rank.h");
+  }
+
+  // -------------------------------------------------------------------------
+  // NL003 — blocking calls in a scope that holds a mutex
+  // -------------------------------------------------------------------------
+  void CheckBlockingUnderLock(const std::string& path,
+                              const std::vector<Tok>& t) {
+    if (EndsWith(path, "common/mutex.h")) return;  // CondVar internals
+    struct Guard {
+      int depth;
+      std::string mutex_expr;
+      std::string how;  ///< guard class or REQUIRES, for the message
+    };
+    std::vector<Guard> guards;
+    std::vector<std::string> pending_requires;  // attach at next `{`
+    int depth = 0;
+
+    // Calls that block the thread: waiting on another query/handle/shard,
+    // executing a query synchronously, sleeping, singleflight waits and
+    // fan-out joins. `Wait`/`WaitFor` get the CondVar carve-out below.
+    static const std::set<std::string> kBlocking = {
+        "ExecuteText", "ExecuteBatch", "RunParallel",
+        "LookupOrCompute", "sleep_for", "sleep_until", "SleepFor",
+    };
+
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Tok& tok = t[i];
+      if (tok.text == "{") {
+        ++depth;
+        if (!pending_requires.empty()) {
+          for (std::string& mu : pending_requires) {
+            guards.push_back({depth, std::move(mu), "NIMBLE_REQUIRES"});
+          }
+          pending_requires.clear();
+        }
+        continue;
+      }
+      if (tok.text == "}") {
+        while (!guards.empty() && guards.back().depth >= depth) {
+          guards.pop_back();
+        }
+        --depth;
+        continue;
+      }
+      if (tok.text == ";" && !pending_requires.empty()) {
+        pending_requires.clear();  // pure declaration, no body
+        continue;
+      }
+      if (tok.text == "NIMBLE_REQUIRES" || tok.text == "NIMBLE_REQUIRES_SHARED") {
+        if (Is(t, i + 1, "(")) {
+          size_t end = MatchForward(t, i + 1, "(", ")");
+          pending_requires.push_back(JoinTokens(t, i + 2, end));
+          i = end;
+        }
+        continue;
+      }
+      // RAII guard declaration: MutexLock NAME(expr); etc.
+      if ((tok.text == "MutexLock" || tok.text == "ReaderMutexLock" ||
+           tok.text == "WriterMutexLock") &&
+          i + 2 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+          (t[i + 2].text == "(" || t[i + 2].text == "{")) {
+        const char* open = t[i + 2].text == "(" ? "(" : "{";
+        const char* close = t[i + 2].text == "(" ? ")" : "}";
+        size_t end = MatchForward(t, i + 2, open, close);
+        guards.push_back({depth, JoinTokens(t, i + 3, end), tok.text});
+        i = end;
+        continue;
+      }
+      if (guards.empty()) continue;
+      if (tok.kind != TokKind::kIdent || !Is(t, i + 1, "(")) continue;
+
+      const bool is_wait = tok.text == "Wait" || tok.text == "WaitFor";
+      const bool is_blocking = kBlocking.count(tok.text) > 0;
+      if (!is_wait && !is_blocking) continue;
+      // Only calls — `X.Wait(` / `X->Wait(` / free `sleep_for(` — not
+      // declarations (`void Wait(...)`): a declaration's name is preceded
+      // by a type identifier or `&`/`*`, a call by . -> :: ( , = etc.
+      if (i > 0 && (t[i - 1].kind == TokKind::kIdent || t[i - 1].text == "&" ||
+                    t[i - 1].text == "*" || t[i - 1].text == ">")) {
+        continue;
+      }
+
+      size_t args_end = MatchForward(t, i + 1, "(", ")");
+      if (is_wait) {
+        // CondVar carve-out: waiting on the mutex you hold is the one legal
+        // blocking call — but only when no *other* lock is also held
+        // (sleeping while holding an outer lock stalls every contender).
+        std::string first_arg;
+        for (size_t j = i + 2; j < args_end; ++j) {
+          if (t[j].text == ",") break;
+          first_arg += t[j].text;
+        }
+        bool matches_innermost =
+            !first_arg.empty() && !guards.empty() &&
+            guards.back().mutex_expr == first_arg;
+        if (matches_innermost && guards.size() == 1) {
+          i = args_end;
+          continue;
+        }
+        if (matches_innermost && guards.size() > 1) {
+          Report("NL003", path, tok.line,
+                 "CondVar wait on '" + first_arg + "' while '" +
+                     guards[guards.size() - 2].mutex_expr +
+                     "' is also held (" + guards[guards.size() - 2].how +
+                     ") — the outer lock stays locked for the whole sleep");
+          i = args_end;
+          continue;
+        }
+        Report("NL003", path, tok.line,
+               "blocking " + tok.text + "() while holding '" +
+                   guards.back().mutex_expr + "' (" + guards.back().how +
+                   ") — release the lock before waiting");
+        i = args_end;
+        continue;
+      }
+      // Pool submits count only through a pool receiver; everything else in
+      // kBlocking counts unconditionally.
+      Report("NL003", path, tok.line,
+             "blocking call " + tok.text + "() while holding '" +
+                 guards.back().mutex_expr + "' (" + guards.back().how +
+                 ") — blocking work must run after release");
+      i = args_end;
+    }
+
+    // Pool submissions under a lock deadlock when pool workers are the ones
+    // trying to acquire it, and stall dispatch either way; the scheduler
+    // collects entries under its mutex and submits after release. Detect
+    // `<pool-ish>->Submit(` / `.Submit(` with a held guard.
+    guards.clear();
+    depth = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Tok& tok = t[i];
+      if (tok.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (tok.text == "}") {
+        while (!guards.empty() && guards.back().depth >= depth) {
+          guards.pop_back();
+        }
+        --depth;
+        continue;
+      }
+      if ((tok.text == "MutexLock" || tok.text == "ReaderMutexLock" ||
+           tok.text == "WriterMutexLock") &&
+          i + 2 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+          t[i + 2].text == "(") {
+        size_t end = MatchForward(t, i + 2, "(", ")");
+        guards.push_back({depth, JoinTokens(t, i + 3, end), tok.text});
+        i = end;
+        continue;
+      }
+      if (guards.empty() || tok.text != "Submit" || !Is(t, i + 1, "(")) {
+        continue;
+      }
+      if (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->")) continue;
+      std::string receiver = ReceiverBefore(t, i - 1);
+      std::string lowered;
+      for (char c : receiver) {
+        lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (!Contains(lowered, "pool")) continue;
+      Report("NL003", path, tok.line,
+             "pool submit through '" + receiver + "' while holding '" +
+                 guards.back().mutex_expr +
+                 "' — collect work under the lock, submit after release");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // NL004 — guarded-member coverage in mutex-owning classes
+  // -------------------------------------------------------------------------
+  void CheckGuardedMembers(const std::string& path, const std::vector<Tok>& t) {
+    if (EndsWith(path, "common/mutex.h")) return;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if ((t[i].text == "class" || t[i].text == "struct") &&
+          t[i + 1].kind == TokKind::kIdent) {
+        // Find the body '{' (skip base-class list); stop at ';' (forward
+        // declaration) or '(' (function returning class type — not here).
+        size_t j = i + 2;
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+        if (j >= t.size() || t[j].text == ";") continue;
+        AnalyzeClassBody(path, t, t[i + 1].text, j,
+                         MatchForward(t, j, "{", "}"));
+      }
+    }
+  }
+
+  /// One data-member declaration unit inside a class body.
+  struct MemberDecl {
+    std::string name;
+    int line;
+    bool guarded = false;       ///< NIMBLE_GUARDED_BY / NIMBLE_PT_GUARDED_BY
+    bool is_mutex = false;      ///< Mutex / SharedMutex by value
+    bool exempt = false;        ///< const, reference, atomic, CondVar, ...
+  };
+
+  void AnalyzeClassBody(const std::string& path, const std::vector<Tok>& t,
+                        const std::string& class_name, size_t open,
+                        size_t close) {
+    std::vector<MemberDecl> members;
+    size_t i = open + 1;
+    while (i < close) {
+      // Access specifiers.
+      if ((t[i].text == "public" || t[i].text == "private" ||
+           t[i].text == "protected") &&
+          Is(t, i + 1, ":")) {
+        i += 2;
+        continue;
+      }
+      // Nested class/struct with a body: recurse, then skip past it.
+      if ((t[i].text == "class" || t[i].text == "struct") && i + 1 < close &&
+          t[i + 1].kind == TokKind::kIdent) {
+        size_t j = i + 2;
+        while (j < close && t[j].text != "{" && t[j].text != ";") ++j;
+        if (j < close && t[j].text == "{") {
+          size_t body_close = MatchForward(t, j, "{", "}");
+          AnalyzeClassBody(path, t, t[i + 1].text, j, body_close);
+          i = body_close + 1;
+          if (i < close && t[i].text == ";") ++i;
+          continue;
+        }
+        i = j + 1;
+        continue;
+      }
+      // Collect one declaration unit.
+      size_t unit_begin = i;
+      bool saw_brace_block = false;
+      bool paren_before_brace = false;
+      int template_depth = 0;
+      bool in_decl_part = true;  // before '=' / init '{'
+      size_t name_tok = t.size();
+      bool skip_unit = false;
+      while (i < close) {
+        const Tok& tok = t[i];
+        if (tok.text == "template" && Is(t, i + 1, "<")) {
+          // Skip the template parameter list wholesale.
+          int d = 0;
+          ++i;
+          while (i < close) {
+            if (t[i].text == "<") ++d;
+            if (t[i].text == ">" && --d == 0) break;
+            ++i;
+          }
+          ++i;
+          continue;
+        }
+        if (in_decl_part) {
+          if (tok.text == "operator") {
+            // operator<, operator(), ... — function for sure.
+            paren_before_brace = true;
+            ++i;
+            if (i < close) ++i;
+            continue;
+          }
+          if (tok.text == "<") ++template_depth;
+          if (tok.text == ">") template_depth = std::max(0, template_depth - 1);
+          if (tok.text == "(" && template_depth == 0) {
+            paren_before_brace = true;
+            i = MatchForward(t, i, "(", ")") + 1;
+            continue;
+          }
+          if (tok.text == "=") in_decl_part = false;
+          if (tok.kind == TokKind::kIdent && template_depth == 0) {
+            name_tok = i;
+          }
+        }
+        if (tok.text == "{") {
+          size_t body_close = MatchForward(t, i, "{", "}");
+          saw_brace_block = true;
+          in_decl_part = false;
+          i = body_close + 1;
+          // Function definition bodies end without ';'.
+          if (paren_before_brace) {
+            if (i < close && t[i].text == ";") ++i;
+            skip_unit = true;
+            break;
+          }
+          continue;
+        }
+        if (tok.text == ";") {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      if (skip_unit || name_tok >= t.size()) continue;
+      (void)saw_brace_block;
+
+      MemberDecl m;
+      m.name = t[name_tok].text;
+      m.line = t[name_tok].line;
+      bool has_star = false;
+      bool has_amp = false;
+      bool has_const_before_name = false;
+      bool has_const_anywhere = false;
+      bool is_static = false;
+      size_t unit_end = std::min(i, close);
+      for (size_t j = unit_begin; j < unit_end && j <= name_tok; ++j) {
+        const std::string& x = t[j].text;
+        if (x == "*") has_star = true;
+        if (x == "&") has_amp = true;
+        if (x == "const") {
+          has_const_anywhere = true;
+          if (j + 1 == name_tok) has_const_before_name = true;
+        }
+        if (x == "static" || x == "constexpr" || x == "using" ||
+            x == "typedef" || x == "friend" || x == "enum") {
+          is_static = true;
+        }
+        if (x == "atomic" || x == "CondVar" || x == "once_flag" ||
+            x == "Notification") {
+          m.exempt = true;
+        }
+        if (x == "Mutex" || x == "SharedMutex") m.is_mutex = true;
+      }
+      // By-value mutex member only: a pointer/reference to someone else's
+      // mutex is just unguarded config, not ownership. Decided after the
+      // scan because the * / & tokens follow the type name.
+      if (has_star || has_amp) m.is_mutex = false;
+      for (size_t j = unit_begin; j < unit_end; ++j) {
+        if (t[j].text == "NIMBLE_GUARDED_BY" ||
+            t[j].text == "NIMBLE_PT_GUARDED_BY") {
+          m.guarded = true;
+        }
+      }
+      if (is_static) continue;
+      if (paren_before_brace) continue;  // function declaration
+      if (has_amp) m.exempt = true;      // references bind at construction
+      if (has_const_before_name) m.exempt = true;  // T* const / const T name
+      if (has_const_anywhere && !has_star) m.exempt = true;  // const T name
+      if (m.is_mutex) m.exempt = true;
+      members.push_back(std::move(m));
+    }
+
+    bool owns_mutex = false;
+    for (const MemberDecl& m : members) {
+      if (m.is_mutex) owns_mutex = true;
+    }
+    if (!owns_mutex) return;
+    for (const MemberDecl& m : members) {
+      if (m.guarded || m.exempt) continue;
+      Report("NL004", path, m.line,
+             "member '" + m.name + "' of mutex-owning " + class_name +
+                 " is neither NIMBLE_GUARDED_BY, std::atomic, nor const — "
+                 "annotate it, or suppress with "
+                 "`// nimble-lint: unguarded(<why it is safe>)`");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // NL005 — frozen-snapshot immutability
+  // -------------------------------------------------------------------------
+  void CheckFrozenMutation(const std::string& path, const std::vector<Tok>& t) {
+    static const std::set<std::string> kMutators = {
+        "AddChild",    "AddScalarChild", "SetAttribute",
+        "RemoveChild", "TakeChildren",
+    };
+    // Tainted expression text -> brace depth it was tainted at.
+    std::map<std::string, int> tainted;
+    int depth = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Tok& tok = t[i];
+      if (tok.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (tok.text == "}") {
+        for (auto it = tainted.begin(); it != tainted.end();) {
+          if (it->second >= depth) {
+            it = tainted.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        --depth;
+        continue;
+      }
+      // const casts that strip a snapshot's constness re-expose the shared
+      // tree to mutation; legal only at the documented copy-on-write seams
+      // (suppress there, citing MutableDocument()/Clone()).
+      if ((tok.text == "const_pointer_cast" || tok.text == "const_cast") &&
+          Is(t, i + 1, "<")) {
+        for (size_t j = i + 2; j < t.size() && t[j].text != ">"; ++j) {
+          if (t[j].text == "Node") {
+            Report("NL005", path, tok.line,
+                   "std::" + tok.text +
+                       "<Node> strips a frozen snapshot's constness — "
+                       "mutate via Clone()/MutableDocument() instead");
+            break;
+          }
+          if (t[j].text == ";") break;
+        }
+      }
+      // Taint assignments: LHS = ...Freeze()... ;  LHS = ...Clone()... clears.
+      if (tok.text == "=" && i > 0 &&
+          (t[i - 1].kind == TokKind::kIdent || t[i - 1].text == ")")) {
+        if (Is(t, i + 1, "=") || t[i - 1].text == "!" || t[i - 1].text == "<" ||
+            t[i - 1].text == ">") {
+          continue;  // ==, !=, <=, >=
+        }
+        std::string lhs = ReceiverBefore(t, i);
+        if (lhs.empty()) continue;
+        bool saw_freeze = false;
+        bool saw_clone = false;
+        for (size_t j = i + 1; j < t.size() && t[j].text != ";"; ++j) {
+          if (t[j].text == "Freeze" && Is(t, j + 1, "(")) saw_freeze = true;
+          // A const-cast RHS is a frozen snapshot too: the cast site itself
+          // is reported (and typically suppressed at the documented seam),
+          // but mutations through the result must still flag.
+          if (t[j].text == "const_pointer_cast") saw_freeze = true;
+          if (t[j].text == "Clone" && Is(t, j + 1, "(")) saw_clone = true;
+        }
+        if (saw_freeze && !saw_clone) {
+          tainted[lhs] = depth;
+        } else if (tainted.count(lhs) > 0) {
+          tainted.erase(lhs);
+        }
+        continue;
+      }
+      // Mutator through a tainted handle, or chained straight off Freeze().
+      if (kMutators.count(tok.text) > 0 && Is(t, i + 1, "(") && i > 0 &&
+          (t[i - 1].text == "." || t[i - 1].text == "->")) {
+        std::string receiver = ReceiverBefore(t, i - 1);
+        bool receiver_tainted = tainted.count(receiver) > 0;
+        bool chained_off_freeze = Contains(receiver, "Freeze()");
+        if (receiver_tainted || chained_off_freeze) {
+          Report("NL005", path, tok.line,
+                 "mutation " + tok.text + "() through frozen snapshot '" +
+                     receiver + "' — a frozen tree is shared with every "
+                     "concurrent reader; Clone() first");
+        }
+      }
+    }
+  }
+};
+
+Linter::Linter(LintOptions options) : impl_(new Impl) {
+  impl_->options = std::move(options);
+}
+
+Linter::~Linter() { delete impl_; }
+
+void Linter::AddFile(const std::string& path, const std::string& content) {
+  LexedFile lexed = Lex(content);
+  Impl::FileData& fd = impl_->files[path];
+  fd.comments = lexed.comments;
+  fd.lines = std::move(lexed.lines);
+  // File-scope directives can appear anywhere (by convention, the top).
+  for (const auto& [line, comments] : fd.comments) {
+    (void)line;
+    for (const std::string& comment : comments) {
+      for (const RuleInfo& r : kRules) {
+        std::string reason;
+        if (impl_->DirectiveFor(comment, r.id, /*want_file_scope=*/true,
+                                &reason)) {
+          fd.file_suppressions.emplace(r.id, reason);
+        }
+      }
+    }
+  }
+  impl_->CheckRawSync(path, lexed.toks);
+  impl_->CheckMutexRank(path, lexed.toks);
+  impl_->CheckBlockingUnderLock(path, lexed.toks);
+  impl_->CheckGuardedMembers(path, lexed.toks);
+  impl_->CheckFrozenMutation(path, lexed.toks);
+}
+
+void Linter::Finish() {
+  if (impl_->finished) return;
+  impl_->finished = true;
+  // NL002: member declarations that never met a constructor-initializer.
+  for (const Impl::PendingInit& p : impl_->pending_inits) {
+    auto it = impl_->init_sites.find(p.member);
+    bool resolved = false;
+    if (it != impl_->init_sites.end()) {
+      const std::string stem = FileStem(p.file);
+      resolved = it->second.count(stem) > 0;
+    }
+    if (!resolved) {
+      impl_->Report("NL002", p.file, p.line,
+                    p.type + " member '" + p.member +
+                        "' declared without a LockRank initializer and no "
+                        "constructor initializes it with one");
+    }
+  }
+  // Rank doc-sync: every registered rank needs its DESIGN.md §2e row.
+  if (!impl_->options.documented_ranks.empty()) {
+    for (const std::string& rank : impl_->options.known_ranks) {
+      if (impl_->options.documented_ranks.count(rank) == 0) {
+        impl_->Report("NL002", impl_->options.lock_rank_path, 1,
+                      "LockRank::" + rank +
+                          " has no row in the DESIGN.md section 2e rank "
+                          "table — document where it sits and why");
+      }
+    }
+  }
+  std::stable_sort(impl_->findings.begin(), impl_->findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+const std::vector<Finding>& Linter::findings() const {
+  return impl_->findings;
+}
+
+int Linter::unsuppressed_count() const {
+  int count = 0;
+  for (const Finding& f : impl_->findings) {
+    if (!f.suppressed) ++count;
+  }
+  return count;
+}
+
+}  // namespace nimble_lint
