@@ -175,6 +175,7 @@ Result<std::vector<Tuple>> Operator::Drain() {
   NIMBLE_RETURN_IF_ERROR(Open());
   std::vector<Tuple> out;
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch, NextBatch());
     if (!batch.has_value()) break;
     out.reserve(out.size() + batch->size());
@@ -189,6 +190,13 @@ Result<std::vector<Tuple>> Operator::Drain() {
 void Operator::SetBatchSize(size_t rows) {
   batch_size_ = rows == 0 ? 1 : rows;
   for (Operator* child : children_) child->SetBatchSize(rows);
+}
+
+void Operator::SetCancelProbe(CancelProbe probe) {
+  // Every operator in the tree shares the same probe so a cancelled query
+  // stops draining wherever it happens to be — pipeline stages included.
+  for (Operator* child : children_) child->SetCancelProbe(probe);
+  cancel_probe_ = std::move(probe);
 }
 
 // ---- MaterializedScan ---------------------------------------------------------
@@ -210,6 +218,7 @@ MaterializedScan::MaterializedScan(TupleSchema schema, TupleBatch data,
 }
 
 Result<std::optional<TupleBatch>> MaterializedScan::DoNextBatch() {
+  NIMBLE_RETURN_IF_ERROR(PollCancel());
   const size_t total = data_.size();
   if (position_ >= total) return std::optional<TupleBatch>{};
   const size_t n = std::min(batch_size(), total - position_);
@@ -233,6 +242,7 @@ Filter::Filter(std::unique_ptr<Operator> child,
 
 Result<std::optional<TupleBatch>> Filter::DoNextBatch() {
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                             child_->NextBatch());
     if (!batch.has_value()) return batch;
@@ -303,6 +313,7 @@ Status HashJoin::DoOpen() {
   build_ = TupleBatch(build_input()->schema().size());
   NIMBLE_RETURN_IF_ERROR(build_input()->Open());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                             build_input()->NextBatch());
     if (!batch.has_value()) break;
@@ -360,6 +371,7 @@ Result<std::optional<TupleBatch>> HashJoin::DoNextBatch() {
   TupleBatch out(schema_.size());
   out.Reserve(batch_size());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     if (probe_.has_value()) {
       while (probe_row_ < probe_->size()) {
         while (chain_ != kNone) {
@@ -433,6 +445,7 @@ Status NestedLoopJoin::DoOpen() {
   right_data_ = TupleBatch(right_->schema().size());
   NIMBLE_RETURN_IF_ERROR(right_->Open());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                             right_->NextBatch());
     if (!batch.has_value()) break;
@@ -459,6 +472,7 @@ const Binding& NestedLoopJoin::BindingAt(size_t slot, const TupleBatch& probe,
 Result<std::optional<TupleBatch>> NestedLoopJoin::DoNextBatch() {
   TupleBatch out(schema_.size());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     if (probe_.has_value()) {
       while (probe_row_ < probe_->size()) {
         while (right_pos_ < right_data_.num_rows()) {
@@ -516,6 +530,7 @@ Status Sort::DoOpen() {
   data_ = TupleBatch(child_->schema().size());
   NIMBLE_RETURN_IF_ERROR(child_->Open());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                             child_->NextBatch());
     if (!batch.has_value()) break;
@@ -545,6 +560,7 @@ Status Sort::DoOpen() {
 }
 
 Result<std::optional<TupleBatch>> Sort::DoNextBatch() {
+  NIMBLE_RETURN_IF_ERROR(PollCancel());
   if (position_ >= order_.size()) return std::optional<TupleBatch>{};
   const size_t n = std::min(batch_size(), order_.size() - position_);
   std::vector<uint32_t> selection(order_.begin() + static_cast<long>(position_),
@@ -567,6 +583,7 @@ Limit::Limit(std::unique_ptr<Operator> child, size_t limit)
 }
 
 Result<std::optional<TupleBatch>> Limit::DoNextBatch() {
+  NIMBLE_RETURN_IF_ERROR(PollCancel());
   if (emitted_ >= limit_) return std::optional<TupleBatch>{};
   NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                           child_->NextBatch());
@@ -636,6 +653,7 @@ Status HashAggregate::DoOpen() {
 
   NIMBLE_RETURN_IF_ERROR(child_->Open());
   while (true) {
+    NIMBLE_RETURN_IF_ERROR(PollCancel());
     NIMBLE_ASSIGN_OR_RETURN(std::optional<TupleBatch> batch,
                             child_->NextBatch());
     if (!batch.has_value()) break;
@@ -720,6 +738,7 @@ Status HashAggregate::DoOpen() {
 }
 
 Result<std::optional<TupleBatch>> HashAggregate::DoNextBatch() {
+  NIMBLE_RETURN_IF_ERROR(PollCancel());
   if (position_ >= results_.num_rows()) return std::optional<TupleBatch>{};
   const size_t n = std::min(batch_size(), results_.num_rows() - position_);
   TupleBatch out = results_.Slice(position_, n);

@@ -2,6 +2,7 @@
 #define NIMBLE_ALGEBRA_OPERATORS_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,6 +34,13 @@ struct BoundCondition {
   /// tuple (the vectorized Filter path).
   bool EvaluateAt(const TupleBatch& batch, size_t i) const;
 };
+
+/// Deadline/cancellation probe threaded into a plan before it drains
+/// (DESIGN.md §2b): returns OK while the query may keep running, Cancelled
+/// or Timeout otherwise. The engine installs one backed by its per-query
+/// ExecutionContext; the algebra layer stays ignorant of core:: types so
+/// the dependency arrow keeps pointing core → algebra.
+using CancelProbe = std::function<Status()>;
 
 /// Batch-at-a-time Volcano iterator. Open() may do bulk work (builds,
 /// sorts); NextBatch() yields column-major TupleBatches of up to
@@ -85,6 +93,13 @@ class Operator {
   void SetBatchSize(size_t rows);
   size_t batch_size() const { return batch_size_; }
 
+  /// Installs the deadline/cancellation probe on this operator and all
+  /// children. Every operator polls it between batches (and inside its
+  /// unbounded drain loops — lint rule NL006 enforces this), so a
+  /// cancelled or expired query stops mid-drain instead of running the
+  /// plan to completion. A null probe (the default) never cancels.
+  void SetCancelProbe(CancelProbe probe);
+
   /// Batches / rows this operator has emitted since Open().
   size_t batches_produced() const { return batches_produced_; }
   size_t rows_produced() const { return rows_produced_; }
@@ -111,6 +126,13 @@ class Operator {
   virtual Result<std::optional<TupleBatch>> DoNextBatch() = 0;
   virtual void DoClose() = 0;
 
+  /// Deadline/cancellation poll for DoOpen/DoNextBatch drain loops: OK
+  /// while the query may keep running, Cancelled/Timeout otherwise.
+  /// Cheap when no probe is installed (one branch).
+  Status PollCancel() const {
+    return cancel_probe_ ? cancel_probe_() : Status::OK();
+  }
+
   /// Registers `child` for Describe/verify and batch-size propagation.
   void AddChild(Operator* child) {
     children_views_.push_back(child);
@@ -124,6 +146,7 @@ class Operator {
 
   std::vector<Operator*> children_;  ///< for SetBatchSize propagation.
   size_t batch_size_ = kDefaultBatchSize;
+  CancelProbe cancel_probe_;  ///< null = never cancels.
   size_t batches_produced_ = 0;
   size_t rows_produced_ = 0;
   double estimated_rows_ = -1.0;  ///< < 0 = no cost annotation.

@@ -696,6 +696,10 @@ Status IntegrationEngine::ExecuteBranch(const xmlql::Query& query,
       std::move(fragment_results), fragmentation.cross_conditions, query);
   if (!plan.ok()) return plan.status();
   (*plan)->SetBatchSize(options_.batch_size);
+  // Thread the deadline/cancel probe through the whole operator tree so a
+  // cancelled or timed-out query stops draining mid-batch instead of running
+  // the plan to completion (ctx outlives the drain loop below).
+  (*plan)->SetCancelProbe([&ctx] { return ctx.Check(); });
   report->plan = (*plan)->Describe();
 
   if (options_.verify_plans) {

@@ -1,6 +1,7 @@
 #include "dist/coordinator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -22,6 +23,19 @@ using xmlql::AggregateFn;
 using xmlql::Condition;
 using xmlql::ElementPattern;
 using xmlql::TemplateNode;
+
+/// Slice width for the responsive gather wait: small enough that a cancelled
+/// query returns within a few milliseconds, large enough that the poll loop
+/// is not a busy-wait.
+constexpr int64_t kGatherSliceMicros = 2000;
+
+/// Cancellation poll for the shard gather path. A null flag never cancels.
+Status CheckCancelled(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled during shard gather");
+  }
+  return Status::OK();
+}
 
 // --- AST deep clones (Query owns unique_ptr subtrees) ----------------------
 
@@ -509,6 +523,7 @@ Result<core::QueryResult> Coordinator::ExecuteScattered(
       for (ShardRun& run : branch_runs) run.handle->Cancel();
     }
   };
+  const std::atomic<bool>* cancel = query_options.cancel;
 
   // --- Gather: wait (bounded when a straggler budget is set) --------------
   const int64_t budget = options_.straggler_wait_micros;
@@ -521,12 +536,27 @@ Result<core::QueryResult> Coordinator::ExecuteScattered(
   for (size_t b = 0; b < plans.size(); ++b) {
     const BranchPlan& plan = plans[b];
     for (ShardRun& run : runs[b]) {
-      if (budget > 0) {
-        int64_t remaining =
-            std::max<int64_t>(0, budget - ElapsedMicros(gather_start));
-        run.outcome = run.handle->WaitFor(remaining);
-      } else {
-        run.outcome = &run.handle->Wait();
+      // Wait in bounded slices, polling the caller's cancel flag between
+      // slices, so a cancelled scatter-gather abandons the remaining shards
+      // within ~kGatherSliceMicros instead of blocking until they finish.
+      while (run.outcome == nullptr) {
+        Status cancelled = CheckCancelled(cancel);
+        if (!cancelled.ok()) {
+          cancel_all();
+          return cancelled;
+        }
+        if (budget > 0) {
+          const int64_t remaining = budget - ElapsedMicros(gather_start);
+          if (remaining <= 0) break;  // Straggler: outcome stays null.
+          run.outcome =
+              run.handle->WaitFor(std::min(kGatherSliceMicros, remaining));
+        } else if (cancel == nullptr) {
+          // No flag to poll: a plain blocking wait always produces an
+          // outcome, so this loop runs exactly once.
+          run.outcome = &run.handle->Wait();
+        } else {
+          run.outcome = run.handle->WaitFor(kGatherSliceMicros);
+        }
       }
       const bool straggler = run.outcome == nullptr;
       const bool failed = !straggler && !run.outcome->ok();

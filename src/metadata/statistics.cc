@@ -187,6 +187,7 @@ CollectionStats MergeCollectionStats(std::vector<CollectionStats> parts) {
       auto [it, inserted] = out.columns.try_emplace(name, std::move(col));
       if (inserted) continue;  // first sighting seeds the merged entry
       ColumnStats& merged = it->second;
+      // nimble-lint: moved(try_emplace leaves col intact when the key exists)
       const ColumnStats& add = col;
       if (merged.type == ValueType::kNull) merged.type = add.type;
       if (merged.min.is_null() ||

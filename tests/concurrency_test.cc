@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "algebra/operators.h"
 #include "common/thread_pool.h"
 #include "connector/relational_connector.h"
 #include "connector/simulated_source.h"
@@ -291,6 +292,110 @@ TEST_F(ConcurrencyTest, CancelledQueryReturnsCancelled) {
   core::QueryOptions qopts;
   qopts.cancel = &cancel;
   Result<core::QueryResult> r = engine.ExecuteText(kJoinQuery, qopts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+// An operator tree stops draining mid-stream when its cancel probe trips:
+// the NL006 contract at runtime. The probe counts its invocations, proving
+// the operators poll while producing batches, not just at Open().
+TEST(OperatorCancellationTest, ProbeStopsDrainMidStream) {
+  algebra::TupleSchema schema({"x"});
+  std::vector<algebra::Tuple> rows;
+  for (int i = 0; i < 1000; ++i) {
+    algebra::Tuple t;
+    t.emplace_back(algebra::Binding{Value::Int(i)});
+    rows.push_back(std::move(t));
+  }
+  algebra::MaterializedScan scan(std::move(schema), std::move(rows));
+  scan.SetBatchSize(16);  // many DoNextBatch calls across the drain
+  std::atomic<int> polls{0};
+  scan.SetCancelProbe([&polls]() -> Status {
+    return ++polls >= 5 ? Status::Cancelled("probe tripped") : Status::OK();
+  });
+  Result<std::vector<algebra::Tuple>> out = scan.Drain();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(polls.load(), 5);  // cancelled mid-stream, not up front
+}
+
+// SetCancelProbe installs recursively: a probe handed to the root reaches
+// every child, so a cancelled query stops wherever it happens to be.
+TEST(OperatorCancellationTest, ProbePropagatesThroughTheTree) {
+  algebra::TupleSchema schema({"x"});
+  std::vector<algebra::Tuple> rows;
+  for (int i = 0; i < 100; ++i) {
+    algebra::Tuple t;
+    t.emplace_back(algebra::Binding{Value::Int(i)});
+    rows.push_back(std::move(t));
+  }
+  auto scan = std::make_unique<algebra::MaterializedScan>(std::move(schema),
+                                                          std::move(rows));
+  algebra::MaterializedScan* scan_view = scan.get();
+  algebra::Limit limit(std::move(scan), 50);
+  limit.SetCancelProbe(
+      [] { return Status::Cancelled("cancelled before any batch"); });
+  EXPECT_TRUE(static_cast<algebra::Operator*>(scan_view) != nullptr);
+  Result<std::vector<algebra::Tuple>> out = limit.Drain();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+}
+
+// Connector decorator that raises a cancel flag during the fetch itself:
+// by the time the operator tree drains, the engine's up-front cancel check
+// has long passed, so only the operator-level polls can notice the flag.
+class CancelDuringFetch : public connector::Connector {
+ public:
+  CancelDuringFetch(std::unique_ptr<connector::Connector> inner,
+                    std::atomic<bool>* flag)
+      : inner_(std::move(inner)), flag_(flag) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  connector::SourceCapabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+  std::vector<std::string> Collections() override {
+    return inner_->Collections();
+  }
+  using connector::Connector::FetchCollection;
+  Result<NodePtr> FetchCollection(
+      const std::string& collection,
+      const connector::RequestContext& ctx) override {
+    flag_->store(true);  // cancellation arrives while the query is in flight
+    return inner_->FetchCollection(collection, ctx);
+  }
+  uint64_t DataVersion() override { return inner_->DataVersion(); }
+
+ private:
+  std::unique_ptr<connector::Connector> inner_;
+  std::atomic<bool>* flag_;
+};
+
+// The cancel flag flips mid-query, deterministically, during the fetch;
+// the operators must stop the subsequent drain.
+TEST_F(ConcurrencyTest, CancelFlagFlippedMidQueryStopsTheDrain) {
+  auto catalog = std::make_unique<metadata::Catalog>();
+  auto inner = std::make_unique<connector::XmlConnector>("wh");
+  Must(inner->PutDocumentText("stock", R"(
+    <stock>
+      <item sku="a"><on_hand>12</on_hand></item>
+      <item sku="b"><on_hand>5</on_hand></item>
+    </stock>)"));
+  std::atomic<bool> cancel{false};
+  Must(catalog->RegisterSource(
+      std::make_unique<CancelDuringFetch>(std::move(inner), &cancel)));
+
+  core::EngineOptions opts;
+  opts.clock = &clock_;
+  core::IntegrationEngine engine(catalog.get(), opts);
+  core::QueryOptions qopts;
+  qopts.cancel = &cancel;
+  Result<core::QueryResult> r = engine.ExecuteText(R"(
+    WHERE <stock><item sku=$s><on_hand>$h</on_hand></item></stock>
+            IN "wh:stock", $h > 0
+    CONSTRUCT <hit><sku>$s</sku></hit>
+  )",
+                                                   qopts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
 }

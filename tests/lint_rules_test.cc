@@ -348,13 +348,16 @@ TEST(LintSuppression, InlineSameLineAndLineAbove) {
 }
 
 TEST(LintSuppression, InlineAliasOnlySuppressesItsRule) {
-  // An unguarded() directive must not silence an NL001 finding.
+  // An unguarded() directive must not silence an NL001 finding — and since
+  // it then suppresses nothing at all, NL009 flags it as stale.
   const std::string src = R"cc(
     std::mutex a_;  // nimble-lint: unguarded(wrong alias)
   )cc";
   std::vector<Finding> findings = Analyze("src/foo/s.h", src);
-  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(CountRule(findings, "NL001"), 1);
   EXPECT_FALSE(findings[0].suppressed);
+  EXPECT_EQ(CountRule(findings, "NL009"), 1);
 }
 
 TEST(LintSuppression, FileLevelDirective) {
@@ -431,7 +434,438 @@ TEST(LintRules, ResolveRuleAcceptsIdsNamesAndAliases) {
   EXPECT_EQ(ResolveRule("blocking"), "NL003");
   EXPECT_EQ(ResolveRule("unguarded"), "NL004");
   EXPECT_EQ(ResolveRule("frozen"), "NL005");
+  EXPECT_EQ(ResolveRule("cancellation-responsiveness"), "NL006");
+  EXPECT_EQ(ResolveRule("responsive"), "NL006");
+  EXPECT_EQ(ResolveRule("status-path"), "NL007");
+  EXPECT_EQ(ResolveRule("status"), "NL007");
+  EXPECT_EQ(ResolveRule("use-after-move"), "NL008");
+  EXPECT_EQ(ResolveRule("moved"), "NL008");
+  EXPECT_EQ(ResolveRule("stale-suppression"), "NL009");
+  EXPECT_EQ(ResolveRule("stale"), "NL009");
   EXPECT_EQ(ResolveRule("no-such-rule"), "");
+}
+
+// ---------------------------------------------------------------------------
+// CFG builder (the substrate for NL006–NL008)
+// ---------------------------------------------------------------------------
+
+TEST(LintCfg, IfElseDiamond) {
+  const std::string cfg = DescribeCfgForTest(
+      "void F(bool c) { int x = 0; if (c) { A(); } else { B(); } C(); }", "F");
+  EXPECT_EQ(cfg,
+            "0 entry line=0 -> 2\n"
+            "1 exit line=0 ->\n"
+            "2 stmt line=1 -> 3\n"
+            "3 cond line=1 -> 4,5\n"
+            "4 stmt line=1 -> 6\n"
+            "5 stmt line=1 -> 6\n"
+            "6 stmt line=1 -> 1\n");
+}
+
+TEST(LintCfg, LoopBackEdgeAndConstantTrueFlag) {
+  const std::string cfg =
+      DescribeCfgForTest("void G() { while (true) { A(); } }", "G");
+  EXPECT_EQ(cfg,
+            "0 entry line=0 -> 2\n"
+            "1 exit line=0 ->\n"
+            "2 cond line=1 -> 3\n"
+            "3 stmt line=1 -> 2\n"
+            "loop head=2 back=3 true=1 range_for=0\n");
+}
+
+TEST(LintCfg, EarlyReturnGoesStraightToExit) {
+  const std::string cfg =
+      DescribeCfgForTest("int H(bool c) { if (c) return 1; return 2; }", "H");
+  EXPECT_EQ(cfg,
+            "0 entry line=0 -> 2\n"
+            "1 exit line=0 ->\n"
+            "2 cond line=1 -> 3,4\n"
+            "3 stmt line=1 -> 1\n"
+            "4 stmt line=1 -> 1\n");
+}
+
+TEST(LintCfg, RangeForIsABoundedLoop) {
+  const std::string cfg = DescribeCfgForTest(
+      "void R(std::vector<int> v) { for (int x : v) { A(x); } }", "R");
+  EXPECT_NE(cfg.find("loop head=2 back=3 true=0 range_for=1"),
+            std::string::npos);
+}
+
+TEST(LintCfg, UnknownFunctionYieldsEmpty) {
+  EXPECT_EQ(DescribeCfgForTest("void F() {}", "NoSuchFn"), "");
+}
+
+// ---------------------------------------------------------------------------
+// NL006 cancellation-responsiveness
+// ---------------------------------------------------------------------------
+
+TEST(LintNL006, UnboundedProducerLoopWithoutPollFires) {
+  const std::string src = R"cc(
+    Status DoNextBatch() {
+      while (true) {
+        auto b = child_->NextBatch();
+        if (!b) break;
+        Emit(b);
+      }
+      return Status::OK();
+    }
+  )cc";
+  std::vector<Finding> findings = Analyze("src/foo/op.cc", src);
+  EXPECT_EQ(CountRule(findings, "NL006"), 1);
+}
+
+TEST(LintNL006, PollAtLoopTopIsClean) {
+  const std::string src = R"cc(
+    Status DoNextBatch() {
+      while (true) {
+        NIMBLE_RETURN_IF_ERROR(PollCancel());
+        auto b = child_->NextBatch();
+        if (!b) break;
+        Emit(b);
+      }
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/op.cc", src), "NL006"), 0);
+}
+
+TEST(LintNL006, PollOnOnlyOneBranchStillFires) {
+  // Path-sensitive: a structural "does the loop body mention PollCancel"
+  // scan would pass this, but the else-path never polls.
+  const std::string src = R"cc(
+    Status DoNextBatch() {
+      while (true) {
+        if (ready_) {
+          NIMBLE_RETURN_IF_ERROR(PollCancel());
+        } else {
+          Shuffle();
+        }
+        auto b = child_->NextBatch();
+        if (!b) break;
+      }
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/op.cc", src), "NL006"), 1);
+}
+
+TEST(LintNL006, PollOnBothBranchesIsClean) {
+  const std::string src = R"cc(
+    Status DoNextBatch() {
+      while (true) {
+        if (ready_) {
+          NIMBLE_RETURN_IF_ERROR(PollCancel());
+        } else {
+          NIMBLE_RETURN_IF_ERROR(ctx_->Check());
+        }
+        auto b = child_->NextBatch();
+        if (!b) break;
+      }
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/op.cc", src), "NL006"), 0);
+}
+
+TEST(LintNL006, PollingHelperSummarySatisfiesTheLoop) {
+  // One-level callee summary: CheckSlice has no poll name, but its body
+  // polls, and the summary carries that fact into the loop — even when the
+  // helper lives in another translation unit.
+  const std::string helper = R"cc(
+    Status CheckSlice() { return PollCancel(); }
+  )cc";
+  const std::string op = R"cc(
+    Status DoNextBatch() {
+      while (true) {
+        NIMBLE_RETURN_IF_ERROR(CheckSlice());
+        auto b = child_->NextBatch();
+        if (!b) break;
+      }
+      return Status::OK();
+    }
+  )cc";
+  Linter linter(DefaultOptions());
+  linter.AddFile("src/foo/helper.cc", helper);
+  linter.AddFile("src/foo/op.cc", op);
+  linter.Finish();
+  EXPECT_EQ(CountRule(linter.findings(), "NL006"), 0);
+
+  // Without the helper's definition the summary says nothing, so the
+  // unknown call must not count as a poll.
+  EXPECT_EQ(CountRule(Analyze("src/foo/op.cc", op), "NL006"), 1);
+}
+
+TEST(LintNL006, BoundedLoopAndNonEntryPointAreExempt) {
+  // A plain counted loop is not flagged, and functions outside the
+  // operator entry-point set are not checked at all.
+  const std::string src = R"cc(
+    Status DoNextBatch() {
+      for (size_t i = 0; i < n_; ++i) Emit(i);
+      return Status::OK();
+    }
+    Status Helper() {
+      while (true) {
+        auto b = child_->NextBatch();
+        if (!b) break;
+      }
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/op.cc", src), "NL006"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// NL007 status-path
+// ---------------------------------------------------------------------------
+
+TEST(LintNL007, DroppedStatusFires) {
+  const std::string src = R"cc(
+    Status F() {
+      Status s = Fallible();
+      return Status::OK();
+    }
+  )cc";
+  std::vector<Finding> findings = Analyze("src/foo/a.cc", src);
+  EXPECT_EQ(CountRule(findings, "NL007"), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("never consulted"), std::string::npos);
+}
+
+TEST(LintNL007, ConsultedOnOnePathIsClean) {
+  // Path-sensitive: the value is only read on the c==true path, but one
+  // observing path is enough — it is not dropped.
+  const std::string src = R"cc(
+    Status F(bool c) {
+      Status s = Fallible();
+      if (c) return s;
+      return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL007"), 0);
+}
+
+TEST(LintNL007, OverwrittenBeforeReadFires) {
+  const std::string src = R"cc(
+    Status F() {
+      Status s;
+      s = First();
+      s = Second();
+      return s;
+    }
+  )cc";
+  std::vector<Finding> findings = Analyze("src/foo/a.cc", src);
+  EXPECT_EQ(CountRule(findings, "NL007"), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("overwritten"), std::string::npos);
+}
+
+TEST(LintNL007, LambdaAssignmentIsAWeakUpdate) {
+  // The callback may run zero times, so the assignment inside it must not
+  // kill the OK() definition — and the return consults both.
+  const std::string src = R"cc(
+    Status F() {
+      Status err = Status::OK();
+      items_.ForEach([&](int v) {
+        if (v < 0) err = Reject(v);
+      });
+      return err;
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL007"), 0);
+}
+
+TEST(LintNL007, StatusFunctionFallingOffTheEndFires) {
+  const std::string src = R"cc(
+    Status F(bool c) {
+      if (c) return Status::OK();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL007"), 1);
+}
+
+TEST(LintNL007, AllPathsReturningIsClean) {
+  const std::string src = R"cc(
+    Status F(bool c) {
+      if (c) return Status::OK();
+      return Fallible();
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL007"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// NL008 use-after-move
+// ---------------------------------------------------------------------------
+
+TEST(LintNL008, UseAfterMoveFires) {
+  const std::string src = R"cc(
+    void F() {
+      std::string v = Name();
+      Consume(std::move(v));
+      Log(v);
+    }
+  )cc";
+  std::vector<Finding> findings = Analyze("src/foo/a.cc", src);
+  EXPECT_EQ(CountRule(findings, "NL008"), 1);
+}
+
+TEST(LintNL008, ReassignmentClearsTheTaint) {
+  const std::string src = R"cc(
+    void F() {
+      std::string v = Name();
+      Consume(std::move(v));
+      v = Fresh();
+      Log(v);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 0);
+}
+
+TEST(LintNL008, LoopCarriedMoveFires) {
+  // The move taints `item` across the back edge: iteration 2's Prepare()
+  // reads a moved-from value, and its Consume() moves one. Only the
+  // fixpoint sees either.
+  const std::string src = R"cc(
+    void F() {
+      Item item = Make();
+      while (More()) {
+        Prepare(item);
+        Consume(std::move(item));
+      }
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 2);
+}
+
+TEST(LintNL008, MoveOnOneBranchTaintsTheJoin) {
+  const std::string src = R"cc(
+    void F(bool c) {
+      Buf b = Make();
+      if (c) {
+        Sink(std::move(b));
+      }
+      Use(b);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 1);
+}
+
+TEST(LintNL008, ReassignedOnTheMovingBranchIsClean) {
+  // Path-sensitive negative of the join test: the only branch that moves
+  // also re-establishes a value before the join.
+  const std::string src = R"cc(
+    void F(bool c) {
+      Buf b = Make();
+      if (c) {
+        Sink(std::move(b));
+        b = Make();
+      }
+      Use(b);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 0);
+}
+
+TEST(LintNL008, SelfReassignmentFoldIsClean) {
+  // The idiomatic fold: the assignment lands after the RHS consumes the
+  // old value, so the statement's net effect is a fresh value.
+  const std::string src = R"cc(
+    void F() {
+      Expr lhs = First();
+      while (More()) {
+        lhs = Combine(std::move(lhs), Next());
+      }
+      Use(lhs);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 0);
+}
+
+TEST(LintNL008, TernaryArmsAreExclusive) {
+  const std::string src = R"cc(
+    void F(bool c) {
+      Buf v = Make();
+      Out r = c ? First(std::move(v)) : Second(std::move(v));
+      Use(r);
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 0);
+}
+
+TEST(LintNL008, StructuredBindingIsAFreshObject) {
+  const std::string src = R"cc(
+    void F(std::map<std::string, Buf>& m) {
+      for (auto& [k, b] : m) {
+        Sink(std::move(b));
+      }
+    }
+  )cc";
+  EXPECT_EQ(CountRule(Analyze("src/foo/a.cc", src), "NL008"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// NL009 stale-suppression
+// ---------------------------------------------------------------------------
+
+TEST(LintNL009, StaleListEntryFlaggedAtItsOwnLine) {
+  LintOptions options = DefaultOptions();
+  options.suppressions =
+      ParseSuppressionList("# header\nNL001 src/foo no-such-line\n");
+  std::vector<Finding> findings = Analyze("src/foo/s.h", "int x = 0;\n", options);
+  ASSERT_EQ(CountRule(findings, "NL009"), 1);
+  const Finding& f = findings.front();
+  EXPECT_EQ(f.rule, "NL009");
+  EXPECT_EQ(f.file, options.suppressions_path);
+  EXPECT_EQ(f.line, 2);  // the entry's own line in the list
+}
+
+TEST(LintNL009, UsedListEntryIsNotStale) {
+  LintOptions options = DefaultOptions();
+  options.suppressions = ParseSuppressionList("NL001 src/foo *\n");
+  std::vector<Finding> findings =
+      Analyze("src/foo/s.h", "std::mutex mu_;\n", options);
+  EXPECT_EQ(CountRule(findings, "NL009"), 0);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintNL009, EntryForUnscannedPathIsLeftAlone) {
+  // Partial scans must not declare entries for other directories stale.
+  LintOptions options = DefaultOptions();
+  options.suppressions = ParseSuppressionList("NL001 tests/other *\n");
+  std::vector<Finding> findings =
+      Analyze("src/foo/s.h", "std::mutex mu_;\n", options);
+  EXPECT_EQ(CountRule(findings, "NL009"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel analysis: Analyze/Merge equals sequential AddFile
+// ---------------------------------------------------------------------------
+
+TEST(LintParallel, MergeInSortedOrderMatchesSequential) {
+  const std::string f1 = "std::mutex a_;\n";
+  const std::string f2 = "std::shared_mutex b_;\nvoid G() { sleep(1); }\n";
+
+  Linter seq(DefaultOptions());
+  seq.AddFile("src/a.cc", f1);
+  seq.AddFile("src/b.cc", f2);
+  seq.Finish();
+
+  // Analyze out of order (as a thread pool would), merge in sorted order.
+  Linter par(DefaultOptions());
+  auto rb = par.Analyze("src/b.cc", f2);
+  auto ra = par.Analyze("src/a.cc", f1);
+  par.Merge(std::move(ra));
+  par.Merge(std::move(rb));
+  par.Finish();
+
+  ASSERT_EQ(seq.findings().size(), par.findings().size());
+  for (size_t i = 0; i < seq.findings().size(); ++i) {
+    EXPECT_EQ(seq.findings()[i].file, par.findings()[i].file);
+    EXPECT_EQ(seq.findings()[i].line, par.findings()[i].line);
+    EXPECT_EQ(seq.findings()[i].rule, par.findings()[i].rule);
+    EXPECT_EQ(seq.findings()[i].message, par.findings()[i].message);
+  }
 }
 
 TEST(LintRules, EnabledRulesFilter) {

@@ -90,13 +90,15 @@ fi
 # ---- 5. nimble-lint: whole-tree contract analysis -----------------------
 # Self-contained (no LibTooling dependency), so this gate can never be
 # skipped for want of clang dev headers. Zero unsuppressed findings over
-# src/ tools/ tests/ bench/ examples/ is the bar.
+# src/ tools/ tests/ bench/ examples/ is the bar. The per-file phase runs
+# in parallel; output (per-rule counts, wall time) is deterministic at any
+# job count.
 echo "== [5/5] nimble-lint whole-tree =="
 if ! cmake --build "$BUILD_DIR" --target nimble-lint -j "$(nproc)"; then
   echo "lint.sh: FAIL — nimble-lint does not build" >&2
   fail=1
 elif ! (cd "$ROOT" && "$BUILD_DIR/tools/nimble-lint" --build "$BUILD_DIR" \
-        --all); then
+        --all --jobs "$(nproc)"); then
   echo "lint.sh: FAIL — nimble-lint reported unsuppressed findings" >&2
   fail=1
 fi

@@ -7,18 +7,27 @@
 //   nimble-lint --build build                 # src/ + tools/ (production)
 //   nimble-lint --build build --all           # + tests/ bench/ examples/
 //   nimble-lint --rule mutex-rank src/foo.cc  # one rule, explicit files
+//   nimble-lint --build build --all --jobs 8  # parallel per-file phase
 //
-// CI and tools/lint.sh run `--all` with the checked-in suppression list —
-// the gate is zero unsuppressed findings over the full tree.
+// CI and tools/lint.sh run `--all --jobs $(nproc)` with the checked-in
+// suppression list — the gate is zero unsuppressed findings over the full
+// tree. The per-file phase (lex, CFG, local rules) fans out over
+// common/thread_pool; results merge in sorted path order, so the output is
+// byte-identical at any --jobs value.
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "tools/nimble_lint.h"
 
 namespace {
@@ -68,6 +77,8 @@ void Usage() {
       "                       build-rel, build-asan with one)\n"
       "  --root <dir>         repository root (default: cwd)\n"
       "  --all                also scan tests/, bench/, examples/\n"
+      "  --jobs <n>           analyze n files in parallel (default 1);\n"
+      "                       output is deterministic at any value\n"
       "  --rule <id|name>     enable only this rule (repeatable)\n"
       "  --suppressions <f>   suppression list (default:\n"
       "                       tools/nimble_lint_suppressions.txt)\n"
@@ -84,6 +95,7 @@ int main(int argc, char** argv) {
   std::string suppressions_path;
   bool scan_all = false;
   bool no_suppressions = false;
+  int jobs = 1;
   std::set<std::string> rules;
   std::vector<std::string> explicit_files;
 
@@ -109,6 +121,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       rules.insert(r);
+    } else if (arg == "--jobs") {
+      jobs = std::stoi(next());
+      if (jobs < 1) jobs = 1;
     } else if (arg == "--suppressions") {
       suppressions_path = next();
     } else if (arg == "--no-suppressions") {
@@ -124,7 +139,22 @@ int main(int argc, char** argv) {
           << "NL004 guarded-member       unannotated mutable members of "
              "mutex-owning classes\n"
           << "NL005 frozen-mutation      mutation of frozen snapshots / "
-             "const-casts around Freeze()\n";
+             "const-casts around Freeze()\n"
+          << "NL006 cancellation-responsiveness\n"
+             "                           unbounded loops in operator "
+             "entry points with a\n"
+             "                           path that never reaches a "
+             "deadline/cancel poll\n"
+          << "NL007 status-path          Status/Result values dropped on "
+             "some path, and\n"
+             "                           Status-returning functions that "
+             "can fall off the end\n"
+          << "NL008 use-after-move       reads of a moved-from value "
+             "before reassignment\n"
+             "                           (loop-carried moves included)\n"
+          << "NL009 stale-suppression    suppression-list entries and "
+             "inline directives\n"
+             "                           that no longer suppress anything\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
@@ -166,6 +196,7 @@ int main(int argc, char** argv) {
     if (fs::exists(sup)) {
       options.suppressions =
           nimble_lint::ParseSuppressionList(ReadFile(sup));
+      options.suppressions_path = RelativeTo(root, sup);
     } else if (!suppressions_path.empty()) {
       std::cerr << "nimble-lint: suppression list " << sup.generic_string()
                 << " not found\n";
@@ -230,25 +261,56 @@ int main(int argc, char** argv) {
   }
 
   // ---- Analysis -----------------------------------------------------------
+  const auto t0 = std::chrono::steady_clock::now();
   nimble_lint::Linter linter(std::move(options));
-  for (const std::string& rel : file_set) {
-    linter.AddFile(rel, ReadFile(root / rel));
+  const std::vector<std::string> rel_files(file_set.begin(), file_set.end());
+  if (jobs <= 1) {
+    for (const std::string& rel : rel_files) {
+      linter.AddFile(rel, ReadFile(root / rel));
+    }
+  } else {
+    // Per-file analysis is pure and thread-safe; fan it out, then merge the
+    // results in sorted path order so the output never depends on --jobs.
+    std::vector<std::unique_ptr<nimble_lint::FileAnalysis>> results(
+        rel_files.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(rel_files.size());
+    for (size_t i = 0; i < rel_files.size(); ++i) {
+      tasks.push_back([&, i] {
+        results[i] = linter.Analyze(rel_files[i], ReadFile(root / rel_files[i]));
+      });
+    }
+    nimble::ThreadPool pool(static_cast<size_t>(jobs));
+    pool.RunParallel(std::move(tasks));
+    for (auto& analysis : results) linter.Merge(std::move(analysis));
   }
   linter.Finish();
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
 
   int suppressed = 0;
   int unsuppressed = 0;
+  std::map<std::string, int> per_rule;
   for (const nimble_lint::Finding& f : linter.findings()) {
     if (f.suppressed) {
       ++suppressed;
       continue;
     }
     ++unsuppressed;
+    ++per_rule[f.rule];
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "/"
               << f.rule_name << "] " << f.message << "\n";
   }
-  std::cout << "nimble-lint: scanned " << file_set.size() << " files: "
-            << unsuppressed << " finding(s), " << suppressed
-            << " suppressed\n";
+  std::cout << "nimble-lint: scanned " << file_set.size() << " files in "
+            << elapsed_ms << " ms (jobs=" << jobs << "): " << unsuppressed
+            << " finding(s), " << suppressed << " suppressed\n";
+  std::cout << "nimble-lint: per-rule:";
+  for (const char* id : {"NL001", "NL002", "NL003", "NL004", "NL005", "NL006",
+                         "NL007", "NL008", "NL009"}) {
+    auto it = per_rule.find(id);
+    std::cout << " " << id << "=" << (it == per_rule.end() ? 0 : it->second);
+  }
+  std::cout << "\n";
   return unsuppressed == 0 ? 0 : 1;
 }

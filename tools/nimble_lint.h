@@ -1,6 +1,7 @@
 #ifndef NIMBLE_TOOLS_NIMBLE_LINT_H_
 #define NIMBLE_TOOLS_NIMBLE_LINT_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,19 +32,50 @@
 ///                              Freeze(), and no const_pointer_cast /
 ///                              const_cast that strips a frozen
 ///                              snapshot's constness, without Clone().
+///   NL006 cancellation-responsiveness
+///                              every loop in a responsiveness-checked
+///                              function (Operator::DoOpen/DoNextBatch,
+///                              Drain, ExecuteScattered) that can iterate
+///                              unboundedly — constant-true condition, or
+///                              the innermost loop around a streaming
+///                              producer call (NextBatch/Wait/WaitFor) —
+///                              must reach a deadline/cancel poll
+///                              (PollCancel, ExecutionContext::Check, or
+///                              a one-level callee that polls) on *every*
+///                              path from the loop body to the back edge.
+///   NL007 status-path          a Status/Result local that is constructed
+///                              or assigned but never consulted on any
+///                              path before it is overwritten or goes out
+///                              of scope is a dropped error; a
+///                              Status-returning function whose CFG can
+///                              fall off the end without returning is the
+///                              same bug in another coat.
+///   NL008 use-after-move       a variable read on any path after
+///                              std::move()d away, before reassignment /
+///                              reset()/clear()/assign() re-establishes a
+///                              value (catches moved-from TupleBatch and
+///                              column reuse, including loop-carried
+///                              moves a lexical scan cannot see).
+///   NL009 stale-suppression    suppression-list entries and inline /
+///                              file directives that no longer suppress
+///                              any finding fail the gate, so the
+///                              suppression surface cannot rot.
 ///
-/// The analysis is a self-contained C++ lexer + lightweight structural
-/// parser (no LibTooling dependency — the tool must build and gate CI with
-/// nothing but the project toolchain; the rule surface is narrow enough
-/// that token-level analysis with scope tracking is exact in practice).
-/// The driver (nimble_lint.cc) discovers the file set from the
-/// compile_commands.json every build exports.
+/// NL001–NL005 are lexical/scope-based token passes. NL006–NL008 run on a
+/// per-function control-flow graph (branches, loops, early returns) built
+/// over the same token stream, with a forward fixpoint dataflow framework
+/// and one-level callee summaries merged across translation units. The
+/// analysis stays a self-contained C++ lexer + structural parser (no
+/// LibTooling dependency — the tool must build and gate CI with nothing
+/// but the project toolchain). The driver (nimble_lint.cc) discovers the
+/// file set from the compile_commands.json every build exports and fans
+/// the per-file phase out over common/thread_pool (--jobs N).
 namespace nimble_lint {
 
 /// One diagnostic. `suppressed` findings are reported but do not fail the
 /// run; the gate is unsuppressed findings == 0.
 struct Finding {
-  std::string rule;       ///< "NL001".."NL005"
+  std::string rule;       ///< "NL001".."NL009"
   std::string rule_name;  ///< "raw-sync", ...
   std::string file;
   int line = 0;
@@ -59,6 +91,7 @@ struct SuppressionEntry {
   std::string rule;         ///< id ("NL001") or name ("raw-sync")
   std::string path_substr;  ///< finding suppressed when file contains this
   std::string line_substr;  ///< and the source line contains this ("*"=any)
+  int line = 0;             ///< 1-based line in the list file (for NL009)
 };
 
 struct LintOptions {
@@ -71,16 +104,31 @@ struct LintOptions {
   /// of doc-sync findings.
   std::string lock_rank_path = "src/common/lock_rank.h";
   std::vector<SuppressionEntry> suppressions;
+  /// Path (for diagnostics) of the suppression list, used as the location
+  /// of NL009 stale-entry findings.
+  std::string suppressions_path = "tools/nimble_lint_suppressions.txt";
   /// false = report every finding as unsuppressed, ignoring inline and
   /// file directives too (the driver's --no-suppressions audit mode).
   bool honor_suppressions = true;
   /// Empty = all rules; otherwise rule ids ("NL002") or names.
   std::set<std::string> enabled_rules;
+  /// NL006: unqualified function names whose loops must stay responsive.
+  std::set<std::string> responsive_functions = {"DoOpen", "DoNextBatch",
+                                                "Drain", "ExecuteScattered"};
+  /// NL006: call names that count as a deadline/cancel poll on their own
+  /// (the one-level callee summaries extend this set with any function
+  /// whose body calls one of these directly).
+  std::set<std::string> poll_functions = {"PollCancel", "Check",
+                                          "CheckCancelled"};
+  /// NL006: streaming/blocking producer calls — the innermost loop around
+  /// one can iterate for as long as the producer keeps producing, so it
+  /// must poll even when its condition is bounded-looking.
+  std::set<std::string> producer_functions = {"NextBatch", "Wait", "WaitFor"};
 };
 
 /// Returns the rule id for an id-or-name string ("raw-sync" -> "NL001"),
 /// or "" if unknown. Inline-directive aliases ("unguarded", "blocking",
-/// "frozen") resolve too.
+/// "frozen", "responsive", "status", "moved", "stale") resolve too.
 std::string ResolveRule(const std::string& id_or_name);
 
 /// Parses `enum class LockRank { ... }` out of lock_rank.h content.
@@ -92,10 +140,26 @@ std::set<std::string> ParseDocumentedRanks(const std::string& content);
 /// Parses the suppression list format (# comments, blank lines ignored).
 std::vector<SuppressionEntry> ParseSuppressionList(const std::string& content);
 
-/// The analysis engine. Feed every file with AddFile, then call Finish()
-/// (cross-file checks: constructor-initializer resolution for NL002 and
-/// the rank doc-sync check). findings() is stable-ordered by
-/// (file, line, rule).
+/// Opaque result of the per-file analysis phase. Produced by
+/// Linter::Analyze (pure, thread-safe) and consumed by Linter::Merge.
+class FileAnalysis {
+ public:
+  ~FileAnalysis();
+  FileAnalysis(const FileAnalysis&) = delete;
+  FileAnalysis& operator=(const FileAnalysis&) = delete;
+
+ private:
+  friend class Linter;
+  FileAnalysis();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The analysis engine. Feed every file (AddFile, or Analyze + Merge for
+/// the parallel driver), then call Finish() for the cross-file passes:
+/// constructor-initializer resolution for NL002, the rank doc-sync check,
+/// NL006 with the merged callee summaries, and NL009 staleness.
+/// findings() is stable-ordered by (file, line, rule).
 class Linter {
  public:
   explicit Linter(LintOptions options);
@@ -104,13 +168,24 @@ class Linter {
   Linter(const Linter&) = delete;
   Linter& operator=(const Linter&) = delete;
 
-  /// Analyzes one source file. `path` should be repo-relative; exemptions
-  /// (e.g. common/mutex.h for NL001) and suppression-list paths match on
-  /// substrings of it.
+  /// Pure per-file phase: lexing, CFG construction, the per-file rules
+  /// (NL001–NL005, NL007, NL008) with local suppression resolution.
+  /// Thread-safe — does not touch Linter state beyond reading the
+  /// immutable options, so the driver calls it from a thread pool.
+  std::unique_ptr<FileAnalysis> Analyze(const std::string& path,
+                                        const std::string& content) const;
+
+  /// Folds one Analyze result into the cross-file state. NOT thread-safe;
+  /// call from one thread, in sorted path order for deterministic output.
+  void Merge(std::unique_ptr<FileAnalysis> analysis);
+
+  /// Analyze + Merge in one step (the serial convenience path; `path`
+  /// should be repo-relative — exemptions and suppression-list paths
+  /// match on substrings of it).
   void AddFile(const std::string& path, const std::string& content);
 
   /// Runs the cross-file passes and sorts findings. Call exactly once,
-  /// after the last AddFile.
+  /// after the last AddFile/Merge.
   void Finish();
 
   const std::vector<Finding>& findings() const;
@@ -120,6 +195,14 @@ class Linter {
   struct Impl;
   Impl* impl_;
 };
+
+/// Test hook: lexes `source`, finds the function named `function_name`
+/// (unqualified), builds its CFG and renders it as one line per node:
+///   `<idx> <kind> line=<L> -> <succ,...>` followed by one
+///   `loop head=<n> back=<n,...> true=<0|1> range_for=<0|1>` per loop.
+/// Returns "" when the function is not found.
+std::string DescribeCfgForTest(const std::string& source,
+                               const std::string& function_name);
 
 }  // namespace nimble_lint
 
